@@ -1,0 +1,216 @@
+// Package repro's root benchmark harness regenerates every figure of the
+// paper's evaluation (§VI) as testing.B benchmarks, plus ablations of the
+// design choices DESIGN.md calls out. Run:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks print the paper-comparable numbers via b.ReportMetric and
+// b.Log, so `go test -bench` output doubles as the EXPERIMENTS.md data
+// source. Scale knobs are reduced relative to cmd/pcs-* so a full bench
+// pass stays in the minutes range; the cmd tools run the full-size
+// versions.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/scheduler"
+	"repro/internal/xrand"
+	"repro/pcs"
+)
+
+// BenchmarkFig5PredictionAccuracy regenerates Fig. 5: per-case prediction
+// error of the performance model over 90 co-location cases (3 Hadoop kinds
+// × 20 sizes + 3 Spark kinds × 10 sizes). Paper: mean error 2.68 %, with
+// <3 %/<5 %/<8 % bands at 63.33 %/82.22 %/96.67 %.
+func BenchmarkFig5PredictionAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig5(experiments.Fig5Config{Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MeanErrPct, "mean-err-%")
+		b.ReportMetric(100*res.FracBelow3, "cases<3%-%")
+		b.ReportMetric(100*res.FracBelow5, "cases<5%-%")
+		b.ReportMetric(100*res.FracBelow8, "cases<8%-%")
+		if i == 0 {
+			b.Logf("fig5: mean err %.2f%% (paper 2.68%%); bands <3/<5/<8: %.1f/%.1f/%.1f%% (paper 63.3/82.2/96.7)",
+				res.MeanErrPct, 100*res.FracBelow3, 100*res.FracBelow5, 100*res.FracBelow8)
+		}
+	}
+}
+
+// fig6BenchRates mirrors the paper's λ sweep. Each (technique, rate) cell
+// is its own sub-benchmark so `-bench Fig6` prints the full table.
+var fig6BenchRates = []float64{10, 20, 50, 100, 200, 500}
+
+// BenchmarkFig6ServicePerformance regenerates Fig. 6 cell by cell:
+// avg overall service latency and p99 component latency per technique per
+// arrival rate. Paper shape: PCS lowest overall; RED helps only at light
+// load and deteriorates beyond Basic under heavy load (RED-5 worst);
+// reissue degrades more gracefully. Headline: PCS −67.05 % p99 and
+// −64.16 % overall vs the redundancy/reissue techniques.
+func BenchmarkFig6ServicePerformance(b *testing.B) {
+	for _, rate := range fig6BenchRates {
+		for _, tech := range pcs.Techniques() {
+			name := fmt.Sprintf("%s/λ=%.0f", tech, rate)
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					requests := 6000
+					if min := int(60 * rate); requests < min {
+						requests = min
+					}
+					res, err := pcs.Run(pcs.Options{
+						Technique:   tech,
+						Seed:        1,
+						ArrivalRate: rate,
+						Requests:    requests,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(res.AvgOverallMs, "avg-overall-ms")
+					b.ReportMetric(res.P99ComponentMs, "p99-component-ms")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig7SchedulerScalability regenerates Fig. 7: analysis (matrix
+// construction) and search (greedy loop) wall time as (m, k) grows to
+// (640, 128). Paper: 551 ms total at the largest point, <0.1 % of the
+// 600 s scheduling interval.
+func BenchmarkFig7SchedulerScalability(b *testing.B) {
+	ladder := []experiments.Fig7Point{
+		{M: 40, K: 8}, {M: 80, K: 16}, {M: 160, K: 32}, {M: 320, K: 64}, {M: 640, K: 128},
+	}
+	for _, p := range ladder {
+		b.Run(fmt.Sprintf("m=%d/k=%d", p.M, p.K), func(b *testing.B) {
+			src := xrand.New(1)
+			in := experiments.SyntheticMatrixInput(p.M, p.K, 10, 100, src)
+			b.ResetTimer()
+			var analysisMs, searchMs float64
+			for i := 0; i < b.N; i++ {
+				res, _, err := scheduler.BuildAndSchedule(in, scheduler.Config{Epsilon: 0.005})
+				if err != nil {
+					b.Fatal(err)
+				}
+				analysisMs += float64(res.AnalysisTime.Microseconds()) / 1000
+				searchMs += float64(res.SearchTime.Microseconds()) / 1000
+			}
+			b.ReportMetric(analysisMs/float64(b.N), "analysis-ms")
+			b.ReportMetric(searchMs/float64(b.N), "search-ms")
+			b.ReportMetric((analysisMs+searchMs)/float64(b.N), "total-ms")
+		})
+	}
+}
+
+// BenchmarkAblationThreshold sweeps the migration threshold ε (§VI-C
+// discusses why 5 ms — 5 % of the acceptable latency — balances reduction
+// opportunity against migration cost; our compressed time scale recentres
+// the sweep around 0.005 ms).
+func BenchmarkAblationThreshold(b *testing.B) {
+	for _, epsUs := range []float64{0, 5, 20, 100, 1000} { // microseconds
+		b.Run(fmt.Sprintf("eps=%.0fus", epsUs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := pcs.Run(pcs.Options{
+					Technique:      pcs.PCS,
+					Seed:           1,
+					ArrivalRate:    200,
+					Requests:       12000,
+					EpsilonSeconds: epsUs * 1e-6,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.AvgOverallMs, "avg-overall-ms")
+				b.ReportMetric(res.P99ComponentMs, "p99-component-ms")
+				b.ReportMetric(float64(res.Migrations), "migrations")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationQueueModel compares the extended model's M/G/1 formula
+// against the M/M/1 special case (§IV-B) and against no queue model at all
+// (basic model only) as the predictor driving PCS.
+func BenchmarkAblationQueueModel(b *testing.B) {
+	for _, qm := range []string{"mg1", "mm1", "none"} {
+		b.Run(qm, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := pcs.Run(pcs.Options{
+					Technique:   pcs.PCS,
+					Seed:        1,
+					ArrivalRate: 300,
+					Requests:    18000,
+					QueueModel:  qm,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.AvgOverallMs, "avg-overall-ms")
+				b.ReportMetric(res.P99ComponentMs, "p99-component-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRegressionDegree compares linear vs quadratic
+// per-resource regressions as the runtime model (DESIGN.md: degree 1 keeps
+// extrapolation monotone; degree 2 captures the convex core term
+// in-range).
+func BenchmarkAblationRegressionDegree(b *testing.B) {
+	for _, degree := range []int{1, 2} {
+		b.Run(fmt.Sprintf("degree=%d", degree), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := pcs.Run(pcs.Options{
+					Technique:        pcs.PCS,
+					Seed:             1,
+					ArrivalRate:      200,
+					Requests:         12000,
+					RegressionDegree: degree,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.AvgOverallMs, "avg-overall-ms")
+				b.ReportMetric(res.P99ComponentMs, "p99-component-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkMatrixBuild isolates performance-matrix construction cost (the
+// O(m·k) "analysis" of §VI-D) for profiling.
+func BenchmarkMatrixBuild(b *testing.B) {
+	src := xrand.New(1)
+	in := experiments.SyntheticMatrixInput(160, 32, 10, 100, src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := scheduler.BuildAndSchedule(in, scheduler.Config{Epsilon: 1e9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulationThroughput measures raw simulator speed (requests
+// simulated per wall second) at the Fig. 6 deployment size.
+func BenchmarkSimulationThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := pcs.Run(pcs.Options{
+			Technique:   pcs.Basic,
+			Seed:        int64(i + 1),
+			ArrivalRate: 100,
+			Requests:    5000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Completed == 0 {
+			b.Fatal("no requests completed")
+		}
+	}
+}

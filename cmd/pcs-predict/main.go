@@ -1,0 +1,47 @@
+// Command pcs-predict regenerates the paper's Fig. 5: prediction errors of
+// the performance model for a searching component co-located with Hadoop
+// and Spark batch jobs across input sizes.
+//
+// Paper reference points: errors < 3 % / 5 % / 8 % in 63.33 % / 82.22 % /
+// 96.67 % of the 90 cases; average error 2.68 %.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		seed    = flag.Int64("seed", 1, "random seed")
+		hadoop  = flag.Int("hadoop-sizes", 20, "number of Hadoop input sizes (50MB..4GB)")
+		spark   = flag.Int("spark-sizes", 10, "number of Spark input sizes (200MB..7GB)")
+		probes  = flag.Int("probes", 100, "probe requests per measurement")
+		verbose = flag.Bool("v", false, "print every case, not just the summary")
+	)
+	flag.Parse()
+
+	res, err := experiments.RunFig5(experiments.Fig5Config{
+		Seed:        *seed,
+		HadoopSizes: *hadoop,
+		SparkSizes:  *spark,
+		Probes:      *probes,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *verbose {
+		res.WriteTable(os.Stdout)
+		return
+	}
+	// Summary only.
+	log.Printf("cases: %d", len(res.Cases))
+	log.Printf("error < 3%%: %.2f%% of cases (paper: 63.33%%)", 100*res.FracBelow3)
+	log.Printf("error < 5%%: %.2f%% of cases (paper: 82.22%%)", 100*res.FracBelow5)
+	log.Printf("error < 8%%: %.2f%% of cases (paper: 96.67%%)", 100*res.FracBelow8)
+	log.Printf("average error: %.2f%% (paper: 2.68%%)", res.MeanErrPct)
+}

@@ -1,0 +1,80 @@
+// Command pcs-sim runs one simulation of the multi-stage service under a
+// chosen technique and prints a full latency report.
+//
+// Usage:
+//
+//	pcs-sim -technique PCS -rate 200 -requests 20000 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/pcs"
+)
+
+func parseTechnique(s string) (pcs.Technique, error) {
+	for _, t := range pcs.Techniques() {
+		if strings.EqualFold(t.String(), s) {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown technique %q (want one of Basic, RED-3, RED-5, RI-90, RI-99, PCS)", s)
+}
+
+func main() {
+	log.SetFlags(0)
+	var (
+		technique = flag.String("technique", "PCS", "execution technique: Basic, RED-3, RED-5, RI-90, RI-99 or PCS")
+		rate      = flag.Float64("rate", 100, "request arrival rate (requests/second)")
+		requests  = flag.Int("requests", 20000, "number of requests to simulate")
+		nodes     = flag.Int("nodes", 30, "cluster size")
+		search    = flag.Int("search-components", 100, "searching-stage fan-out")
+		seed      = flag.Int64("seed", 1, "random seed")
+		interval  = flag.Float64("interval", 5, "PCS scheduling interval (seconds)")
+		epsilon   = flag.Float64("epsilon", 0.000005, "PCS migration threshold ε (seconds)")
+		queue     = flag.String("queue", "mg1", "PCS queue model: mg1, mm1 or none")
+	)
+	flag.Parse()
+
+	tech, err := parseTechnique(*technique)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := pcs.Run(pcs.Options{
+		Technique:          tech,
+		ArrivalRate:        *rate,
+		Requests:           *requests,
+		Nodes:              *nodes,
+		SearchComponents:   *search,
+		Seed:               *seed,
+		SchedulingInterval: *interval,
+		EpsilonSeconds:     *epsilon,
+		QueueModel:         *queue,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("technique           %s\n", res.Technique)
+	fmt.Printf("arrival rate        %.0f req/s\n", res.ArrivalRate)
+	fmt.Printf("requests            %d arrived, %d completed\n", res.Arrivals, res.Completed)
+	fmt.Printf("virtual time        %.1f s\n", res.VirtualSeconds)
+	fmt.Printf("batch jobs          %d started\n", res.BatchJobsStarted)
+	fmt.Println()
+	fmt.Printf("avg overall latency       %10.3f ms   (paper metric 2)\n", res.AvgOverallMs)
+	fmt.Printf("p99 component latency     %10.3f ms   (paper metric 1)\n", res.P99ComponentMs)
+	fmt.Printf("overall p50 / p99 / max   %10.3f / %.3f / %.3f ms\n",
+		res.OverallP50Ms, res.OverallP99Ms, res.OverallMaxMs)
+	fmt.Printf("component mean / p50      %10.3f / %.3f ms\n", res.ComponentMeanMs, res.ComponentP50Ms)
+	for s, m := range res.StageMeanMs {
+		fmt.Printf("stage %d mean              %10.3f ms\n", s, m)
+	}
+	if tech == pcs.PCS {
+		fmt.Println()
+		fmt.Printf("scheduling intervals      %d\n", res.SchedulingIntervals)
+		fmt.Printf("migrations enforced       %d\n", res.Migrations)
+	}
+}

@@ -1,0 +1,88 @@
+// Command interference demonstrates the performance predictor in
+// isolation: it profiles a searching component against single batch-job
+// co-runners, trains the paper's per-resource regressions (Eq. 1), and then
+// predicts the component's service time and M/G/1 latency (Eq. 2) under
+// co-runner mixes it never saw in training — the §IV workflow without the
+// scheduler.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/cluster"
+	"repro/internal/predictor"
+	"repro/internal/profiling"
+	"repro/internal/service"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+func main() {
+	log.SetFlags(0)
+	seed := flag.Int64("seed", 1, "random seed")
+	lambda := flag.Float64("lambda", 200, "arrival rate for the latency prediction (req/s)")
+	flag.Parse()
+
+	src := xrand.New(*seed)
+	capacity := cluster.DefaultCapacity()
+	law := service.DefaultLaw(capacity)
+	search := service.NutchTopology(0).Stages[1]
+
+	// Profile: single co-runners over the kind × size grid plus random
+	// mixes, as PCS does at startup.
+	backgrounds := workload.KindSizeGrid(workload.JobKinds(), workload.LinearSizes(12, 1, 10240))
+	backgrounds = append(backgrounds, workload.TrainingMixes(src.Fork(), 100, 3, 1, 10240)...)
+	samples := profiling.ProfileBackgrounds(law, search.BaseServiceTime, backgrounds,
+		profiling.Config{Probes: 300, MonitorNoiseSigma: 0.02, Degree: 1}, src.Fork())
+	model, err := predictor.Train(samples, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Trained service-time model for the searching component (Eq. 1)")
+	fmt.Println("relevance weights w_sr (R² of each per-resource regression):")
+	for _, r := range cluster.Resources() {
+		fmt.Printf("  %-10s %.3f\n", r, model.Weights[r])
+	}
+	fmt.Println()
+
+	// Predict under unseen co-runner scenarios.
+	scenarios := []struct {
+		name string
+		bg   cluster.Vector
+	}{
+		{"idle node", cluster.Vector{}},
+		{"hadoop-wordcount 2GB", workload.Demand(workload.HadoopWordCount, 2048)},
+		{"spark-sort 7GB", workload.Demand(workload.SparkSort, 7168)},
+		{"wordcount 2GB + sort 4GB", workload.Demand(workload.HadoopWordCount, 2048).
+			Add(workload.Demand(workload.SparkSort, 4096))},
+		{"three heavy jobs", workload.Demand(workload.HadoopBayes, 4096).
+			Add(workload.Demand(workload.SparkSort, 7168)).
+			Add(workload.Demand(workload.HadoopPageIndex, 3072))},
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "co-runners\ttrue mean x (ms)\tpredicted x (ms)\terr %\tpredicted latency @λ (ms)")
+	for _, sc := range scenarios {
+		truth := law.MeanServiceTime(search.BaseServiceTime, sc.bg)
+		pred := model.Predict(sc.bg.Clamp(capacity))
+		errPct := 100 * (pred - truth) / truth
+		// Eq. 2 with the service-time variance implied by the intrinsic
+		// noise (C² = exp(σ²)−1).
+		c2 := 0.0
+		if law.NoiseSigma > 0 {
+			s := law.NoiseSigma
+			c2 = (s*s + s*s*s*s/2) // ≈ exp(σ²)−1 for small σ
+		}
+		latency := predictor.ExpectedLatency(predictor.MG1, pred, c2*pred*pred, *lambda,
+			predictor.DefaultLatencyParams())
+		fmt.Fprintf(tw, "%s\t%.4f\t%.4f\t%+.1f\t%.4f\n",
+			sc.name, truth*1000, pred*1000, errPct, latency*1000)
+	}
+	tw.Flush()
+	fmt.Printf("\nλ = %.0f req/s; latency = x̄ + λ(1+C²x)/(2µ²(1−ρ)) (paper Eq. 2)\n", *lambda)
+}

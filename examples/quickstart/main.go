@@ -1,0 +1,41 @@
+// Command quickstart is the minimal PCS session: simulate the Nutch-style
+// search service co-located with batch jobs, once under Basic execution and
+// once under PCS, and compare the two latency metrics of the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/pcs"
+)
+
+func main() {
+	log.SetFlags(0)
+	rate := flag.Float64("rate", 100, "request arrival rate (requests/second)")
+	requests := flag.Int("requests", 8000, "number of requests to simulate")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	fmt.Printf("Nutch-style service, λ=%.0f req/s, %d requests, seed %d\n\n",
+		*rate, *requests, *seed)
+
+	for _, tech := range []pcs.Technique{pcs.Basic, pcs.PCS} {
+		res, err := pcs.Run(pcs.Options{
+			Technique:   tech,
+			ArrivalRate: *rate,
+			Requests:    *requests,
+			Seed:        *seed,
+		})
+		if err != nil {
+			log.Fatalf("run %s: %v", tech, err)
+		}
+		fmt.Printf("%-6s avg overall %8.2f ms | p99 component %8.2f ms | completed %d/%d",
+			res.Technique, res.AvgOverallMs, res.P99ComponentMs, res.Completed, res.Arrivals)
+		if tech == pcs.PCS {
+			fmt.Printf(" | %d migrations over %d intervals", res.Migrations, res.SchedulingIntervals)
+		}
+		fmt.Println()
+	}
+}

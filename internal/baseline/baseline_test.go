@@ -1,0 +1,273 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/service"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+func testTopology() service.Topology {
+	return service.Topology{
+		Name: "test",
+		Stages: []service.StageSpec{
+			{Name: "a", Components: 2, BaseServiceTime: 0.001,
+				Demand: cluster.Vector{0.5, 2, 1, 1}},
+			{Name: "b", Components: 2, BaseServiceTime: 0.002,
+				Demand: cluster.Vector{0.8, 3, 2, 2}},
+		},
+	}
+}
+
+func newService(t *testing.T, policy service.Policy) (*service.Service, *sim.Engine) {
+	t.Helper()
+	engine := sim.NewEngine()
+	cl := cluster.New(6, cluster.DefaultCapacity())
+	svc, err := service.New(engine, cl, xrand.New(1), policy, service.Config{Topology: testTopology()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, engine
+}
+
+func TestBasicPolicyMetadata(t *testing.T) {
+	p := Basic{}
+	if p.Name() != "Basic" || p.Replicas() != 1 {
+		t.Fatalf("Basic metadata: %s/%d", p.Name(), p.Replicas())
+	}
+}
+
+func TestBasicPolicySingleExecution(t *testing.T) {
+	svc, engine := newService(t, Basic{})
+	svc.InjectRequest()
+	engine.Run(10)
+	if svc.Completed() != 1 {
+		t.Fatalf("completed = %d", svc.Completed())
+	}
+	for _, comp := range svc.Components() {
+		if got := comp.Primary().Served; got != 1 {
+			t.Fatalf("primary served %d, want 1", got)
+		}
+	}
+}
+
+func TestRedundancyMetadata(t *testing.T) {
+	p := NewRedundancy(3, 0.001)
+	if p.Name() != "RED-3" || p.Replicas() != 3 {
+		t.Fatalf("metadata: %s/%d", p.Name(), p.Replicas())
+	}
+	if NewRedundancy(5, 0.001).Name() != "RED-5" {
+		t.Fatal("RED-5 name")
+	}
+}
+
+func TestRedundancyPanicsOnBadConfig(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewRedundancy(1, 0.001) },
+		func() { NewRedundancy(3, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad redundancy config did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRedundancyExecutesOnAllReplicasWhenIdle(t *testing.T) {
+	// At zero load, every replica is idle, so all k start immediately and
+	// all run to completion (cancellation cannot claw back started work).
+	svc, engine := newService(t, NewRedundancy(3, 0.001))
+	svc.InjectRequest()
+	engine.Run(10)
+	for _, comp := range svc.Components() {
+		total := 0
+		for _, in := range comp.Instances {
+			total += in.Served
+		}
+		if total != 3 {
+			t.Fatalf("component %d executed %d replicas, want 3 (all idle)", comp.Global, total)
+		}
+	}
+}
+
+func TestRedundancyCancellationUnderLoad(t *testing.T) {
+	svc, engine := newService(t, NewRedundancy(3, 0.0002))
+	for i := 0; i < 300; i++ {
+		svc.InjectRequest()
+	}
+	engine.Run(30)
+	cancelled := 0
+	for _, comp := range svc.Components() {
+		for _, in := range comp.Instances {
+			cancelled += in.Cancelled
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("redundancy under load should cancel queued replicas")
+	}
+	if svc.Completed() != 300 {
+		t.Fatalf("completed = %d", svc.Completed())
+	}
+}
+
+func TestRedundancyLargerCancelDelayWastesMoreWork(t *testing.T) {
+	run := func(delay float64) int {
+		svc, engine := newService(t, NewRedundancy(3, delay))
+		for i := 0; i < 300; i++ {
+			svc.InjectRequest()
+		}
+		engine.Run(60)
+		served := 0
+		for _, comp := range svc.Components() {
+			for _, in := range comp.Instances {
+				served += in.Served
+			}
+		}
+		return served
+	}
+	fast := run(0.0001)
+	slow := run(0.01)
+	if slow <= fast {
+		t.Fatalf("slow cancellation should execute more replicas: fast=%d slow=%d", fast, slow)
+	}
+}
+
+func TestReissueMetadata(t *testing.T) {
+	if p := NewReissue(90); p.Name() != "RI-90" || p.Replicas() != 2 {
+		t.Fatalf("metadata: %s/%d", p.Name(), p.Replicas())
+	}
+	if NewReissue(99).Name() != "RI-99" {
+		t.Fatal("RI-99 name")
+	}
+}
+
+func TestReissuePanicsOnBadPercentile(t *testing.T) {
+	for _, p := range []float64{0, 100, -5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewReissue(%v) did not panic", p)
+				}
+			}()
+			NewReissue(p)
+		}()
+	}
+}
+
+func TestReissueRarelyIssuesBackupAtLightLoad(t *testing.T) {
+	// RI-99 with no queueing: roughly 1 % of sub-requests exceed the p99
+	// estimate, so backups should serve only a small fraction of work.
+	svc, engine := newService(t, NewReissue(99))
+	svc.StartArrivals(20, 2000)
+	engine.Run(200)
+	primary, backup := 0, 0
+	for _, comp := range svc.Components() {
+		primary += comp.Instances[0].Served
+		backup += comp.Instances[1].Served
+	}
+	if primary == 0 {
+		t.Fatal("no primary executions")
+	}
+	frac := float64(backup) / float64(primary)
+	if frac > 0.15 {
+		t.Fatalf("backup fraction = %.3f, want small at light load", frac)
+	}
+}
+
+func TestReissue90IssuesMoreThan99(t *testing.T) {
+	run := func(pct float64) int {
+		svc, engine := newService(t, NewReissue(pct))
+		svc.StartArrivals(50, 3000)
+		engine.Run(200)
+		backup := 0
+		for _, comp := range svc.Components() {
+			backup += comp.Instances[1].Served
+		}
+		return backup
+	}
+	b90 := run(90)
+	b99 := run(99)
+	if b90 <= b99 {
+		t.Fatalf("RI-90 backups (%d) should exceed RI-99 backups (%d)", b90, b99)
+	}
+}
+
+func TestReissueStillCompletesEverything(t *testing.T) {
+	svc, engine := newService(t, NewReissue(90))
+	svc.StartArrivals(100, 1000)
+	engine.Run(60)
+	if svc.Completed() != 1000 {
+		t.Fatalf("completed = %d, want 1000", svc.Completed())
+	}
+}
+
+func TestQuantileEstimatorColdStart(t *testing.T) {
+	q := newQuantileEstimator(128, 16)
+	if _, ok := q.Quantile(90); ok {
+		t.Fatal("estimator should report not-ok before 32 samples")
+	}
+	for i := 0; i < 31; i++ {
+		q.Add(float64(i))
+	}
+	if _, ok := q.Quantile(90); ok {
+		t.Fatal("still cold at 31 samples")
+	}
+	q.Add(31)
+	if _, ok := q.Quantile(90); !ok {
+		t.Fatal("warm at 32 samples")
+	}
+}
+
+func TestQuantileEstimatorAccuracy(t *testing.T) {
+	q := newQuantileEstimator(1000, 100)
+	for i := 0; i < 1000; i++ {
+		q.Add(float64(i))
+	}
+	v, ok := q.Quantile(90)
+	if !ok {
+		t.Fatal("not warm")
+	}
+	if v < 850 || v > 950 {
+		t.Fatalf("p90 = %v, want ≈900", v)
+	}
+}
+
+func TestQuantileEstimatorSlidesWindow(t *testing.T) {
+	q := newQuantileEstimator(100, 10)
+	for i := 0; i < 100; i++ {
+		q.Add(1000)
+	}
+	// Overwrite the window with small values; the estimate must follow.
+	for i := 0; i < 100; i++ {
+		q.Add(1)
+	}
+	v, ok := q.Quantile(50)
+	if !ok || v != 1 {
+		t.Fatalf("p50 after slide = %v (ok=%v), want 1", v, ok)
+	}
+}
+
+func TestQuantileEstimatorExtremePercentiles(t *testing.T) {
+	q := newQuantileEstimator(64, 8)
+	for i := 0; i < 64; i++ {
+		q.Add(float64(i))
+	}
+	lo, _ := q.Quantile(0)
+	hi, _ := q.Quantile(100)
+	if lo != 0 || hi != 63 {
+		t.Fatalf("extremes = %v, %v", lo, hi)
+	}
+}
+
+func TestQuantileEstimatorDefaults(t *testing.T) {
+	q := newQuantileEstimator(0, 0)
+	if len(q.ring) == 0 || q.refresh == 0 {
+		t.Fatal("defaults not applied")
+	}
+}

@@ -1,0 +1,91 @@
+package cluster
+
+import "fmt"
+
+// Cluster is a fixed set of nodes. Node IDs are dense indices [0, N).
+type Cluster struct {
+	nodes []*Node
+}
+
+// DefaultCapacity mirrors the paper's testbed nodes (two 6-core Xeon E5645,
+// 1 GbE): 12 cores' worth of core usage, an MPKI saturation level, ~200 MB/s
+// of disk bandwidth and ~125 MB/s of network bandwidth.
+func DefaultCapacity() Vector {
+	return Vector{
+		Core:   12,  // aggregate core usage (cores' worth of runnable time)
+		Cache:  100, // MPKI saturation level across co-runners
+		DiskBW: 200, // MB/s
+		NetBW:  125, // MB/s (1 Gb Ethernet)
+	}
+}
+
+// New creates a cluster of n identical nodes with the given capacity.
+func New(n int, capacity Vector) *Cluster {
+	if n <= 0 {
+		panic("cluster: need at least one node")
+	}
+	c := &Cluster{nodes: make([]*Node, n)}
+	for i := range c.nodes {
+		c.nodes[i] = NewNode(i, capacity)
+	}
+	return c
+}
+
+// NumNodes returns the number of nodes.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// Node returns the node with the given ID. It panics on an out-of-range ID,
+// which indicates a scheduling bug.
+func (c *Cluster) Node(id int) *Node {
+	if id < 0 || id >= len(c.nodes) {
+		panic(fmt.Sprintf("cluster: node id %d out of range [0,%d)", id, len(c.nodes)))
+	}
+	return c.nodes[id]
+}
+
+// Nodes returns the nodes slice. Callers must not mutate it.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Contentions returns the contention vector of every node, indexed by node
+// ID. This is the bulk snapshot the monitor takes each sampling period.
+func (c *Cluster) Contentions() []Vector {
+	out := make([]Vector, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = n.Contention()
+	}
+	return out
+}
+
+// Move relocates a hosted program from one node to another. It panics if
+// the program is not hosted on `from` or already hosted on `to`; migrations
+// are driven by the scheduler, which must keep its allocation array
+// consistent with the cluster.
+func (c *Cluster) Move(p Program, from, to int) {
+	if from == to {
+		return
+	}
+	src, dst := c.Node(from), c.Node(to)
+	if !src.Evict(p.ProgramID()) {
+		panic(fmt.Sprintf("cluster: program %q not hosted on %s", p.ProgramID(), src.Name))
+	}
+	dst.Host(p)
+}
+
+// LocateProgram returns the ID of the node hosting the program, or -1.
+// It is O(nodes) and intended for tests and assertions, not hot paths.
+func (c *Cluster) LocateProgram(id string) int {
+	for _, n := range c.nodes {
+		if n.Hosts(id) {
+			return n.ID
+		}
+	}
+	return -1
+}
+
+// Refresh recomputes every node's aggregate demand. Call once per
+// monitoring period after batch jobs have mutated their demands.
+func (c *Cluster) Refresh() {
+	for _, n := range c.nodes {
+		n.Refresh()
+	}
+}

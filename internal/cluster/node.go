@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Program is anything that occupies resources on a node: a service
+// component's VM or a batch job's VM. The node tracks each program's demand
+// vector and exposes the aggregate as the node's contention state.
+type Program interface {
+	// ProgramID returns a unique identifier for the program.
+	ProgramID() string
+	// Demand returns the program's current resource demand vector.
+	Demand() Vector
+}
+
+// Node is a physical machine hosting programs that share its resources.
+type Node struct {
+	ID       int
+	Name     string
+	Capacity Vector // saturation point per resource; zero entries = unlimited
+
+	programs map[string]Program
+	// cached aggregate demand; maintained incrementally where possible
+	// and recomputed on Refresh.
+	aggregate Vector
+}
+
+// NewNode creates a node with the given identifier and resource capacities.
+func NewNode(id int, capacity Vector) *Node {
+	return &Node{
+		ID:       id,
+		Name:     fmt.Sprintf("n%d", id),
+		Capacity: capacity,
+		programs: make(map[string]Program),
+	}
+}
+
+// Host places a program on the node. It panics if a program with the same
+// ID is already hosted: double-placement is a scheduling bug.
+func (n *Node) Host(p Program) {
+	id := p.ProgramID()
+	if _, ok := n.programs[id]; ok {
+		panic(fmt.Sprintf("cluster: program %q already hosted on %s", id, n.Name))
+	}
+	n.programs[id] = p
+	n.aggregate = n.aggregate.Add(p.Demand())
+}
+
+// Evict removes a program from the node. It reports whether the program was
+// present.
+func (n *Node) Evict(id string) bool {
+	p, ok := n.programs[id]
+	if !ok {
+		return false
+	}
+	delete(n.programs, id)
+	n.aggregate = n.aggregate.Sub(p.Demand())
+	return true
+}
+
+// Hosts reports whether the node currently hosts the program.
+func (n *Node) Hosts(id string) bool {
+	_, ok := n.programs[id]
+	return ok
+}
+
+// NumPrograms reports the number of hosted programs.
+func (n *Node) NumPrograms() int { return len(n.programs) }
+
+// ProgramIDs returns the hosted program IDs in sorted order (for
+// deterministic iteration).
+func (n *Node) ProgramIDs() []string {
+	ids := make([]string, 0, len(n.programs))
+	for id := range n.programs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Refresh recomputes the aggregate demand from scratch. Call it after
+// programs mutate their demand vectors in place (e.g. a batch job entering
+// a new phase); hosting and eviction keep the aggregate current on their
+// own.
+func (n *Node) Refresh() {
+	var agg Vector
+	for _, p := range n.programs {
+		agg = agg.Add(p.Demand())
+	}
+	n.aggregate = agg
+}
+
+// Contention returns the node's current aggregate contention vector,
+// saturated at the node's capacity. This is what the paper's monitors
+// observe via /proc and hardware counters.
+func (n *Node) Contention() Vector {
+	return n.aggregate.Clamp(n.Capacity)
+}
+
+// RawDemand returns the unsaturated aggregate demand (useful for detecting
+// oversubscription).
+func (n *Node) RawDemand() Vector { return n.aggregate }
+
+// ContentionExcluding returns the node's contention with one program's
+// demand removed — the "background" a component would see around itself.
+func (n *Node) ContentionExcluding(id string) Vector {
+	agg := n.aggregate
+	if p, ok := n.programs[id]; ok {
+		agg = agg.Sub(p.Demand())
+	}
+	return agg.Clamp(n.Capacity)
+}
+
+// Utilization returns contention normalised by capacity for resource r in
+// [0, 1]; unlimited resources report 0.
+func (n *Node) Utilization(r Resource) float64 {
+	if n.Capacity[r] <= 0 {
+		return 0
+	}
+	u := n.Contention()[r] / n.Capacity[r]
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

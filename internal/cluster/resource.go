@@ -1,0 +1,116 @@
+// Package cluster models the data-center substrate the paper deploys on: a
+// set of nodes (physical machines), each hosting VMs/containers whose
+// programs share and contend four classes of resources (paper Table II):
+// processing cores, shared caches (expressed as MPKI), disk bandwidth and
+// network bandwidth.
+//
+// A node's contention state is a Vector of the four metrics, equal to the
+// sum of the demands of every program hosted on it, optionally saturated at
+// the node's capacity. The performance predictor consumes these vectors.
+package cluster
+
+import "fmt"
+
+// Resource identifies one of the four shared resource classes of Table II.
+type Resource int
+
+const (
+	// Core is processing-unit contention, measured as core usage (the
+	// ratio of time running instructions on the cores).
+	Core Resource = iota
+	// Cache is shared-cache contention (LLC, ITLB, DTLB), measured as
+	// misses per kilo-instruction (MPKI).
+	Cache
+	// DiskBW is disk-bandwidth contention, measured as MB/s read+written.
+	DiskBW
+	// NetBW is network-bandwidth contention, measured as MB/s sent+received.
+	NetBW
+
+	// NumResources is the number of shared resource classes.
+	NumResources = 4
+)
+
+// String returns the metric name used in Table II.
+func (r Resource) String() string {
+	switch r {
+	case Core:
+		return "core"
+	case Cache:
+		return "cache"
+	case DiskBW:
+		return "diskBW"
+	case NetBW:
+		return "networkBW"
+	default:
+		return fmt.Sprintf("resource(%d)", int(r))
+	}
+}
+
+// Resources lists all resource classes in canonical order.
+func Resources() [NumResources]Resource {
+	return [NumResources]Resource{Core, Cache, DiskBW, NetBW}
+}
+
+// Vector is a resource-contention vector U = {Ucore, Ucache, UdiskBW,
+// UnetworkBW} (paper Table I/II). Vectors add when programs co-locate and
+// subtract when a program leaves a node (Table III).
+type Vector [NumResources]float64
+
+// Add returns u + v.
+func (u Vector) Add(v Vector) Vector {
+	for i := range u {
+		u[i] += v[i]
+	}
+	return u
+}
+
+// Sub returns u − v, clamped at zero: contention metrics are non-negative
+// by construction, and clamping guards against float drift when a program's
+// demand is subtracted from an aggregate it contributed to.
+func (u Vector) Sub(v Vector) Vector {
+	for i := range u {
+		u[i] -= v[i]
+		if u[i] < 0 {
+			u[i] = 0
+		}
+	}
+	return u
+}
+
+// Scale returns u with every metric multiplied by f.
+func (u Vector) Scale(f float64) Vector {
+	for i := range u {
+		u[i] *= f
+	}
+	return u
+}
+
+// Clamp returns u with each metric limited to the corresponding capacity in
+// cap. Zero capacity entries are treated as "unlimited".
+func (u Vector) Clamp(cap Vector) Vector {
+	for i := range u {
+		if cap[i] > 0 && u[i] > cap[i] {
+			u[i] = cap[i]
+		}
+	}
+	return u
+}
+
+// Get returns the metric for resource r.
+func (u Vector) Get(r Resource) float64 { return u[r] }
+
+// IsZero reports whether all metrics are zero.
+func (u Vector) IsZero() bool {
+	for _, x := range u {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the vector with Table II metric names.
+func (u Vector) String() string {
+	return fmt.Sprintf("{core:%.3f cache:%.2f diskBW:%.1f netBW:%.1f}",
+		u[Core], u[Cache], u[DiskBW], u[NetBW])
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xrand"
+	"repro/pcs"
+)
+
+func TestFig5SmallRunMatchesPaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig5 takes a few seconds")
+	}
+	res, err := RunFig5(Fig5Config{Seed: 1, HadoopSizes: 6, SparkSizes: 4, Probes: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 Hadoop kinds × 6 sizes + 3 Spark kinds × 4 sizes.
+	if len(res.Cases) != 30 {
+		t.Fatalf("cases = %d, want 30", len(res.Cases))
+	}
+	// The paper's average error is 2.68 %; at reduced size we accept a
+	// loose band that still catches a broken predictor.
+	if res.MeanErrPct <= 0 || res.MeanErrPct > 10 {
+		t.Fatalf("mean error = %.2f%%, outside sanity band (0, 10]", res.MeanErrPct)
+	}
+	if res.FracBelow8 < 0.7 {
+		t.Fatalf("only %.0f%% of cases below 8%% error", 100*res.FracBelow8)
+	}
+	// Bands are nested by construction.
+	if res.FracBelow3 > res.FracBelow5 || res.FracBelow5 > res.FracBelow8 {
+		t.Fatal("error bands not nested")
+	}
+	for _, c := range res.Cases {
+		if c.MeasuredMs <= 0 || c.PredictedMs <= 0 {
+			t.Fatalf("non-positive latencies in case %+v", c)
+		}
+	}
+}
+
+func TestFig5TableRendering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig5 takes a few seconds")
+	}
+	res, err := RunFig5(Fig5Config{Seed: 2, HadoopSizes: 3, SparkSizes: 2, Probes: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	res.WriteTable(&sb)
+	out := sb.String()
+	for _, want := range []string{"hadoop-bayes", "spark-sort", "average error", "paper: 2.68%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig5Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig5 takes a few seconds")
+	}
+	a, err := RunFig5(Fig5Config{Seed: 3, HadoopSizes: 3, SparkSizes: 2, Probes: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFig5(Fig5Config{Seed: 3, HadoopSizes: 3, SparkSizes: 2, Probes: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanErrPct != b.MeanErrPct {
+		t.Fatalf("same seed differs: %v vs %v", a.MeanErrPct, b.MeanErrPct)
+	}
+}
+
+func TestFig6TinySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig6 sweep is expensive")
+	}
+	cfg := Fig6Config{
+		Seed:             1,
+		Rates:            []float64{50},
+		Techniques:       []pcs.Technique{pcs.Basic, pcs.PCS},
+		Requests:         1500,
+		Nodes:            10,
+		SearchComponents: 20,
+	}
+	res, err := RunFig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	basic := res.Cell("Basic", 50)
+	p := res.Cell("PCS", 50)
+	if basic == nil || p == nil {
+		t.Fatal("missing cells")
+	}
+	if basic.Result.AvgOverallMs <= 0 || p.Result.AvgOverallMs <= 0 {
+		t.Fatal("latencies not measured")
+	}
+	if p.Result.Migrations == 0 {
+		t.Error("PCS cell made no migrations")
+	}
+	var sb strings.Builder
+	res.WriteTable(&sb, cfg)
+	if !strings.Contains(sb.String(), "PCS reduction") {
+		t.Fatalf("table missing headline:\n%s", sb.String())
+	}
+}
+
+func TestFig7SmallLadder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig7 timing is a second or two")
+	}
+	points, err := RunFig7(Fig7Config{
+		Seed:    1,
+		Points:  []Fig7Point{{M: 20, K: 4}, {M: 40, K: 8}},
+		Repeats: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.AnalysisMs <= 0 {
+			t.Fatalf("analysis time not measured at m=%d", p.M)
+		}
+		if p.TotalMs < p.AnalysisMs {
+			t.Fatal("total < analysis")
+		}
+	}
+	// Larger instances take longer to analyse (O(m²k) trend).
+	if points[1].AnalysisMs <= points[0].AnalysisMs*0.5 {
+		t.Errorf("scaling suspicious: m=20 %.3fms vs m=40 %.3fms",
+			points[0].AnalysisMs, points[1].AnalysisMs)
+	}
+	var sb strings.Builder
+	WriteFig7Table(&sb, points)
+	if !strings.Contains(sb.String(), "551 ms") {
+		t.Fatal("table missing paper reference")
+	}
+}
+
+func TestSyntheticMatrixInputIsSchedulable(t *testing.T) {
+	in := SyntheticMatrixInput(12, 4, 5, 100, xrand.New(7))
+	if len(in.Components) != 12 || in.NumNodes != 4 {
+		t.Fatal("dimensions wrong")
+	}
+	for _, c := range in.Components {
+		if c.Node < 0 || c.Node >= 4 {
+			t.Fatal("bad node assignment")
+		}
+	}
+	for _, w := range in.NodeSamples {
+		if len(w) != 5 {
+			t.Fatal("window length wrong")
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package experiments contains the drivers that regenerate every figure of
+// the paper's evaluation (§VI): Fig. 5 (prediction accuracy), Fig. 6
+// (service performance under six techniques and six arrival rates) and
+// Fig. 7 (scheduling scalability). The cmd/ tools and the benchmark
+// harness are thin wrappers around these drivers; EXPERIMENTS.md records
+// their outputs against the paper's numbers.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/cluster"
+	"repro/internal/predictor"
+	"repro/internal/profiling"
+	"repro/internal/service"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// Fig5Config parameterises the prediction-accuracy experiment (§VI-B): one
+// searching component co-located with a single batch job of a given kind
+// and input size; the model is trained on historical profiling runs and
+// must predict the component's service time for each co-location.
+type Fig5Config struct {
+	Seed int64
+	// HadoopSizes is the number of Hadoop input sizes (paper: 20, from
+	// 50 MB to 4 GB).
+	HadoopSizes int
+	// SparkSizes is the number of Spark input sizes (paper: 10, from
+	// 200 MB to 7 GB).
+	SparkSizes int
+	// Probes is the number of probe requests averaged per measurement.
+	Probes int
+	// TrainRepeats is the number of historical samples per co-location
+	// configuration used for training.
+	TrainRepeats int
+	// MonitorNoiseSigma is the monitor's relative measurement noise.
+	MonitorNoiseSigma float64
+	// Degree is the regression degree (default 2).
+	Degree int
+}
+
+func (c Fig5Config) withDefaults() Fig5Config {
+	if c.HadoopSizes <= 0 {
+		c.HadoopSizes = 20
+	}
+	if c.SparkSizes <= 0 {
+		c.SparkSizes = 10
+	}
+	if c.Probes <= 0 {
+		c.Probes = 100
+	}
+	if c.TrainRepeats <= 0 {
+		c.TrainRepeats = 2
+	}
+	if c.MonitorNoiseSigma <= 0 {
+		c.MonitorNoiseSigma = 0.12
+	}
+	if c.Degree <= 0 {
+		c.Degree = 2
+	}
+	return c
+}
+
+// Fig5Case is one evaluation case: one batch workload at one input size.
+type Fig5Case struct {
+	Kind        workload.JobKind
+	InputMB     float64
+	MeasuredMs  float64
+	PredictedMs float64
+	ErrPct      float64
+}
+
+// Fig5Result aggregates the experiment.
+type Fig5Result struct {
+	Cases []Fig5Case
+	// MeanErrPct is the average prediction error (paper: 2.68 %).
+	MeanErrPct float64
+	// FracBelow3/5/8 are the fractions of cases with error below 3 %, 5 %
+	// and 8 % (paper: 63.33 %, 82.22 %, 96.67 %).
+	FracBelow3, FracBelow5, FracBelow8 float64
+	// PerResourceWeight reports the trained relevance weights w_sr of the
+	// searching component's model, for inspection.
+	PerResourceWeight [cluster.NumResources]float64
+}
+
+// RunFig5 executes the prediction-accuracy experiment.
+func RunFig5(cfg Fig5Config) (Fig5Result, error) {
+	c := cfg.withDefaults()
+	src := xrand.New(c.Seed ^ 0xf165)
+	capacity := cluster.DefaultCapacity()
+	law := service.DefaultLaw(capacity)
+	searchSpec := service.NutchTopology(0).Stages[1] // the searching component
+
+	hadoopKinds := []workload.JobKind{workload.HadoopBayes, workload.HadoopWordCount, workload.HadoopPageIndex}
+	sparkKinds := []workload.JobKind{workload.SparkBayes, workload.SparkWordCount, workload.SparkSort}
+	hadoopSizes := workload.LinearSizes(c.HadoopSizes, 50, 4096)
+	sparkSizes := workload.LinearSizes(c.SparkSizes, 200, 7168)
+
+	type testCase struct {
+		kind workload.JobKind
+		size float64
+	}
+	var cases []testCase
+	for _, k := range hadoopKinds {
+		for _, s := range hadoopSizes {
+			cases = append(cases, testCase{k, s})
+		}
+	}
+	for _, k := range sparkKinds {
+		for _, s := range sparkSizes {
+			cases = append(cases, testCase{k, s})
+		}
+	}
+
+	// Training: one model per batch-workload kind, from historical
+	// profiling runs of that kind across its input-size sweep (the paper
+	// trains "based on the historical running information" of each tested
+	// co-location), with per-run demand jitter so train and test
+	// observations differ.
+	trainSrc := src.Fork()
+	models := make(map[workload.JobKind]*predictor.ServiceTimeModel)
+	sizesFor := func(k workload.JobKind) []float64 {
+		if k.IsHadoop() {
+			return hadoopSizes
+		}
+		return sparkSizes
+	}
+	for _, k := range append(append([]workload.JobKind(nil), hadoopKinds...), sparkKinds...) {
+		var backgrounds []cluster.Vector
+		for _, size := range sizesFor(k) {
+			for r := 0; r < c.TrainRepeats; r++ {
+				jitter := trainSrc.LogNormalMean(1, 0.12)
+				backgrounds = append(backgrounds, workload.Demand(k, size).Scale(jitter))
+			}
+		}
+		samples := profiling.ProfileBackgrounds(law, searchSpec.BaseServiceTime, backgrounds, profiling.Config{
+			Probes:            c.Probes,
+			MonitorNoiseSigma: c.MonitorNoiseSigma,
+			Degree:            c.Degree,
+		}, trainSrc)
+		m, err := predictor.Train(samples, c.Degree)
+		if err != nil {
+			return Fig5Result{}, fmt.Errorf("experiments: training fig5 model for %s: %w", k, err)
+		}
+		models[k] = m
+	}
+
+	// Test: measure each co-location fresh and compare to the model's
+	// prediction from the (noisily) monitored contention vector.
+	testSrc := src.Fork()
+	res := Fig5Result{PerResourceWeight: models[workload.HadoopWordCount].Weights}
+	var errSum float64
+	var below3, below5, below8 int
+	for _, tc := range cases {
+		bg := workload.Demand(tc.kind, tc.size)
+		measured := profiling.MeasureServiceTime(law, searchSpec.BaseServiceTime, bg, c.Probes, testSrc)
+		u := bg.Clamp(law.Capacity)
+		for r := 0; r < cluster.NumResources; r++ {
+			u[r] *= testSrc.LogNormalMean(1, c.MonitorNoiseSigma)
+		}
+		predicted := models[tc.kind].Predict(u)
+		errPct := 100 * abs(predicted-measured) / measured
+		res.Cases = append(res.Cases, Fig5Case{
+			Kind:        tc.kind,
+			InputMB:     tc.size,
+			MeasuredMs:  measured * 1000,
+			PredictedMs: predicted * 1000,
+			ErrPct:      errPct,
+		})
+		errSum += errPct
+		if errPct < 3 {
+			below3++
+		}
+		if errPct < 5 {
+			below5++
+		}
+		if errPct < 8 {
+			below8++
+		}
+	}
+	n := float64(len(res.Cases))
+	res.MeanErrPct = errSum / n
+	res.FracBelow3 = float64(below3) / n
+	res.FracBelow5 = float64(below5) / n
+	res.FracBelow8 = float64(below8) / n
+	return res, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// WriteTable renders the per-case errors and the summary bands in the
+// layout of the paper's Fig. 5 discussion.
+func (r Fig5Result) WriteTable(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tinput(MB)\tmeasured(ms)\tpredicted(ms)\terror(%)")
+	cases := append([]Fig5Case(nil), r.Cases...)
+	sort.SliceStable(cases, func(i, j int) bool {
+		if cases[i].Kind != cases[j].Kind {
+			return cases[i].Kind < cases[j].Kind
+		}
+		return cases[i].InputMB < cases[j].InputMB
+	})
+	for _, c := range cases {
+		fmt.Fprintf(tw, "%s\t%.0f\t%.4f\t%.4f\t%.2f\n",
+			c.Kind, c.InputMB, c.MeasuredMs, c.PredictedMs, c.ErrPct)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "\ncases: %d\n", len(r.Cases))
+	fmt.Fprintf(w, "error < 3%%: %.2f%% of cases (paper: 63.33%%)\n", 100*r.FracBelow3)
+	fmt.Fprintf(w, "error < 5%%: %.2f%% of cases (paper: 82.22%%)\n", 100*r.FracBelow5)
+	fmt.Fprintf(w, "error < 8%%: %.2f%% of cases (paper: 96.67%%)\n", 100*r.FracBelow8)
+	fmt.Fprintf(w, "average error: %.2f%% (paper: 2.68%%)\n", r.MeanErrPct)
+}

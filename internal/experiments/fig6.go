@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/pcs"
+)
+
+// Fig6Config parameterises the service-performance comparison (§VI-C /
+// Fig. 6): all six techniques across the paper's six arrival rates.
+type Fig6Config struct {
+	Seed int64
+	// Rates are the arrival rates λ in requests/second (paper: 10, 20, 50,
+	// 100, 200, 500).
+	Rates []float64
+	// Techniques to compare; nil means all six.
+	Techniques []pcs.Technique
+	// Requests per run; the run's virtual duration is Requests/λ.
+	Requests int
+	// Nodes and SearchComponents size the deployment (paper: 30 nodes, 100
+	// searching components).
+	Nodes, SearchComponents int
+}
+
+func (c Fig6Config) withDefaults() Fig6Config {
+	if len(c.Rates) == 0 {
+		c.Rates = []float64{10, 20, 50, 100, 200, 500}
+	}
+	if len(c.Techniques) == 0 {
+		c.Techniques = pcs.Techniques()
+	}
+	if c.Requests <= 0 {
+		c.Requests = 20000
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 30
+	}
+	if c.SearchComponents <= 0 {
+		c.SearchComponents = 100
+	}
+	return c
+}
+
+// Fig6Cell is one (technique, rate) measurement.
+type Fig6Cell struct {
+	Technique string
+	Rate      float64
+	Result    pcs.Result
+}
+
+// Fig6Result holds the full sweep plus the paper's headline aggregates.
+type Fig6Result struct {
+	Cells []Fig6Cell
+	// P99ReductionPct is PCS's average reduction in 99th-percentile
+	// component latency versus the four redundancy/reissue techniques
+	// across all rates (paper: 67.05 %).
+	P99ReductionPct float64
+	// OverallReductionPct is the same for average overall latency
+	// (paper: 64.16 %).
+	OverallReductionPct float64
+}
+
+// Cell returns the measurement for a technique at a rate, or nil.
+func (r Fig6Result) Cell(technique string, rate float64) *Fig6Cell {
+	for i := range r.Cells {
+		if r.Cells[i].Technique == technique && r.Cells[i].Rate == rate {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// RunFig6 executes the sweep. Runs are independent and deterministic given
+// the seed; each (technique, rate) cell uses its own derived seed so adding
+// techniques does not perturb other cells.
+func RunFig6(cfg Fig6Config) (Fig6Result, error) {
+	c := cfg.withDefaults()
+	var out Fig6Result
+	for _, rate := range c.Rates {
+		// Every run lasts at least 90 virtual seconds so PCS sees a
+		// meaningful number of scheduling intervals even at low rates.
+		requests := c.Requests
+		if min := int(90 * rate); requests < min {
+			requests = min
+		}
+		for _, tech := range c.Techniques {
+			res, err := pcs.Run(pcs.Options{
+				Technique:        tech,
+				Seed:             c.Seed ^ int64(rate)<<16 ^ int64(tech)<<8,
+				Nodes:            c.Nodes,
+				SearchComponents: c.SearchComponents,
+				ArrivalRate:      rate,
+				Requests:         requests,
+			})
+			if err != nil {
+				return out, fmt.Errorf("experiments: fig6 %s at λ=%.0f: %w", tech, rate, err)
+			}
+			out.Cells = append(out.Cells, Fig6Cell{Technique: tech.String(), Rate: rate, Result: res})
+		}
+	}
+	out.P99ReductionPct, out.OverallReductionPct = headlineReductions(out, c.Rates)
+	return out, nil
+}
+
+// headlineReductions computes the paper's headline aggregates: PCS's
+// average reduction versus the redundancy and reissue techniques, averaged
+// over arrival rates.
+func headlineReductions(r Fig6Result, rates []float64) (p99, overall float64) {
+	baselines := []string{"RED-3", "RED-5", "RI-90", "RI-99"}
+	var p99Sum, overallSum float64
+	var n int
+	for _, rate := range rates {
+		pcsCell := r.Cell("PCS", rate)
+		if pcsCell == nil {
+			continue
+		}
+		for _, b := range baselines {
+			bc := r.Cell(b, rate)
+			if bc == nil || bc.Result.P99ComponentMs <= 0 || bc.Result.AvgOverallMs <= 0 {
+				continue
+			}
+			p99Sum += 100 * (1 - pcsCell.Result.P99ComponentMs/bc.Result.P99ComponentMs)
+			overallSum += 100 * (1 - pcsCell.Result.AvgOverallMs/bc.Result.AvgOverallMs)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return p99Sum / float64(n), overallSum / float64(n)
+}
+
+// WriteTable renders the sweep as two tables (average overall latency and
+// p99 component latency), one row per technique, one column per rate —
+// the shape of the paper's Fig. 6.
+func (r Fig6Result) WriteTable(w io.Writer, cfg Fig6Config) {
+	c := cfg.withDefaults()
+	writeOne := func(title string, pick func(pcs.Result) float64) {
+		fmt.Fprintf(w, "%s (ms)\n", title)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprint(tw, "technique")
+		for _, rate := range c.Rates {
+			fmt.Fprintf(tw, "\tλ=%.0f", rate)
+		}
+		fmt.Fprintln(tw)
+		for _, tech := range c.Techniques {
+			fmt.Fprint(tw, tech.String())
+			for _, rate := range c.Rates {
+				cell := r.Cell(tech.String(), rate)
+				if cell == nil {
+					fmt.Fprint(tw, "\t-")
+					continue
+				}
+				fmt.Fprintf(tw, "\t%.2f", pick(cell.Result))
+			}
+			fmt.Fprintln(tw)
+		}
+		tw.Flush()
+		fmt.Fprintln(w)
+	}
+	writeOne("Average overall service latency", func(res pcs.Result) float64 { return res.AvgOverallMs })
+	writeOne("99th-percentile component latency", func(res pcs.Result) float64 { return res.P99ComponentMs })
+	fmt.Fprintf(w, "PCS reduction vs redundancy/reissue: p99 component %.2f%% (paper: 67.05%%), avg overall %.2f%% (paper: 64.16%%)\n",
+		r.P99ReductionPct, r.OverallReductionPct)
+}

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/cluster"
+	"repro/internal/predictor"
+	"repro/internal/profiling"
+	"repro/internal/scheduler"
+	"repro/internal/service"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// Fig7Config parameterises the scheduling-scalability measurement (§VI-D /
+// Fig. 7): wall-clock time to build the performance matrix ("analysis")
+// and run the greedy search, for growing numbers of components and nodes.
+type Fig7Config struct {
+	Seed int64
+	// Points are the (m, k) sizes to measure; nil selects the paper's
+	// ladder up to m=640 components on k=128 nodes.
+	Points []Fig7Point
+	// Window is the monitor window length per node.
+	Window int
+	// Lambda is the assumed arrival rate.
+	Lambda float64
+	// Epsilon is the migration threshold in seconds.
+	Epsilon float64
+	// Repeats averages the timing over this many runs (default 3).
+	Repeats int
+}
+
+// Fig7Point is one measurement: sizes in, times out.
+type Fig7Point struct {
+	M, K int
+	// AnalysisMs is the matrix-construction time, SearchMs the greedy
+	// search (both averaged over Repeats), TotalMs their sum.
+	AnalysisMs, SearchMs, TotalMs float64
+	Migrations                    int
+}
+
+func (c Fig7Config) withDefaults() Fig7Config {
+	if len(c.Points) == 0 {
+		c.Points = []Fig7Point{
+			{M: 40, K: 8}, {M: 80, K: 16}, {M: 160, K: 32},
+			{M: 320, K: 64}, {M: 640, K: 128},
+		}
+	}
+	if c.Window <= 0 {
+		c.Window = 10
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = 100
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = 0.005
+	}
+	if c.Repeats <= 0 {
+		c.Repeats = 3
+	}
+	return c
+}
+
+// SyntheticMatrixInput builds a randomised but deterministic MatrixInput of
+// the given size: m components (92 % searching-like, flanked by small
+// first/last stages, mirroring the Nutch shape), k nodes with random batch
+// mixes in their sample windows, and a model trained from a short
+// profiling pass.
+func SyntheticMatrixInput(m, k, window int, lambda float64, src *xrand.Source) predictor.MatrixInput {
+	capacity := cluster.DefaultCapacity()
+	law := service.DefaultLaw(capacity)
+	topo := service.NutchTopology(0)
+
+	// One model per stage from a compact profiling pass.
+	backgrounds := workload.TrainingMixes(src.Fork(), 60, 3, 1, 8192)
+	models := make([]*predictor.ServiceTimeModel, len(topo.Stages))
+	for i, spec := range topo.Stages {
+		samples := profiling.ProfileBackgrounds(law, spec.BaseServiceTime, backgrounds,
+			profiling.Config{Probes: 100}, src.Fork())
+		model, err := predictor.Train(samples, 2)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: synthetic model training failed: %v", err))
+		}
+		models[i] = model
+	}
+
+	// Stage membership: first and last stages take ~4 % each, the middle
+	// stage the rest.
+	edge := m / 25
+	if edge < 1 {
+		edge = 1
+	}
+	comps := make([]predictor.ComponentState, m)
+	for i := range comps {
+		stage := 1
+		if i < edge {
+			stage = 0
+		} else if i >= m-edge {
+			stage = 2
+		}
+		comps[i] = predictor.ComponentState{
+			Stage:  stage,
+			Node:   src.Intn(k),
+			Demand: topo.Stages[stage].Demand,
+		}
+	}
+
+	// Per-node windows: a random batch mix drifting over the window.
+	nodeSamples := make([][]cluster.Vector, k)
+	for n := 0; n < k; n++ {
+		base := workload.TrainingMixes(src.Fork(), 1, 3, 1, 8192)[0]
+		win := make([]cluster.Vector, window)
+		for w := range win {
+			v := base
+			for r := 0; r < cluster.NumResources; r++ {
+				v[r] *= src.LogNormalMean(1, 0.05)
+			}
+			win[w] = v
+		}
+		nodeSamples[n] = win
+	}
+	// Components contribute their demand to their node's samples, as a
+	// real monitor would observe.
+	for _, cstate := range comps {
+		for w := range nodeSamples[cstate.Node] {
+			nodeSamples[cstate.Node][w] = nodeSamples[cstate.Node][w].Add(cstate.Demand)
+		}
+	}
+
+	return predictor.MatrixInput{
+		Components:  comps,
+		NumStages:   len(topo.Stages),
+		NumNodes:    k,
+		NodeSamples: nodeSamples,
+		Lambda:      lambda,
+		Models:      models,
+		Queue:       predictor.MG1,
+		Params:      predictor.DefaultLatencyParams(),
+	}
+}
+
+// RunFig7 measures analysis and search times across the configured sizes.
+func RunFig7(cfg Fig7Config) ([]Fig7Point, error) {
+	c := cfg.withDefaults()
+	src := xrand.New(c.Seed ^ 0xf167)
+	out := make([]Fig7Point, 0, len(c.Points))
+	for _, p := range c.Points {
+		var analysisMs, searchMs float64
+		migrations := 0
+		for rep := 0; rep < c.Repeats; rep++ {
+			in := SyntheticMatrixInput(p.M, p.K, c.Window, c.Lambda, src.Fork())
+			res, _, err := scheduler.BuildAndSchedule(in, scheduler.Config{Epsilon: c.Epsilon})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig7 m=%d k=%d: %w", p.M, p.K, err)
+			}
+			analysisMs += float64(res.AnalysisTime.Microseconds()) / 1000
+			searchMs += float64(res.SearchTime.Microseconds()) / 1000
+			migrations += len(res.Decisions)
+		}
+		n := float64(c.Repeats)
+		pt := Fig7Point{
+			M: p.M, K: p.K,
+			AnalysisMs: analysisMs / n,
+			SearchMs:   searchMs / n,
+			Migrations: migrations / c.Repeats,
+		}
+		pt.TotalMs = pt.AnalysisMs + pt.SearchMs
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// WriteFig7Table renders the scalability ladder; the paper's reference
+// point is 551 ms total at m=640, k=128.
+func WriteFig7Table(w io.Writer, points []Fig7Point) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "components(m)\tnodes(k)\tanalysis(ms)\tsearch(ms)\ttotal(ms)\tmigrations")
+	for _, p := range points {
+		fmt.Fprintf(tw, "%d\t%d\t%.2f\t%.2f\t%.2f\t%d\n",
+			p.M, p.K, p.AnalysisMs, p.SearchMs, p.TotalMs, p.Migrations)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "\npaper reference: 551 ms total at m=640, k=128 (scheduling interval 600 s)")
+}

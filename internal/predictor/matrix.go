@@ -1,0 +1,380 @@
+package predictor
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/stats"
+)
+
+// ComponentState is the predictor's view of one component: its stage (which
+// selects the trained service-time model), its current node, and its own
+// resource demand U_ci (Table III's migration quantum).
+type ComponentState struct {
+	Stage  int
+	Node   int
+	Demand cluster.Vector
+}
+
+// MatrixInput carries everything needed to build the performance matrix at
+// a scheduling interval: the monitored per-node contention windows, the
+// monitored arrival rate, and the trained per-stage models.
+type MatrixInput struct {
+	Components []ComponentState
+	NumStages  int
+	NumNodes   int
+	// NodeSamples[n] is the monitor's window of contention samples for
+	// node n; each sample includes the demand of every program currently
+	// hosted there (components and batch jobs alike).
+	NodeSamples [][]cluster.Vector
+	// Lambda is the monitored request arrival rate (every component of a
+	// fan-out service sees the full rate).
+	Lambda float64
+	// Models holds the trained service-time model per stage.
+	Models []*ServiceTimeModel
+	Queue  QueueModel
+	Params LatencyParams
+}
+
+func (in *MatrixInput) validate() error {
+	if len(in.Components) == 0 {
+		return fmt.Errorf("predictor: no components")
+	}
+	if in.NumNodes <= 0 || len(in.NodeSamples) != in.NumNodes {
+		return fmt.Errorf("predictor: node samples (%d) must cover all %d nodes",
+			len(in.NodeSamples), in.NumNodes)
+	}
+	if len(in.Models) < in.NumStages {
+		return fmt.Errorf("predictor: %d models for %d stages", len(in.Models), in.NumStages)
+	}
+	for i, c := range in.Components {
+		if c.Stage < 0 || c.Stage >= in.NumStages {
+			return fmt.Errorf("predictor: component %d has stage %d outside [0,%d)", i, c.Stage, in.NumStages)
+		}
+		if c.Node < 0 || c.Node >= in.NumNodes {
+			return fmt.Errorf("predictor: component %d on node %d outside [0,%d)", i, c.Node, in.NumNodes)
+		}
+		if in.Models[c.Stage] == nil {
+			return fmt.Errorf("predictor: no model for stage %d", c.Stage)
+		}
+	}
+	return nil
+}
+
+// Matrix is the m×k performance matrix L of §IV-C. Entry L[i][j] is the
+// predicted reduction in overall service latency if component ci migrates
+// from its current node to node nj (Eq. 5); SelfGain[i][j] is the reduction
+// in ci's own latency, used for Algorithm 1's tie-break.
+//
+// The matrix tracks a virtual allocation: Migrate commits a migration
+// within the scheduling round and incrementally updates the affected
+// entries per Algorithm 2, without waiting for the physical migration.
+type Matrix struct {
+	in MatrixInput
+
+	alloc     []int        // virtual allocation A[m]
+	delta     [][4]float64 // per-node signed demand adjustment from virtual moves
+	nodeComps [][]int      // node -> component indices under alloc
+	cur       []float64    // current predicted latency per component
+	stageLat  []float64    // Eq. 3 per stage
+	overall   float64      // Eq. 4
+	stageOf   [][]int      // stage -> member component indices
+	removed   []bool       // rows frozen after their component migrated
+
+	// L and SelfGain are exposed read-only to the scheduler.
+	L        [][]float64
+	SelfGain [][]float64
+
+	// scratch space for entry evaluation
+	overrideIdx []int
+	overrideVal []float64
+	overrideSet []int // epoch marker per component
+	epoch       int
+}
+
+// BuildMatrix constructs the matrix: current latencies for every component
+// (Eq. 1→2), stage and overall latencies (Eq. 3–4), then every entry
+// L[i][j] via the Table III contention updates.
+func BuildMatrix(in MatrixInput) (*Matrix, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	m := len(in.Components)
+	k := in.NumNodes
+	mat := &Matrix{
+		in:          in,
+		alloc:       make([]int, m),
+		delta:       make([][4]float64, k),
+		nodeComps:   make([][]int, k),
+		cur:         make([]float64, m),
+		stageLat:    make([]float64, in.NumStages),
+		stageOf:     make([][]int, in.NumStages),
+		removed:     make([]bool, m),
+		L:           make([][]float64, m),
+		SelfGain:    make([][]float64, m),
+		overrideIdx: make([]int, 0, 64),
+		overrideVal: make([]float64, m),
+		overrideSet: make([]int, m),
+	}
+	for i, c := range in.Components {
+		mat.alloc[i] = c.Node
+		mat.nodeComps[c.Node] = append(mat.nodeComps[c.Node], i)
+		mat.stageOf[c.Stage] = append(mat.stageOf[c.Stage], i)
+	}
+	for i := range in.Components {
+		mat.cur[i] = mat.latencyOn(i, mat.alloc[i], negv(in.Components[i].Demand))
+	}
+	mat.refreshStageLatencies()
+
+	for i := 0; i < m; i++ {
+		mat.L[i] = make([]float64, k)
+		mat.SelfGain[i] = make([]float64, k)
+		for j := 0; j < k; j++ {
+			mat.computeEntry(i, j)
+		}
+	}
+	return mat, nil
+}
+
+// --- small signed-vector helpers (cluster.Vector clamps on Sub, which is
+// right for node accounting but wrong for the matrix's signed deltas) ---
+
+type vec4 = [4]float64
+
+func negv(v cluster.Vector) vec4 {
+	return vec4{-v[0], -v[1], -v[2], -v[3]}
+}
+
+func addv(a vec4, v cluster.Vector, sign float64) vec4 {
+	for i := 0; i < 4; i++ {
+		a[i] += sign * v[i]
+	}
+	return a
+}
+
+// latencyOn predicts component i's expected latency if its background were
+// node `node`'s sample window shifted by the virtual delta plus `adj`
+// (signed). Each shifted sample is clamped at zero before entering the
+// regression, mirroring that real contention metrics are non-negative.
+func (mat *Matrix) latencyOn(i, node int, adj vec4) float64 {
+	cs := mat.in.Components[i]
+	model := mat.in.Models[cs.Stage]
+	samples := mat.in.NodeSamples[node]
+	d := mat.delta[node]
+	var w stats.Welford
+	for _, s := range samples {
+		var bg cluster.Vector
+		for r := 0; r < cluster.NumResources; r++ {
+			x := s[r] + d[r] + adj[r]
+			if x < 0 {
+				x = 0
+			}
+			bg[r] = x
+		}
+		w.Add(model.Predict(bg))
+	}
+	var meanX, varX float64
+	if w.N() == 0 {
+		meanX, varX = model.FallbackMean, 0
+	} else {
+		meanX, varX = w.Mean(), w.Variance()
+	}
+	return ExpectedLatency(mat.in.Queue, meanX, varX, mat.in.Lambda, mat.in.Params)
+}
+
+// refreshStageLatencies recomputes Eq. 3 per stage and Eq. 4 overall from
+// the cached per-component latencies.
+func (mat *Matrix) refreshStageLatencies() {
+	for s, members := range mat.stageOf {
+		max := 0.0
+		for _, i := range members {
+			if mat.cur[i] > max {
+				max = mat.cur[i]
+			}
+		}
+		mat.stageLat[s] = max
+	}
+	mat.overall = OverallLatency(mat.stageLat)
+}
+
+// computeEntry fills L[i][j] and SelfGain[i][j]: the hypothetical world
+// where ci sits on nj, with the Table III contention updates applied to
+// every component on ci's origin and destination nodes.
+func (mat *Matrix) computeEntry(i, j int) {
+	a := mat.alloc[i]
+	if j == a {
+		mat.L[i][j] = 0
+		mat.SelfGain[i][j] = 0
+		return
+	}
+	di := mat.in.Components[i].Demand
+	mat.epoch++
+	mat.overrideIdx = mat.overrideIdx[:0]
+
+	// ci itself: U' = U_nj (Table III row 1).
+	li := mat.latencyOn(i, j, vec4{})
+	mat.setOverride(i, li)
+
+	// Components remaining on the origin node: U' = U − U_ci.
+	for _, h := range mat.nodeComps[a] {
+		if h == i {
+			continue
+		}
+		adj := negv(mat.in.Components[h].Demand)
+		adj = addv(adj, di, -1)
+		mat.setOverride(h, mat.latencyOn(h, a, adj))
+	}
+	// Components already on the destination node: U' = U + U_ci.
+	for _, h := range mat.nodeComps[j] {
+		adj := negv(mat.in.Components[h].Demand)
+		adj = addv(adj, di, +1)
+		mat.setOverride(h, mat.latencyOn(h, j, adj))
+	}
+
+	// Eq. 3–4 with overrides; only stages containing changed components
+	// can change.
+	overall := 0.0
+	for s, members := range mat.stageOf {
+		affected := false
+		for _, h := range mat.overrideIdx {
+			if mat.in.Components[h].Stage == s {
+				affected = true
+				break
+			}
+		}
+		if !affected {
+			overall += mat.stageLat[s]
+			continue
+		}
+		max := 0.0
+		for _, h := range members {
+			v := mat.cur[h]
+			if mat.overrideSet[h] == mat.epoch {
+				v = mat.overrideVal[h]
+			}
+			if v > max {
+				max = v
+			}
+		}
+		overall += max
+	}
+
+	mat.L[i][j] = mat.overall - overall // Eq. 5
+	mat.SelfGain[i][j] = mat.cur[i] - li
+}
+
+func (mat *Matrix) setOverride(h int, v float64) {
+	if mat.overrideSet[h] != mat.epoch {
+		mat.overrideIdx = append(mat.overrideIdx, h)
+		mat.overrideSet[h] = mat.epoch
+	}
+	mat.overrideVal[h] = v
+}
+
+// NumComponents returns m.
+func (mat *Matrix) NumComponents() int { return len(mat.in.Components) }
+
+// NumNodes returns k.
+func (mat *Matrix) NumNodes() int { return mat.in.NumNodes }
+
+// Allocation returns the current virtual allocation (A[m]). Callers must
+// not mutate it.
+func (mat *Matrix) Allocation() []int { return mat.alloc }
+
+// Removed reports whether component i has already migrated this round.
+func (mat *Matrix) Removed(i int) bool { return mat.removed[i] }
+
+// CurrentOverall returns the predicted overall service latency under the
+// current virtual allocation.
+func (mat *Matrix) CurrentOverall() float64 { return mat.overall }
+
+// ComponentLatency returns the predicted latency of component i under the
+// current virtual allocation.
+func (mat *Matrix) ComponentLatency(i int) float64 { return mat.cur[i] }
+
+// Best scans the matrix for the entry with the largest predicted overall
+// reduction among non-removed components (Algorithm 1 line 6), breaking
+// ties by the migrated component's own latency reduction (line 7). ok is
+// false when no candidate rows remain.
+func (mat *Matrix) Best() (comp, node int, gain float64, ok bool) {
+	const tie = 1e-12
+	comp, node = -1, -1
+	for i := range mat.L {
+		if mat.removed[i] {
+			continue
+		}
+		for j := range mat.L[i] {
+			if j == mat.alloc[i] {
+				continue
+			}
+			v := mat.L[i][j]
+			switch {
+			case comp == -1 || v > gain+tie:
+				comp, node, gain = i, j, v
+			case v > gain-tie && mat.SelfGain[i][j] > mat.SelfGain[comp][node]:
+				comp, node, gain = i, j, v
+			}
+		}
+	}
+	return comp, node, gain, comp >= 0
+}
+
+// Migrate commits ci → nj in the virtual allocation, removes ci from the
+// candidate set, and applies Algorithm 2's incremental update: the origin
+// and destination columns are recomputed for every remaining row, and the
+// full rows of remaining components hosted on either node are recomputed.
+func (mat *Matrix) Migrate(i, j int) {
+	a := mat.alloc[i]
+	if a == j {
+		mat.removed[i] = true
+		return
+	}
+	di := mat.in.Components[i].Demand
+
+	// Commit the virtual move.
+	mat.alloc[i] = j
+	mat.nodeComps[a] = removeInt(mat.nodeComps[a], i)
+	mat.nodeComps[j] = append(mat.nodeComps[j], i)
+	mat.delta[a] = addv(mat.delta[a], di, -1)
+	mat.delta[j] = addv(mat.delta[j], di, +1)
+	mat.removed[i] = true
+
+	// Refresh the cached current latencies of everything on the two
+	// touched nodes (including the migrated component), then Eq. 3–4.
+	for _, n := range [2]int{a, j} {
+		for _, h := range mat.nodeComps[n] {
+			mat.cur[h] = mat.latencyOn(h, n, negv(mat.in.Components[h].Demand))
+		}
+	}
+	mat.refreshStageLatencies()
+
+	// Algorithm 2 line 1–5: origin and destination columns for all rows.
+	for h := range mat.L {
+		if mat.removed[h] {
+			continue
+		}
+		mat.computeEntry(h, a)
+		mat.computeEntry(h, j)
+	}
+	// Algorithm 2 line 7–10: full rows of candidates on the touched nodes.
+	for _, n := range [2]int{a, j} {
+		for _, h := range mat.nodeComps[n] {
+			if mat.removed[h] {
+				continue
+			}
+			for v := 0; v < mat.in.NumNodes; v++ {
+				mat.computeEntry(h, v)
+			}
+		}
+	}
+}
+
+func removeInt(s []int, x int) []int {
+	for i, v := range s {
+		if v == x {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}

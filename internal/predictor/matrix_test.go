@@ -1,0 +1,344 @@
+package predictor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/xrand"
+)
+
+// testMatrixInput builds a small deterministic MatrixInput: m components
+// over k nodes with a trained linear model and window samples that include
+// the components' own demands (as a monitor would observe).
+func testMatrixInput(t *testing.T, m, k int, lambda float64, seed int64) MatrixInput {
+	t.Helper()
+	src := xrand.New(seed)
+	model, err := Train(syntheticSamples(200, 0.01, seed), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand := cluster.Vector{0.9, 6, 8, 6}
+	comps := make([]ComponentState, m)
+	for i := range comps {
+		stage := 1
+		if i == 0 {
+			stage = 0
+		} else if i == m-1 {
+			stage = 2
+		}
+		comps[i] = ComponentState{Stage: stage, Node: src.Intn(k), Demand: demand}
+	}
+	cap := cluster.DefaultCapacity()
+	nodeSamples := make([][]cluster.Vector, k)
+	for n := 0; n < k; n++ {
+		base := cap.Scale(0.1 + 0.6*src.Float64())
+		win := make([]cluster.Vector, 6)
+		for w := range win {
+			v := base
+			for r := 0; r < cluster.NumResources; r++ {
+				v[r] *= src.LogNormalMean(1, 0.03)
+			}
+			win[w] = v
+		}
+		nodeSamples[n] = win
+	}
+	for _, c := range comps {
+		for w := range nodeSamples[c.Node] {
+			nodeSamples[c.Node][w] = nodeSamples[c.Node][w].Add(c.Demand)
+		}
+	}
+	return MatrixInput{
+		Components:  comps,
+		NumStages:   3,
+		NumNodes:    k,
+		NodeSamples: nodeSamples,
+		Lambda:      lambda,
+		Models:      []*ServiceTimeModel{model, model, model},
+		Queue:       MG1,
+		Params:      DefaultLatencyParams(),
+	}
+}
+
+func TestBuildMatrixValidation(t *testing.T) {
+	in := testMatrixInput(t, 4, 3, 50, 1)
+
+	bad := in
+	bad.Components = nil
+	if _, err := BuildMatrix(bad); err == nil {
+		t.Error("empty components accepted")
+	}
+
+	bad = in
+	bad.NodeSamples = bad.NodeSamples[:1]
+	if _, err := BuildMatrix(bad); err == nil {
+		t.Error("short node samples accepted")
+	}
+
+	bad = in
+	bad.Components = append([]ComponentState(nil), in.Components...)
+	bad.Components[0].Node = 99
+	if _, err := BuildMatrix(bad); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+
+	bad = in
+	bad.Components = append([]ComponentState(nil), in.Components...)
+	bad.Components[0].Stage = -1
+	if _, err := BuildMatrix(bad); err == nil {
+		t.Error("negative stage accepted")
+	}
+
+	bad = in
+	bad.Models = []*ServiceTimeModel{nil, nil, nil}
+	if _, err := BuildMatrix(bad); err == nil {
+		t.Error("nil models accepted")
+	}
+}
+
+func TestMatrixDiagonalIsZero(t *testing.T) {
+	in := testMatrixInput(t, 6, 4, 50, 2)
+	mat, err := BuildMatrix(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range in.Components {
+		if mat.L[i][c.Node] != 0 {
+			t.Fatalf("L[%d][current node] = %v, want 0", i, mat.L[i][c.Node])
+		}
+	}
+}
+
+func TestMatrixEq5Consistency(t *testing.T) {
+	// L[i][j] must equal loverall − l'overall where l'overall is the
+	// overall latency of a fresh matrix built with ci moved to nj
+	// (Table III applied from scratch).
+	in := testMatrixInput(t, 5, 3, 80, 3)
+	mat, err := BuildMatrix(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := mat.CurrentOverall()
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 3; j++ {
+			if j == in.Components[i].Node {
+				continue
+			}
+			// Fresh world: move ci to nj. The node samples still reflect
+			// the ORIGINAL placement (they're monitor readings), so the
+			// fresh build must model the move the same way the entry
+			// does: via the delta mechanism. We emulate it by building
+			// the original matrix and committing the migration.
+			mat2, err := BuildMatrix(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mat2.Migrate(i, j)
+			after := mat2.CurrentOverall()
+			want := before - after
+			if math.Abs(mat.L[i][j]-want) > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("L[%d][%d] = %v, want %v (before=%v after=%v)",
+					i, j, mat.L[i][j], want, before, after)
+			}
+		}
+	}
+}
+
+func TestMatrixTableIIIDirections(t *testing.T) {
+	// Build a 2-node world: node 0 heavily contended, node 1 quiet. A
+	// component on node 0 must predict a positive self-gain when moved to
+	// node 1, and the move must increase the predicted latency of
+	// components already on node 1.
+	model, err := Train(syntheticSamples(200, 0.01, 4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand := cluster.Vector{0.9, 6, 8, 6}
+	cap := cluster.DefaultCapacity()
+	hot := cap.Scale(0.7).Add(demand)
+	cold := cap.Scale(0.05).Add(demand)
+	in := MatrixInput{
+		Components: []ComponentState{
+			{Stage: 0, Node: 0, Demand: demand},
+			{Stage: 0, Node: 1, Demand: demand},
+		},
+		NumStages:   1,
+		NumNodes:    2,
+		NodeSamples: [][]cluster.Vector{{hot, hot}, {cold, cold}},
+		Lambda:      50,
+		Models:      []*ServiceTimeModel{model},
+		Queue:       MG1,
+		Params:      DefaultLatencyParams(),
+	}
+	mat, err := BuildMatrix(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.SelfGain[0][1] <= 0 {
+		t.Fatalf("moving off the hot node should cut the component's own latency, self gain = %v",
+			mat.SelfGain[0][1])
+	}
+	// The component already on the cold node gets more contention after
+	// the move: its latency in the hypothetical world rises, which caps
+	// the overall gain below the mover's self gain.
+	if mat.L[0][1] > mat.SelfGain[0][1]+1e-12 {
+		t.Fatalf("overall gain %v exceeds self gain %v", mat.L[0][1], mat.SelfGain[0][1])
+	}
+	// And the reverse move (cold → hot) must look bad for the mover.
+	if mat.SelfGain[1][0] >= 0 {
+		t.Fatalf("moving onto the hot node should raise latency, self gain = %v", mat.SelfGain[1][0])
+	}
+}
+
+func TestMatrixMigrateUpdatesAllocation(t *testing.T) {
+	in := testMatrixInput(t, 4, 3, 50, 5)
+	mat, err := BuildMatrix(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	from := mat.Allocation()[2]
+	to := (from + 1) % 3
+	mat.Migrate(2, to)
+	if mat.Allocation()[2] != to {
+		t.Fatalf("allocation not updated: %v", mat.Allocation())
+	}
+	if !mat.Removed(2) {
+		t.Fatal("migrated component not removed from candidates")
+	}
+}
+
+func TestMatrixMigrateToSameNodeJustRemoves(t *testing.T) {
+	in := testMatrixInput(t, 4, 3, 50, 6)
+	mat, err := BuildMatrix(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := mat.Allocation()[1]
+	before := mat.CurrentOverall()
+	mat.Migrate(1, node)
+	if !mat.Removed(1) {
+		t.Fatal("component not removed")
+	}
+	if mat.CurrentOverall() != before {
+		t.Fatal("no-op migration changed predicted overall")
+	}
+}
+
+func TestMatrixIncrementalUpdateMatchesRebuild(t *testing.T) {
+	// After Migrate, the entries Algorithm 2 updates (origin/destination
+	// columns and rows of components on the touched nodes) must equal a
+	// from-scratch rebuild under the new virtual allocation.
+	in := testMatrixInput(t, 6, 4, 60, 7)
+	mat, err := BuildMatrix(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, j, _, ok := mat.Best()
+	if !ok {
+		t.Fatal("no best entry")
+	}
+	from := mat.Allocation()[i]
+	mat.Migrate(i, j)
+
+	// Rebuild from scratch with the same virtual move applied.
+	ref, err := BuildMatrix(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Migrate(i, j)
+
+	if math.Abs(mat.CurrentOverall()-ref.CurrentOverall()) > 1e-12 {
+		t.Fatalf("overall after migrate: incremental %v vs rebuild %v",
+			mat.CurrentOverall(), ref.CurrentOverall())
+	}
+	// Column entries for the touched nodes.
+	for h := 0; h < 6; h++ {
+		if mat.Removed(h) {
+			continue
+		}
+		for _, col := range []int{from, j} {
+			if math.Abs(mat.L[h][col]-ref.L[h][col]) > 1e-9 {
+				t.Fatalf("L[%d][%d]: incremental %v vs rebuild %v", h, col, mat.L[h][col], ref.L[h][col])
+			}
+		}
+	}
+	// Full rows of candidates on touched nodes.
+	for h := 0; h < 6; h++ {
+		if mat.Removed(h) {
+			continue
+		}
+		n := mat.Allocation()[h]
+		if n != from && n != j {
+			continue
+		}
+		for v := 0; v < 4; v++ {
+			if math.Abs(mat.L[h][v]-ref.L[h][v]) > 1e-9 {
+				t.Fatalf("row %d col %d: incremental %v vs rebuild %v", h, v, mat.L[h][v], ref.L[h][v])
+			}
+		}
+	}
+}
+
+func TestMatrixBestTieBreakUsesSelfGain(t *testing.T) {
+	in := testMatrixInput(t, 5, 3, 50, 8)
+	mat, err := BuildMatrix(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, j, gain, ok := mat.Best()
+	if !ok {
+		t.Fatal("no best")
+	}
+	// Everything tied with the winner must have self gain ≤ winner's.
+	for a := range mat.L {
+		if mat.Removed(a) {
+			continue
+		}
+		for b := range mat.L[a] {
+			if b == mat.Allocation()[a] {
+				continue
+			}
+			if math.Abs(mat.L[a][b]-gain) < 1e-12 && mat.SelfGain[a][b] > mat.SelfGain[i][j]+1e-12 {
+				t.Fatalf("tie (%d,%d) has larger self gain %v than winner %v",
+					a, b, mat.SelfGain[a][b], mat.SelfGain[i][j])
+			}
+		}
+	}
+}
+
+func TestMatrixBestExhaustsCandidates(t *testing.T) {
+	in := testMatrixInput(t, 4, 3, 50, 9)
+	mat, err := BuildMatrix(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 4; n++ {
+		i, j, _, ok := mat.Best()
+		if !ok {
+			t.Fatalf("Best failed with %d candidates left", 4-n)
+		}
+		mat.Migrate(i, j)
+	}
+	if _, _, _, ok := mat.Best(); ok {
+		t.Fatal("Best should report no candidates after all removed")
+	}
+}
+
+func TestMatrixComponentLatencyPositive(t *testing.T) {
+	in := testMatrixInput(t, 6, 4, 100, 10)
+	mat, err := BuildMatrix(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in.Components {
+		if l := mat.ComponentLatency(i); l <= 0 || math.IsNaN(l) {
+			t.Fatalf("component %d latency = %v", i, l)
+		}
+	}
+	if mat.CurrentOverall() <= 0 {
+		t.Fatalf("overall = %v", mat.CurrentOverall())
+	}
+	if mat.NumComponents() != 6 || mat.NumNodes() != 4 {
+		t.Fatal("dimensions wrong")
+	}
+}

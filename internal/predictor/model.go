@@ -1,0 +1,123 @@
+// Package predictor implements the paper's performance predictor (§IV):
+//
+//   - The basic model (§IV-A): one regression RG(Usr) per shared resource
+//     relating that resource's contention metric to the component's service
+//     time, combined into RGST(U) by relevance-weighted averaging (Eq. 1).
+//   - The extended model (§IV-B): M/G/1 expected latency per component
+//     (Eq. 2), stage latency as the max over parallel components (Eq. 3),
+//     and overall service latency as the sum over sequential stages (Eq. 4).
+//   - The performance matrix (§IV-C): L[i][j] = predicted reduction in
+//     overall latency if component ci migrates to node nj, using the
+//     contention-vector update rules of Table III and Eq. 5, with the
+//     incremental post-migration update of Algorithm 2.
+package predictor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/stats"
+)
+
+// Sample is one profiling observation: the contention vector a component
+// experienced and the mean service time measured under it. The paper
+// obtains these from profiling runs or historical logs.
+type Sample struct {
+	U cluster.Vector
+	X float64 // mean service time in seconds
+}
+
+// ServiceTimeModel is the combined regression RGST(U) of Eq. 1: a weighted
+// average of per-resource regressions, where each weight w_sr is the
+// relevance (R² on the training set) of that resource's contention metric
+// to the observed service time.
+type ServiceTimeModel struct {
+	// Regs holds one regression per shared resource; entries may be nil
+	// when the training data had no variation in that metric.
+	Regs [cluster.NumResources]*stats.PolyRegression
+	// Weights holds w_sr per resource (R² of the corresponding regression).
+	Weights [cluster.NumResources]float64
+	// FallbackMean is the mean training service time, used when every
+	// weight is zero (degenerate training set).
+	FallbackMean float64
+}
+
+// ErrNoSamples is returned when training is attempted with no samples.
+var ErrNoSamples = errors.New("predictor: no training samples")
+
+// Train fits the per-resource regressions on the sample set and computes
+// their relevance weights. degree is the polynomial degree of each RG
+// (degree 2 captures the convex core-saturation effect; degree 1 is plain
+// linear regression).
+func Train(samples []Sample, degree int) (*ServiceTimeModel, error) {
+	if len(samples) == 0 {
+		return nil, ErrNoSamples
+	}
+	if degree < 1 {
+		return nil, fmt.Errorf("predictor: degree must be >= 1, got %d", degree)
+	}
+	m := &ServiceTimeModel{}
+	ys := make([]float64, len(samples))
+	for i, s := range samples {
+		ys[i] = s.X
+	}
+	m.FallbackMean = stats.Mean(ys)
+
+	xs := make([]float64, len(samples))
+	for r := 0; r < cluster.NumResources; r++ {
+		for i, s := range samples {
+			xs[i] = s.U[r]
+		}
+		reg, err := stats.FitPoly(xs, ys, degree)
+		if err != nil {
+			// A metric with no variation (or too few samples) simply
+			// carries no relevance weight.
+			continue
+		}
+		m.Regs[r] = reg
+		m.Weights[r] = reg.R2
+	}
+	return m, nil
+}
+
+// Predict evaluates RGST(U) (Eq. 1): the relevance-weighted average of the
+// per-resource regressions. The result is clamped to a small positive
+// floor; a regression extrapolating below zero would otherwise poison the
+// queueing model.
+func (m *ServiceTimeModel) Predict(u cluster.Vector) float64 {
+	var num, den float64
+	for r := 0; r < cluster.NumResources; r++ {
+		if m.Regs[r] == nil || m.Weights[r] == 0 {
+			continue
+		}
+		num += m.Weights[r] * m.Regs[r].Predict(u[r])
+		den += m.Weights[r]
+	}
+	var x float64
+	if den == 0 {
+		x = m.FallbackMean
+	} else {
+		x = num / den
+	}
+	if x < 1e-9 || math.IsNaN(x) {
+		x = 1e-9
+	}
+	return x
+}
+
+// PredictStats maps a window of contention samples through the model and
+// returns the mean and variance of the predicted service time — the x̄ and
+// var(x) inputs of Eq. 2. An empty window yields the fallback mean with
+// zero variance.
+func (m *ServiceTimeModel) PredictStats(window []cluster.Vector) (mean, variance float64) {
+	if len(window) == 0 {
+		return m.FallbackMean, 0
+	}
+	var w stats.Welford
+	for _, u := range window {
+		w.Add(m.Predict(u))
+	}
+	return w.Mean(), w.Variance()
+}

@@ -1,0 +1,114 @@
+package predictor
+
+import "math"
+
+// QueueModel selects the queueing formula of the extended model (§IV-B).
+type QueueModel int
+
+const (
+	// MG1 is the paper's default: Poisson arrivals, general service times,
+	// one server (Eq. 2, using the Pollaczek–Khinchine mean waiting time).
+	MG1 QueueModel = iota
+	// MM1 is the exponential-service special case the paper notes
+	// (C²x = 1): l = 1/(µ−λ). Used for the queue-model ablation.
+	MM1
+	// NoQueue ignores queueing delay and predicts the bare service time —
+	// the "basic model only" ablation.
+	NoQueue
+)
+
+// String names the queue model.
+func (q QueueModel) String() string {
+	switch q {
+	case MG1:
+		return "M/G/1"
+	case MM1:
+		return "M/M/1"
+	case NoQueue:
+		return "no-queue"
+	default:
+		return "queue-model(?)"
+	}
+}
+
+// LatencyParams bounds the queueing formulas near and beyond saturation.
+// Eq. 2 diverges as ρ→1; predicted service environments can legitimately
+// be overloaded (that is exactly what PCS must detect and flee), so the
+// predictor extrapolates linearly past RhoMax with a steep, monotone
+// penalty instead of returning infinities that would break matrix
+// arithmetic.
+type LatencyParams struct {
+	// RhoMax caps the utilisation used inside the queueing formula.
+	RhoMax float64
+	// OverloadSlope is the per-unit-ρ multiplier applied beyond RhoMax.
+	OverloadSlope float64
+}
+
+// DefaultLatencyParams returns the bounds used across the evaluation.
+func DefaultLatencyParams() LatencyParams {
+	return LatencyParams{RhoMax: 0.98, OverloadSlope: 50}
+}
+
+// ExpectedLatency computes a component's expected latency l (Eq. 2) from
+// the predicted mean service time x̄, service-time variance var(x), and the
+// monitored arrival rate λ, under the chosen queue model.
+//
+//	l = x̄ + λ(1+C²x) / (2µ²(1−ρ)),  C²x = var(x)/x̄²,  ρ = λ/µ,  µ = 1/x̄
+func ExpectedLatency(model QueueModel, meanX, varX, lambda float64, p LatencyParams) float64 {
+	if meanX <= 0 {
+		return 0
+	}
+	if model == NoQueue || lambda <= 0 {
+		return meanX
+	}
+	if p.RhoMax <= 0 || p.RhoMax >= 1 {
+		p = DefaultLatencyParams()
+	}
+	rho := lambda * meanX
+	boundedRho := rho
+	overload := 1.0
+	if rho > p.RhoMax {
+		boundedRho = p.RhoMax
+		overload = 1 + (rho-p.RhoMax)*p.OverloadSlope
+	}
+	var l float64
+	switch model {
+	case MM1:
+		// l = 1/(µ−λ) = x̄/(1−ρ)
+		l = meanX / (1 - boundedRho)
+	default: // MG1
+		c2 := 0.0
+		if meanX > 0 {
+			c2 = varX / (meanX * meanX)
+		}
+		// x̄ + λ(1+C²x)·x̄² / (2(1−ρ))
+		l = meanX + lambda*(1+c2)*meanX*meanX/(2*(1-boundedRho))
+	}
+	l *= overload
+	if math.IsNaN(l) || math.IsInf(l, 0) {
+		return meanX * 1e6
+	}
+	return l
+}
+
+// StageLatency is Eq. 3: the latency of a stage of parallel components is
+// the maximum of their latencies.
+func StageLatency(componentLatencies []float64) float64 {
+	m := 0.0
+	for _, l := range componentLatencies {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// OverallLatency is Eq. 4: the overall service latency is the sum of the
+// sequential stage latencies.
+func OverallLatency(stageLatencies []float64) float64 {
+	s := 0.0
+	for _, l := range stageLatencies {
+		s += l
+	}
+	return s
+}

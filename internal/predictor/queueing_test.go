@@ -1,0 +1,122 @@
+package predictor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpectedLatencyNoLoadIsServiceTime(t *testing.T) {
+	p := DefaultLatencyParams()
+	if got := ExpectedLatency(MG1, 0.01, 0, 0, p); got != 0.01 {
+		t.Fatalf("latency at λ=0: %v", got)
+	}
+	if got := ExpectedLatency(NoQueue, 0.01, 0.1, 500, p); got != 0.01 {
+		t.Fatalf("NoQueue latency = %v, want bare service time", got)
+	}
+}
+
+func TestExpectedLatencyMG1KnownValue(t *testing.T) {
+	// Eq. 2 with x̄=0.01, var=0.0001 (C²=1), λ=50: ρ=0.5,
+	// l = 0.01 + 50·2·0.0001/(2·0.5) = 0.01 + 0.01 = 0.02.
+	p := DefaultLatencyParams()
+	got := ExpectedLatency(MG1, 0.01, 0.0001, 50, p)
+	if math.Abs(got-0.02) > 1e-12 {
+		t.Fatalf("MG1 latency = %v, want 0.02", got)
+	}
+}
+
+func TestExpectedLatencyMM1KnownValue(t *testing.T) {
+	// M/M/1: l = x̄/(1−ρ); x̄=0.01, λ=50 → ρ=0.5 → l = 0.02.
+	p := DefaultLatencyParams()
+	got := ExpectedLatency(MM1, 0.01, 0, 50, p)
+	if math.Abs(got-0.02) > 1e-12 {
+		t.Fatalf("MM1 latency = %v, want 0.02", got)
+	}
+}
+
+func TestMG1EqualsMM1WhenCSquaredIsOne(t *testing.T) {
+	// The paper notes M/G/1 reduces to M/M/1 when C²x = 1 (exponential
+	// service). Property-check it across parameters.
+	f := func(meanRaw, lambdaRaw float64) bool {
+		meanX := 0.001 + math.Abs(math.Mod(meanRaw, 0.05))
+		lambda := math.Abs(math.Mod(lambdaRaw, 0.9)) / meanX // ρ < 0.9
+		p := DefaultLatencyParams()
+		varX := meanX * meanX // C² = 1
+		mg1 := ExpectedLatency(MG1, meanX, varX, lambda, p)
+		mm1 := ExpectedLatency(MM1, meanX, 0, lambda, p)
+		return math.Abs(mg1-mm1) < 1e-9*(1+mm1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpectedLatencyMonotoneInRho(t *testing.T) {
+	p := DefaultLatencyParams()
+	prev := 0.0
+	for lambda := 0.0; lambda < 300; lambda += 5 {
+		l := ExpectedLatency(MG1, 0.005, 0.5*0.005*0.005, lambda, p)
+		if l < prev {
+			t.Fatalf("latency not monotone in λ at %v: %v < %v", lambda, l, prev)
+		}
+		prev = l
+	}
+}
+
+func TestExpectedLatencyOverloadIsFiniteAndIncreasing(t *testing.T) {
+	p := DefaultLatencyParams()
+	atMax := ExpectedLatency(MG1, 0.01, 0.0001, 97.9, p)
+	over := ExpectedLatency(MG1, 0.01, 0.0001, 150, p)    // ρ=1.5
+	wayOver := ExpectedLatency(MG1, 0.01, 0.0001, 300, p) // ρ=3
+	if math.IsInf(over, 0) || math.IsNaN(over) {
+		t.Fatal("overload latency not finite")
+	}
+	if !(atMax < over && over < wayOver) {
+		t.Fatalf("overload not increasing: %v, %v, %v", atMax, over, wayOver)
+	}
+}
+
+func TestExpectedLatencyZeroServiceTime(t *testing.T) {
+	if got := ExpectedLatency(MG1, 0, 0, 100, DefaultLatencyParams()); got != 0 {
+		t.Fatalf("zero service time latency = %v", got)
+	}
+}
+
+func TestExpectedLatencyBadParamsFallBack(t *testing.T) {
+	// RhoMax outside (0,1) falls back to defaults rather than dividing by
+	// zero.
+	got := ExpectedLatency(MG1, 0.01, 0, 50, LatencyParams{RhoMax: 2})
+	if math.IsNaN(got) || math.IsInf(got, 0) || got <= 0 {
+		t.Fatalf("latency = %v", got)
+	}
+}
+
+func TestStageLatencyIsMax(t *testing.T) {
+	// Eq. 3.
+	if got := StageLatency([]float64{0.01, 0.5, 0.2}); got != 0.5 {
+		t.Fatalf("stage latency = %v, want 0.5", got)
+	}
+	if got := StageLatency(nil); got != 0 {
+		t.Fatalf("empty stage latency = %v", got)
+	}
+}
+
+func TestOverallLatencyIsSum(t *testing.T) {
+	// Eq. 4.
+	if got := OverallLatency([]float64{0.01, 0.02, 0.03}); math.Abs(got-0.06) > 1e-12 {
+		t.Fatalf("overall = %v, want 0.06", got)
+	}
+	if OverallLatency(nil) != 0 {
+		t.Fatal("empty overall should be 0")
+	}
+}
+
+func TestQueueModelStrings(t *testing.T) {
+	if MG1.String() != "M/G/1" || MM1.String() != "M/M/1" || NoQueue.String() != "no-queue" {
+		t.Fatal("queue model names wrong")
+	}
+	if QueueModel(9).String() == "" {
+		t.Fatal("unknown model should format")
+	}
+}

@@ -1,0 +1,101 @@
+// Package profiling implements the offline profiling runs the paper trains
+// its regressions from (§IV-A: "training samples are obtained from
+// profiling runs or historical running logs").
+//
+// A profiling run co-locates one component with a configured background on
+// an otherwise idle node, issues a batch of probe requests back-to-back,
+// and records the measured mean service time against the (noisily)
+// monitored contention vector. The predictor only ever sees these
+// measurements — never the simulator's ground-truth law directly.
+package profiling
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/predictor"
+	"repro/internal/service"
+	"repro/internal/xrand"
+)
+
+// Config controls profiling fidelity.
+type Config struct {
+	// Probes is the number of probe requests averaged per sample. The
+	// sample's measurement error shrinks as 1/√Probes.
+	Probes int
+	// MonitorNoiseSigma is the relative noise on the recorded contention
+	// vector, mirroring monitor.Config.NoiseSigma.
+	MonitorNoiseSigma float64
+	// Repeats is how many samples to take per background configuration.
+	Repeats int
+	// Degree is the polynomial degree of the per-resource regressions.
+	Degree int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Probes <= 0 {
+		c.Probes = 300
+	}
+	if c.Repeats <= 0 {
+		c.Repeats = 1
+	}
+	if c.Degree <= 0 {
+		c.Degree = 2
+	}
+	return c
+}
+
+// MeasureServiceTime runs one profiling measurement: the mean of `probes`
+// service-time draws for a component with the given base time under the
+// given background contention. This is what a real profiling run measures
+// by timing back-to-back probe requests.
+func MeasureServiceTime(law service.InterferenceLaw, base float64, background cluster.Vector, probes int, src *xrand.Source) float64 {
+	sum := 0.0
+	for p := 0; p < probes; p++ {
+		sum += law.Sample(base, background, src)
+	}
+	return sum / float64(probes)
+}
+
+// ProfileBackgrounds produces one training sample per background
+// configuration (times Repeats): the noisy monitored contention vector
+// paired with the measured mean service time.
+func ProfileBackgrounds(law service.InterferenceLaw, base float64, backgrounds []cluster.Vector, cfg Config, src *xrand.Source) []predictor.Sample {
+	cfg = cfg.withDefaults()
+	samples := make([]predictor.Sample, 0, len(backgrounds)*cfg.Repeats)
+	for _, bg := range backgrounds {
+		for rep := 0; rep < cfg.Repeats; rep++ {
+			// Record what the monitor would observe: contention saturates
+			// at node capacity (node.Contention clamps the same way), plus
+			// measurement noise. Training inputs must live on the same
+			// scale as the runtime monitor's readings.
+			u := bg.Clamp(law.Capacity)
+			if cfg.MonitorNoiseSigma > 0 {
+				for r := 0; r < cluster.NumResources; r++ {
+					u[r] *= src.LogNormalMean(1, cfg.MonitorNoiseSigma)
+				}
+			}
+			x := MeasureServiceTime(law, base, bg, cfg.Probes, src)
+			samples = append(samples, predictor.Sample{U: u, X: x})
+		}
+	}
+	return samples
+}
+
+// TrainStageModels profiles and trains one service-time model per stage of
+// the topology. Only one component per stage class needs profiling — the
+// paper's scalability argument (§VI-D) — because components of a stage are
+// homogeneous.
+func TrainStageModels(topo service.Topology, law service.InterferenceLaw, backgrounds []cluster.Vector, cfg Config, src *xrand.Source) ([]*predictor.ServiceTimeModel, error) {
+	cfg = cfg.withDefaults()
+	models := make([]*predictor.ServiceTimeModel, len(topo.Stages))
+	for si, spec := range topo.Stages {
+		samples := ProfileBackgrounds(law, spec.BaseServiceTime, backgrounds, cfg, src)
+		m, err := predictor.Train(samples, cfg.Degree)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: training stage %d (%s): %w", si, spec.Name, err)
+		}
+		models[si] = m
+	}
+	return models, nil
+}

@@ -1,0 +1,147 @@
+package scheduler
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/cluster"
+	"repro/internal/monitor"
+	"repro/internal/profiling"
+	"repro/internal/service"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// newControlledWorld wires a small end-to-end PCS stack: cluster + batch
+// generator + service + monitor + controller.
+func newControlledWorld(t *testing.T, seed int64) (*Controller, *service.Service, *sim.Engine) {
+	t.Helper()
+	root := xrand.New(seed)
+	engine := sim.NewEngine()
+	cl := cluster.New(8, cluster.DefaultCapacity())
+	gen := workload.NewGenerator(engine, cl, root.Fork(), workload.GeneratorConfig{TargetConcurrency: 2})
+
+	topo := service.Topology{
+		Name: "small",
+		Stages: []service.StageSpec{
+			{Name: "front", Components: 2, BaseServiceTime: 0.0005,
+				Demand: cluster.Vector{0.5, 3, 2, 3}},
+			{Name: "work", Components: 10, BaseServiceTime: 0.001,
+				Demand: cluster.Vector{0.9, 6, 8, 6}},
+		},
+	}
+	svc, err := service.New(engine, cl, root.Fork(), baseline.Basic{}, service.Config{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := monitor.New(engine, cl, root.Fork(), monitor.Config{NoiseSigma: 0.02})
+	svc.OnArrival = mon.RecordArrival
+
+	backgrounds := workload.TrainingMixes(root.Fork(), 60, 3, 1, 8192)
+	models, err := profiling.TrainStageModels(topo, svc.Law(), backgrounds,
+		profiling.Config{Probes: 100, Degree: 1}, root.Fork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := NewController(svc, mon, models, root.Fork(), ControllerConfig{
+		Interval:       5,
+		Scheduler:      Config{Epsilon: 0.000005, MaxMigrations: 10},
+		FallbackLambda: 100,
+	})
+	gen.Start()
+	mon.Start()
+	return ctrl, svc, engine
+}
+
+func TestControllerRunsIntervalsAndMigrates(t *testing.T) {
+	ctrl, svc, engine := newControlledWorld(t, 1)
+	ctrl.Start()
+	svc.StartArrivals(100, 6000)
+	engine.Run(60)
+
+	if ctrl.Intervals < 10 {
+		t.Fatalf("intervals = %d, want ≥10 over 60s at 5s period", ctrl.Intervals)
+	}
+	if ctrl.BuildErrors > 0 {
+		t.Fatalf("build errors = %d (%v)", ctrl.BuildErrors, ctrl.LastErr)
+	}
+	if ctrl.TotalMigrations() == 0 {
+		t.Fatal("controller never migrated despite heterogeneous interference")
+	}
+	if svc.Migrations() == 0 {
+		t.Fatal("migrations not enforced on the service")
+	}
+	if len(ctrl.Results()) != ctrl.Intervals {
+		t.Fatalf("results %d != intervals %d", len(ctrl.Results()), ctrl.Intervals)
+	}
+}
+
+func TestControllerRespectsMigrationCap(t *testing.T) {
+	ctrl, svc, engine := newControlledWorld(t, 2)
+	ctrl.Start()
+	svc.StartArrivals(100, 4000)
+	engine.Run(40)
+	for _, r := range ctrl.Results() {
+		if len(r.Decisions) > 10 {
+			t.Fatalf("interval migrated %d > cap 10", len(r.Decisions))
+		}
+	}
+}
+
+func TestControllerStop(t *testing.T) {
+	ctrl, svc, engine := newControlledWorld(t, 3)
+	ctrl.Start()
+	svc.StartArrivals(100, 2000)
+	engine.Run(12)
+	n := ctrl.Intervals
+	ctrl.Stop()
+	engine.Run(60)
+	if ctrl.Intervals != n {
+		t.Fatal("controller kept scheduling after Stop")
+	}
+}
+
+func TestControllerMatrixInputConsistency(t *testing.T) {
+	ctrl, svc, engine := newControlledWorld(t, 4)
+	svc.StartArrivals(100, 2000)
+	engine.Run(10)
+	in := ctrl.MatrixInput()
+	if len(in.Components) != 12 {
+		t.Fatalf("components = %d", len(in.Components))
+	}
+	if in.NumNodes != 8 || len(in.NodeSamples) != 8 {
+		t.Fatal("node coverage wrong")
+	}
+	if in.Lambda <= 0 {
+		t.Fatal("lambda not populated")
+	}
+	alloc := svc.Allocation()
+	for i, c := range in.Components {
+		if c.Node != alloc[i] {
+			t.Fatalf("component %d node mismatch: %d vs %d", i, c.Node, alloc[i])
+		}
+	}
+}
+
+func TestControllerFallbackLambdaUsedWhenCold(t *testing.T) {
+	ctrl, _, _ := newControlledWorld(t, 5)
+	// No arrivals recorded: monitor reports 0, fallback applies.
+	in := ctrl.MatrixInput()
+	if in.Lambda != 100 {
+		t.Fatalf("lambda = %v, want fallback 100", in.Lambda)
+	}
+}
+
+func TestControllerConfigDefaults(t *testing.T) {
+	cfg := ControllerConfig{}.withDefaults()
+	if cfg.Interval != 10 {
+		t.Fatalf("interval default = %v", cfg.Interval)
+	}
+	if cfg.MigrationDelayMin <= 0 || cfg.MigrationDelayMax != 3 {
+		t.Fatalf("migration delay defaults = %v..%v", cfg.MigrationDelayMin, cfg.MigrationDelayMax)
+	}
+	if cfg.Params.RhoMax <= 0 {
+		t.Fatal("latency params default missing")
+	}
+}

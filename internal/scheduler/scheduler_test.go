@@ -1,0 +1,266 @@
+package scheduler
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/predictor"
+	"repro/internal/xrand"
+)
+
+// buildInput creates a deterministic scheduling problem: m components on k
+// nodes with heterogeneous contention windows.
+func buildInput(t *testing.T, m, k int, lambda float64, seed int64) predictor.MatrixInput {
+	t.Helper()
+	src := xrand.New(seed)
+	samples := make([]predictor.Sample, 0, 200)
+	cap := cluster.DefaultCapacity()
+	for i := 0; i < 200; i++ {
+		driver := src.Float64()
+		var u cluster.Vector
+		for r := 0; r < cluster.NumResources; r++ {
+			u[r] = driver * cap[r] * (0.8 + 0.4*src.Float64())
+		}
+		x := 0.001 * (1 + 1.2*driver)
+		samples = append(samples, predictor.Sample{U: u, X: x})
+	}
+	model, err := predictor.Train(samples, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand := cluster.Vector{0.5, 3, 4, 3}
+	comps := make([]predictor.ComponentState, m)
+	for i := range comps {
+		comps[i] = predictor.ComponentState{Stage: 0, Node: src.Intn(k), Demand: demand}
+	}
+	nodeSamples := make([][]cluster.Vector, k)
+	for n := 0; n < k; n++ {
+		level := cap.Scale(0.05 + 0.7*src.Float64())
+		win := make([]cluster.Vector, 5)
+		for w := range win {
+			v := level
+			for r := 0; r < cluster.NumResources; r++ {
+				v[r] *= src.LogNormalMean(1, 0.02)
+			}
+			win[w] = v
+		}
+		nodeSamples[n] = win
+	}
+	for _, c := range comps {
+		for w := range nodeSamples[c.Node] {
+			nodeSamples[c.Node][w] = nodeSamples[c.Node][w].Add(c.Demand)
+		}
+	}
+	return predictor.MatrixInput{
+		Components:  comps,
+		NumStages:   1,
+		NumNodes:    k,
+		NodeSamples: nodeSamples,
+		Lambda:      lambda,
+		Models:      []*predictor.ServiceTimeModel{model},
+		Queue:       predictor.MG1,
+		Params:      predictor.DefaultLatencyParams(),
+	}
+}
+
+func TestScheduleNeverIncreasesPredictedLatency(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		in := buildInput(t, 8, 4, 100, seed)
+		res, _, err := BuildAndSchedule(in, Config{Epsilon: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PredictedAfter > res.PredictedBefore+1e-12 {
+			t.Fatalf("seed %d: predicted latency increased %v → %v",
+				seed, res.PredictedBefore, res.PredictedAfter)
+		}
+	}
+}
+
+func TestScheduleDecisionsRespectEpsilon(t *testing.T) {
+	in := buildInput(t, 8, 4, 100, 1)
+	res, _, err := BuildAndSchedule(in, Config{Epsilon: 0.0001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Decisions {
+		if d.Gain <= 0.0001 {
+			t.Fatalf("decision gain %v below ε", d.Gain)
+		}
+	}
+}
+
+func TestScheduleHighEpsilonBlocksEverything(t *testing.T) {
+	in := buildInput(t, 8, 4, 100, 2)
+	res, _, err := BuildAndSchedule(in, Config{Epsilon: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Decisions) != 0 {
+		t.Fatalf("decisions = %d, want 0", len(res.Decisions))
+	}
+	if res.PredictedAfter != res.PredictedBefore {
+		t.Fatal("no decisions but predicted latency changed")
+	}
+}
+
+func TestScheduleMaxMigrationsCap(t *testing.T) {
+	in := buildInput(t, 10, 5, 100, 3)
+	res, _, err := BuildAndSchedule(in, Config{Epsilon: 0, MaxMigrations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Decisions) > 2 {
+		t.Fatalf("decisions = %d, cap 2", len(res.Decisions))
+	}
+}
+
+func TestScheduleEachComponentMigratesAtMostOnce(t *testing.T) {
+	// Algorithm 1 removes migrated components from the candidate set.
+	in := buildInput(t, 10, 5, 150, 4)
+	res, _, err := BuildAndSchedule(in, Config{Epsilon: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, d := range res.Decisions {
+		if seen[d.Component] {
+			t.Fatalf("component %d migrated twice", d.Component)
+		}
+		seen[d.Component] = true
+		if d.From == d.To {
+			t.Fatalf("no-op migration of %d", d.Component)
+		}
+	}
+}
+
+func TestScheduleMovesOffHotNodes(t *testing.T) {
+	// Construct an extreme world: node 0 saturated, others idle. All
+	// components start on node 0; the greedy must move some away, and
+	// never move anything onto node 0.
+	src := xrand.New(5)
+	cap := cluster.DefaultCapacity()
+	samples := make([]predictor.Sample, 0, 200)
+	for i := 0; i < 200; i++ {
+		driver := src.Float64()
+		var u cluster.Vector
+		for r := 0; r < cluster.NumResources; r++ {
+			u[r] = driver * cap[r]
+		}
+		samples = append(samples, predictor.Sample{U: u, X: 0.001 * (1 + 2*driver)})
+	}
+	model, err := predictor.Train(samples, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand := cluster.Vector{0.3, 1, 1, 1}
+	m := 6
+	comps := make([]predictor.ComponentState, m)
+	for i := range comps {
+		comps[i] = predictor.ComponentState{Stage: 0, Node: 0, Demand: demand}
+	}
+	hot := cap.Scale(0.8)
+	idle := cap.Scale(0.02)
+	in := predictor.MatrixInput{
+		Components:  comps,
+		NumStages:   1,
+		NumNodes:    3,
+		NodeSamples: [][]cluster.Vector{{hot, hot}, {idle, idle}, {idle, idle}},
+		Lambda:      100,
+		Models:      []*predictor.ServiceTimeModel{model},
+		Queue:       predictor.MG1,
+		Params:      predictor.DefaultLatencyParams(),
+	}
+	res, mat, err := BuildAndSchedule(in, Config{Epsilon: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Decisions) == 0 {
+		t.Fatal("greedy made no migrations off a saturated node")
+	}
+	for _, d := range res.Decisions {
+		if d.To == 0 {
+			t.Fatalf("migration onto the saturated node: %+v", d)
+		}
+		if d.From != 0 {
+			t.Fatalf("migration from an idle node: %+v", d)
+		}
+	}
+	if res.PredictedAfter >= res.PredictedBefore {
+		t.Fatalf("no predicted improvement: %v → %v", res.PredictedBefore, res.PredictedAfter)
+	}
+	_ = mat
+}
+
+// exhaustiveBest finds the optimal allocation of a tiny instance by brute
+// force, evaluating predicted overall latency for every assignment via a
+// fresh matrix whose virtual allocation is forced through migrations.
+func exhaustiveBest(t *testing.T, in predictor.MatrixInput) float64 {
+	t.Helper()
+	m := len(in.Components)
+	k := in.NumNodes
+	best := math.Inf(1)
+	assign := make([]int, m)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == m {
+			mat, err := predictor.BuildMatrix(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for c := 0; c < m; c++ {
+				if assign[c] != in.Components[c].Node {
+					mat.Migrate(c, assign[c])
+				}
+			}
+			if v := mat.CurrentOverall(); v < best {
+				best = v
+			}
+			return
+		}
+		for n := 0; n < k; n++ {
+			assign[i] = n
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestGreedyWithinFactorOfExhaustive(t *testing.T) {
+	// O(k^m) search on a tiny instance (3 components × 3 nodes): the
+	// greedy's predicted overall latency should be close to optimal.
+	in := buildInput(t, 3, 3, 120, 6)
+	res, _, err := BuildAndSchedule(in, Config{Epsilon: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := exhaustiveBest(t, in)
+	if res.PredictedAfter < opt-1e-9 {
+		t.Fatalf("greedy %v beat exhaustive %v — exhaustive search is broken", res.PredictedAfter, opt)
+	}
+	if res.PredictedAfter > opt*1.5+1e-9 {
+		t.Fatalf("greedy %v too far from optimal %v", res.PredictedAfter, opt)
+	}
+}
+
+func TestBuildAndScheduleReportsTimings(t *testing.T) {
+	in := buildInput(t, 8, 4, 100, 7)
+	res, _, err := BuildAndSchedule(in, Config{Epsilon: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AnalysisTime <= 0 {
+		t.Fatal("analysis time not measured")
+	}
+	if res.SearchTime < 0 {
+		t.Fatal("negative search time")
+	}
+}
+
+func TestBuildAndScheduleInvalidInput(t *testing.T) {
+	if _, _, err := BuildAndSchedule(predictor.MatrixInput{}, Config{}); err == nil {
+		t.Fatal("invalid input accepted")
+	}
+}

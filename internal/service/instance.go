@@ -1,0 +1,233 @@
+package service
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+)
+
+// ExecState tracks one execution of a sub-request on one instance.
+type ExecState int
+
+const (
+	// ExecQueued means the execution is waiting in the instance's queue.
+	ExecQueued ExecState = iota
+	// ExecRunning means the execution occupies the instance's server.
+	ExecRunning
+	// ExecCancelled means a cancellation message removed the execution
+	// from the queue before it started (redundancy policies).
+	ExecCancelled
+	// ExecDone means the execution finished service.
+	ExecDone
+)
+
+// Execution is one attempt to run a sub-request on a specific instance.
+// Redundancy policies create several executions per sub-request; the first
+// to finish wins. An execution that has started service always runs to
+// completion and occupies the server even if a sibling already won — that
+// wasted work is the redundancy cost the paper's Fig. 6 exposes.
+type Execution struct {
+	Sub      *SubRequest
+	Inst     *Instance
+	State    ExecState
+	IssuedAt float64
+	StartAt  float64
+	EndAt    float64
+}
+
+// Component is one logical component of the service (paper's c_i): a row of
+// the performance matrix. It has one instance under Basic/PCS and several
+// replicas under redundancy/reissue policies.
+type Component struct {
+	Stage        int // stage index in the topology
+	IndexInStage int
+	Global       int // dense index across all components (matrix row)
+	Spec         StageSpec
+	Instances    []*Instance
+}
+
+// Primary returns the component's first (primary) instance.
+func (c *Component) Primary() *Instance { return c.Instances[0] }
+
+// Instance is one deployed replica of a component: a single-server FIFO
+// queue pinned to a node, contributing its VM footprint to that node's
+// contention. It implements cluster.Program.
+type Instance struct {
+	Comp    *Component
+	Replica int
+	id      string
+
+	svc    *Service
+	nodeID int
+
+	busy      bool
+	queue     []*Execution
+	migrating bool
+
+	// Served counts completed executions (including losers); Cancelled
+	// counts executions removed from the queue by cancellation messages.
+	Served    int
+	Cancelled int
+	// BusyTime accumulates seconds of server occupancy, for utilisation
+	// accounting.
+	BusyTime float64
+
+	// Utilisation tracking: the instance's resource demand scales with how
+	// busy its server is, so redundant executions consume real shared
+	// resources on the node (the mechanism behind the paper's finding that
+	// request redundancy deteriorates under heavy load). demandScale is
+	// refreshed once per demand-tick from an EWMA of the busy fraction.
+	lastTickAt   float64
+	lastBusyTime float64
+	utilEWMA     float64
+	demandScale  float64
+}
+
+// ProgramID implements cluster.Program.
+func (in *Instance) ProgramID() string { return in.id }
+
+// Demand implements cluster.Program: the stage's nominal VM demand scaled
+// by the instance's recent server utilisation (plus a small idle floor for
+// the VM's background footprint). An idle replica costs almost nothing; a
+// saturated instance exerts the stage's full demand on its node.
+func (in *Instance) Demand() cluster.Vector {
+	scale := in.demandScale
+	if scale <= 0 {
+		scale = idleDemandFraction
+	}
+	d := in.Comp.Spec.Demand.Scale(scale)
+	if in.Replica > 0 {
+		d = d.Scale(in.svc.cfg.ReplicaFootprintScale)
+	}
+	return d
+}
+
+// idleDemandFraction is the demand floor of an idle instance (VM background
+// activity).
+const idleDemandFraction = 0.05
+
+// Utilization returns the EWMA busy fraction of the instance's server.
+func (in *Instance) Utilization() float64 { return in.utilEWMA }
+
+// demandTick refreshes the utilisation EWMA and demand scale from the busy
+// time accumulated since the previous tick. The service calls it for every
+// instance once per demand period and then refreshes node aggregates.
+func (in *Instance) demandTick(now float64) {
+	dt := now - in.lastTickAt
+	if dt <= 0 {
+		return
+	}
+	// BusyTime is credited at execution completion; executions are
+	// millisecond-scale against a one-second tick, so the truncation at
+	// the tick boundary is negligible.
+	busy := in.BusyTime
+	util := (busy - in.lastBusyTime) / dt
+	if util < 0 {
+		util = 0
+	}
+	if util > 1 {
+		util = 1
+	}
+	const alpha = 0.5
+	in.utilEWMA = alpha*util + (1-alpha)*in.utilEWMA
+	in.lastTickAt = now
+	in.lastBusyTime = busy
+	in.demandScale = idleDemandFraction + (1-idleDemandFraction)*in.utilEWMA
+}
+
+// NodeID returns the instance's current node.
+func (in *Instance) NodeID() int { return in.nodeID }
+
+// QueueLen returns the number of waiting executions (excluding the one in
+// service), counting cancelled-but-unswept entries.
+func (in *Instance) QueueLen() int { return len(in.queue) }
+
+// Busy reports whether the server is occupied.
+func (in *Instance) Busy() bool { return in.busy }
+
+// enqueue admits an execution; if the server is idle it starts immediately.
+func (in *Instance) enqueue(e *Execution) {
+	if in.busy {
+		e.State = ExecQueued
+		in.queue = append(in.queue, e)
+		return
+	}
+	in.start(e)
+}
+
+// start begins service for e. The service time is drawn from the
+// ground-truth law using the background contention the instance currently
+// experiences (everything on the node except itself).
+func (in *Instance) start(e *Execution) {
+	now := in.svc.engine.Now()
+	in.busy = true
+	e.State = ExecRunning
+	e.StartAt = now
+
+	node := in.svc.cluster.Node(in.nodeID)
+	background := node.ContentionExcluding(in.id)
+	x := in.svc.law.Sample(in.Comp.Spec.BaseServiceTime, background, in.svc.rng)
+
+	e.Sub.onStart(e)
+
+	in.svc.engine.After(x, func(endNow float64) {
+		e.State = ExecDone
+		e.EndAt = endNow
+		in.Served++
+		in.BusyTime += x
+		e.Sub.onComplete(e, endNow)
+		in.next()
+	})
+}
+
+// next pops the queue, skipping cancelled executions, and either starts the
+// next execution or idles.
+func (in *Instance) next() {
+	for len(in.queue) > 0 {
+		e := in.queue[0]
+		in.queue = in.queue[1:]
+		if e.State == ExecCancelled {
+			continue
+		}
+		in.start(e)
+		return
+	}
+	in.busy = false
+}
+
+// cancelQueued marks a queued execution cancelled so the server skips it.
+// Running or finished executions are unaffected (cancellation messages
+// cannot claw back started work — paper §VI-C's imperfect-cancellation
+// discussion).
+func (in *Instance) cancelQueued(e *Execution) {
+	if e.State == ExecQueued {
+		e.State = ExecCancelled
+		in.Cancelled++
+	}
+}
+
+// MigrateTo relocates the instance to node dst after delay seconds of
+// virtual time, modelling the Storm/ZooKeeper redeployment the paper
+// describes (≤3 s, no service interruption). The instance keeps serving
+// from its old node until the migration lands. Overlapping migrations are
+// rejected (the scheduler removes migrated components from its candidate
+// set within an interval, so this only guards against misuse).
+func (in *Instance) MigrateTo(dst int, delay float64) error {
+	if in.migrating {
+		return fmt.Errorf("service: instance %s is already migrating", in.id)
+	}
+	if dst == in.nodeID {
+		return nil
+	}
+	if delay < 0 {
+		return fmt.Errorf("service: negative migration delay")
+	}
+	in.migrating = true
+	in.svc.engine.After(delay, func(float64) {
+		in.svc.cluster.Move(in, in.nodeID, dst)
+		in.nodeID = dst
+		in.migrating = false
+		in.svc.migrations++
+	})
+	return nil
+}

@@ -1,0 +1,50 @@
+package service
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// TestInstanceBehavesAsMM1 validates the queueing substrate against theory:
+// a single component with exponential service times (NoiseSigma=0) and
+// Poisson arrivals is an M/M/1 queue, so its mean latency must converge to
+// 1/(µ−λ) — the special case the paper's Eq. 2 reduces to.
+func TestInstanceBehavesAsMM1(t *testing.T) {
+	topo := Topology{
+		Name: "mm1",
+		Stages: []StageSpec{
+			{Name: "only", Components: 1, BaseServiceTime: 0.001,
+				Demand: cluster.Vector{0, 0, 0, 0}}, // no self-contention
+		},
+	}
+	for _, rho := range []float64{0.3, 0.6, 0.8} {
+		engine := sim.NewEngine()
+		cl := cluster.New(1, cluster.DefaultCapacity())
+		svc, err := New(engine, cl, xrand.New(42), basicPolicy{}, Config{
+			Topology: topo,
+			Law: InterferenceLaw{
+				Capacity:   cl.Node(0).Capacity,
+				NoiseSigma: 0, // exponential service
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lambda := rho / 0.001
+		const requests = 120000
+		svc.StartArrivals(lambda, requests)
+		engine.Run(float64(requests)/lambda + 5)
+
+		rep := svc.Collector().Report()
+		mu := 1 / 0.001
+		want := 1 / (mu - lambda) * 1000 // ms
+		got := rep.AvgOverallMs
+		if math.Abs(got-want)/want > 0.12 {
+			t.Errorf("ρ=%.1f: mean latency = %.4f ms, M/M/1 predicts %.4f ms", rho, got, want)
+		}
+	}
+}

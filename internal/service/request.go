@@ -1,0 +1,133 @@
+package service
+
+// Request is one end-to-end service request walking the topology's stages
+// sequentially. Its overall latency is the sum of stage latencies (Eq. 4),
+// realised directly by the event order: a stage only starts after the
+// previous one delivered all of its sub-responses.
+type Request struct {
+	ID        int
+	ArrivedAt float64
+
+	svc        *Service
+	stage      int
+	stageStart float64
+	pending    int // sub-requests outstanding in the current stage
+}
+
+// SubRequest is the unit of work one component contributes to one request's
+// stage. A policy may execute it on several instances (redundancy) or
+// re-execute it after a delay (reissue); the first completion wins and
+// defines the component latency the evaluation reports.
+type SubRequest struct {
+	Req  *Request
+	Comp *Component
+
+	IssuedAt float64
+	done     bool
+	winner   *Execution
+
+	execs []*Execution
+
+	// cancelOnStart, when positive, sends cancellation messages to sibling
+	// executions when any execution begins service; the messages take
+	// effect after this network delay (seconds). Zero disables the
+	// mechanism (Basic, reissue).
+	cancelOnStart float64
+	cancelSent    bool
+
+	// OnDone, if set by the policy, is called once when the winning
+	// execution completes (reissue policies use it to update their
+	// expected-latency estimates).
+	OnDone func(winner *Execution, now float64)
+}
+
+// Done reports whether a winning execution has completed.
+func (sub *SubRequest) Done() bool { return sub.done }
+
+// Winner returns the winning execution, or nil.
+func (sub *SubRequest) Winner() *Execution { return sub.winner }
+
+// Executions returns all executions issued so far.
+func (sub *SubRequest) Executions() []*Execution { return sub.execs }
+
+// EnableCancelOnStart turns on redundancy-style cancellation: when one
+// execution starts service, siblings still queued are cancelled after the
+// given message delay.
+func (sub *SubRequest) EnableCancelOnStart(delay float64) { sub.cancelOnStart = delay }
+
+// IssueTo dispatches the sub-request to an instance, creating an execution
+// and enqueueing it. Policies call this one or more times per sub-request.
+func (sub *SubRequest) IssueTo(in *Instance) *Execution {
+	e := &Execution{Sub: sub, Inst: in, IssuedAt: sub.svc().engine.Now()}
+	sub.execs = append(sub.execs, e)
+	in.enqueue(e)
+	return e
+}
+
+func (sub *SubRequest) svc() *Service { return sub.Req.svc }
+
+// onStart is invoked when any execution of this sub-request begins service.
+// With cancellation enabled, it sends cancel messages to sibling executions;
+// they land after the configured network delay, and only affect executions
+// still queued at that point. Two replicas that start within the delay
+// window both run to completion — the paper's "cancellation messages both
+// in flight" effect.
+func (sub *SubRequest) onStart(started *Execution) {
+	if sub.cancelOnStart <= 0 || sub.cancelSent {
+		return
+	}
+	sub.cancelSent = true
+	svc := sub.svc()
+	svc.engine.After(sub.cancelOnStart, func(float64) {
+		for _, e := range sub.execs {
+			if e != started && e.State == ExecQueued {
+				e.Inst.cancelQueued(e)
+			}
+		}
+	})
+}
+
+// onComplete is invoked when any execution finishes. The first completion
+// wins: the component latency (issue → completion of the quickest replica)
+// is recorded and the request's stage accounting advances. Later
+// completions are losers whose server time was already charged.
+func (sub *SubRequest) onComplete(e *Execution, now float64) {
+	if sub.done {
+		return
+	}
+	sub.done = true
+	sub.winner = e
+	svc := sub.svc()
+	svc.collector.RecordComponent(now, sub.Comp.Stage, now-sub.IssuedAt)
+	if sub.OnDone != nil {
+		sub.OnDone(e, now)
+	}
+	sub.Req.subDone(now)
+}
+
+// startStage fans the request out to every component of its current stage.
+func (r *Request) startStage(now float64) {
+	svc := r.svc
+	comps := svc.stageComponents[r.stage]
+	r.stageStart = now
+	r.pending = len(comps)
+	for _, c := range comps {
+		sub := &SubRequest{Req: r, Comp: c, IssuedAt: now}
+		svc.policy.Dispatch(svc, sub)
+	}
+}
+
+// subDone accounts one completed sub-request; when the stage drains it
+// advances to the next stage or completes the request.
+func (r *Request) subDone(now float64) {
+	r.pending--
+	if r.pending > 0 {
+		return
+	}
+	r.stage++
+	if r.stage < len(r.svc.stageComponents) {
+		r.startStage(now)
+		return
+	}
+	r.svc.completeRequest(r, now)
+}

@@ -1,0 +1,254 @@
+package service
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// Policy routes sub-requests to component instances. Implementations live
+// in internal/baseline (Basic, RED-k, RI-p); PCS uses the Basic policy plus
+// the component-level scheduler.
+type Policy interface {
+	// Name identifies the policy in reports (e.g. "RED-3").
+	Name() string
+	// Replicas returns how many instances each component needs under this
+	// policy (1 for Basic/PCS, k for RED-k, 2 for reissue).
+	Replicas() int
+	// Dispatch issues the sub-request to one or more instances and may
+	// schedule reissue timers on the service's engine.
+	Dispatch(svc *Service, sub *SubRequest)
+}
+
+// Config assembles a service deployment.
+type Config struct {
+	Topology Topology
+	// Law is the ground-truth interference law; zero value selects
+	// DefaultLaw with the cluster's node-0 capacity.
+	Law InterferenceLaw
+	// ReplicaFootprintScale scales non-primary replicas' demand relative
+	// to the primary. With utilisation-scaled demand, idle replicas are
+	// already near-free, so the default is 1 (replicas are full VMs).
+	ReplicaFootprintScale float64
+	// DemandPeriod is how often instance demands are refreshed from server
+	// utilisation and node aggregates recomputed (default 1 s, the
+	// system-level monitoring cadence).
+	DemandPeriod float64
+	// ComponentLatencyReservoir bounds the per-component latency sample; 0
+	// selects 100 000.
+	ComponentLatencyReservoir int
+	// Warmup is the virtual time before which latencies are discarded.
+	Warmup float64
+}
+
+// Service wires a topology onto a cluster and runs the open-loop request
+// workload. It owns the collector and exposes migration hooks for the
+// scheduler.
+type Service struct {
+	cfg     Config
+	engine  *sim.Engine
+	cluster *cluster.Cluster
+	law     InterferenceLaw
+	rng     *xrand.Source
+	policy  Policy
+
+	components      []*Component // dense, Global index order
+	stageComponents [][]*Component
+
+	collector *trace.Collector
+
+	arrivals   int
+	completed  int
+	nextReqID  int
+	migrations int
+
+	// OnArrival, if set, is called at every request arrival (the monitor
+	// uses it to estimate λ, as the paper's monitor does from service
+	// logs).
+	OnArrival func(now float64)
+}
+
+// New deploys a service. Component instances are placed round-robin across
+// nodes; replicas of the same component land on distinct nodes (required
+// for redundancy to make sense, and matching the paper's setup where each
+// component VM sits on some node alongside batch-job VMs).
+func New(e *sim.Engine, cl *cluster.Cluster, src *xrand.Source, policy Policy, cfg Config) (*Service, error) {
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("service: nil policy")
+	}
+	if cfg.ReplicaFootprintScale <= 0 {
+		cfg.ReplicaFootprintScale = 1
+	}
+	if cfg.DemandPeriod <= 0 {
+		cfg.DemandPeriod = 1
+	}
+	if cfg.ComponentLatencyReservoir <= 0 {
+		cfg.ComponentLatencyReservoir = 100_000
+	}
+	law := cfg.Law
+	if law.Capacity.IsZero() && law.Alpha.IsZero() {
+		law = DefaultLaw(cl.Node(0).Capacity)
+	}
+	replicas := policy.Replicas()
+	if replicas < 1 {
+		return nil, fmt.Errorf("service: policy %s requests %d replicas", policy.Name(), replicas)
+	}
+	if replicas > cl.NumNodes() {
+		return nil, fmt.Errorf("service: %d replicas need at least as many nodes, cluster has %d",
+			replicas, cl.NumNodes())
+	}
+
+	svc := &Service{
+		cfg:     cfg,
+		engine:  e,
+		cluster: cl,
+		law:     law,
+		rng:     src.Fork(),
+		policy:  policy,
+	}
+	svc.collector = trace.NewCollector(len(cfg.Topology.Stages), cfg.ComponentLatencyReservoir, src.Fork())
+	svc.collector.WarmupUntil = cfg.Warmup
+
+	global := 0
+	nodeCursor := 0
+	k := cl.NumNodes()
+	for si, spec := range cfg.Topology.Stages {
+		stage := make([]*Component, 0, spec.Components)
+		for ci := 0; ci < spec.Components; ci++ {
+			comp := &Component{Stage: si, IndexInStage: ci, Global: global, Spec: spec}
+			for r := 0; r < replicas; r++ {
+				// Primary round-robins over the cluster; replica r sits r
+				// nodes further along so a component's replicas never share
+				// a node.
+				nodeID := (nodeCursor + r) % k
+				in := &Instance{
+					Comp:    comp,
+					Replica: r,
+					id:      fmt.Sprintf("c%d.%d.r%d", si, ci, r),
+					svc:     svc,
+					nodeID:  nodeID,
+				}
+				cl.Node(nodeID).Host(in)
+				comp.Instances = append(comp.Instances, in)
+			}
+			nodeCursor = (nodeCursor + 1) % k
+			stage = append(stage, comp)
+			svc.components = append(svc.components, comp)
+			global++
+		}
+		svc.stageComponents = append(svc.stageComponents, stage)
+	}
+
+	// Refresh utilisation-scaled demands on the monitoring cadence so that
+	// executed work — including redundant executions — shows up as node
+	// contention.
+	e.Every(cfg.DemandPeriod, func(now float64) { svc.demandTick(now) })
+	return svc, nil
+}
+
+// demandTick refreshes every instance's utilisation-scaled demand and the
+// node aggregates.
+func (s *Service) demandTick(now float64) {
+	for _, c := range s.components {
+		for _, in := range c.Instances {
+			in.demandTick(now)
+		}
+	}
+	s.cluster.Refresh()
+}
+
+// Components returns all components in Global index order.
+func (s *Service) Components() []*Component { return s.components }
+
+// Component returns the component with the given global index.
+func (s *Service) Component(global int) *Component { return s.components[global] }
+
+// StageComponents returns the components of one stage.
+func (s *Service) StageComponents(stage int) []*Component { return s.stageComponents[stage] }
+
+// NumStages returns the number of sequential stages.
+func (s *Service) NumStages() int { return len(s.stageComponents) }
+
+// Collector exposes the latency collector.
+func (s *Service) Collector() *trace.Collector { return s.collector }
+
+// Policy returns the active execution policy.
+func (s *Service) Policy() Policy { return s.policy }
+
+// Engine returns the simulation engine the service runs on.
+func (s *Service) Engine() *sim.Engine { return s.engine }
+
+// Cluster returns the hosting cluster.
+func (s *Service) Cluster() *cluster.Cluster { return s.cluster }
+
+// Law returns the ground-truth interference law (profiling harnesses use it
+// through probe runs; the predictor itself never touches it).
+func (s *Service) Law() InterferenceLaw { return s.law }
+
+// RNG returns the service's random source (policies draw replica choices
+// from it so runs stay reproducible).
+func (s *Service) RNG() *xrand.Source { return s.rng }
+
+// Arrivals, Completed and Migrations report run counters.
+func (s *Service) Arrivals() int { return s.arrivals }
+
+// Completed reports the number of fully answered requests.
+func (s *Service) Completed() int { return s.completed }
+
+// Migrations reports how many component migrations have landed.
+func (s *Service) Migrations() int { return s.migrations }
+
+// InjectRequest admits one request now.
+func (s *Service) InjectRequest() *Request {
+	now := s.engine.Now()
+	r := &Request{ID: s.nextReqID, ArrivedAt: now, svc: s}
+	s.nextReqID++
+	s.arrivals++
+	if s.OnArrival != nil {
+		s.OnArrival(now)
+	}
+	r.startStage(now)
+	return r
+}
+
+// StartArrivals schedules an open-loop Poisson arrival stream at rate
+// requests/second until either maxRequests arrivals (0 = unlimited) or the
+// engine's horizon ends the run.
+func (s *Service) StartArrivals(rate float64, maxRequests int) {
+	proc := xrand.NewArrivalProcess(s.rng.Fork(), rate)
+	var schedule func()
+	count := 0
+	schedule = func() {
+		t := proc.Next()
+		s.engine.At(t, func(float64) {
+			s.InjectRequest()
+			count++
+			if maxRequests == 0 || count < maxRequests {
+				schedule()
+			}
+		})
+	}
+	schedule()
+}
+
+// completeRequest records a finished request.
+func (s *Service) completeRequest(r *Request, now float64) {
+	s.completed++
+	s.collector.RecordOverall(now, now-r.ArrivedAt)
+}
+
+// Allocation returns the current component→node allocation array (the
+// paper's A[m]), using each component's primary instance.
+func (s *Service) Allocation() []int {
+	a := make([]int, len(s.components))
+	for i, c := range s.components {
+		a[i] = c.Primary().NodeID()
+	}
+	return a
+}

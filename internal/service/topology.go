@@ -1,0 +1,128 @@
+// Package service simulates a multi-stage, component-parallel online
+// service (the paper's Nutch-style search engine): requests arrive in an
+// open loop, each stage fans a request out to all of its parallel
+// components, a stage completes when every component has responded (stage
+// latency = max, paper Eq. 3), and stages run sequentially (overall latency
+// = sum, Eq. 4). Each component instance is a single-server FIFO queue, so
+// with Poisson arrivals it behaves as the M/G/1 system of Eq. 2.
+//
+// Component service times follow a ground-truth interference law driven by
+// the hosting node's contention vector; the performance predictor never
+// reads this law directly — it learns it from profiling samples, exactly as
+// the paper trains its regressions from historical runs.
+package service
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+)
+
+// StageSpec describes one sequential stage of the service.
+type StageSpec struct {
+	// Name identifies the stage (e.g. "searching").
+	Name string
+	// Components is the fan-out: the number of parallel components the
+	// stage aggregates over.
+	Components int
+	// BaseServiceTime is the mean service time in seconds of one
+	// sub-request on an uncontended node.
+	BaseServiceTime float64
+	// Demand is the static resource footprint of one component instance's
+	// VM (Table III's U_ci).
+	Demand cluster.Vector
+}
+
+// Topology is the service implementation topology of paper §IV-B: an
+// ordered list of sequential stages.
+type Topology struct {
+	Name   string
+	Stages []StageSpec
+}
+
+// Validate checks the topology for configuration errors.
+func (t Topology) Validate() error {
+	if len(t.Stages) == 0 {
+		return fmt.Errorf("service: topology %q has no stages", t.Name)
+	}
+	for i, s := range t.Stages {
+		if s.Components <= 0 {
+			return fmt.Errorf("service: stage %d (%s) has %d components", i, s.Name, s.Components)
+		}
+		if s.BaseServiceTime <= 0 {
+			return fmt.Errorf("service: stage %d (%s) has non-positive base service time", i, s.Name)
+		}
+	}
+	return nil
+}
+
+// NumComponents returns the total component count across stages (the
+// paper's m).
+func (t Topology) NumComponents() int {
+	n := 0
+	for _, s := range t.Stages {
+		n += s.Components
+	}
+	return n
+}
+
+// NutchTopology models the three-stage Nutch search engine of paper Fig. 1
+// with the Fig. 6 deployment: searchers fanned out across searchComponents
+// components (100 in the paper), flanked by smaller segmenting and
+// aggregating tiers. Base service times are chosen so the service is stable
+// at the paper's heaviest arrival rate (500 req/s) on uncontended nodes and
+// saturates under heavy interference — the regime where component-level
+// scheduling pays off.
+func NutchTopology(searchComponents int) Topology {
+	if searchComponents <= 0 {
+		searchComponents = 100
+	}
+	return Topology{
+		Name: "nutch-search",
+		Stages: []StageSpec{
+			{
+				Name:            "segmenting",
+				Components:      5,
+				BaseServiceTime: 0.0003, // 0.3 ms
+				Demand: cluster.Vector{
+					cluster.Core: 0.6, cluster.Cache: 4, cluster.DiskBW: 2, cluster.NetBW: 4,
+				},
+			},
+			{
+				Name:            "searching",
+				Components:      searchComponents,
+				BaseServiceTime: 0.0008, // 0.8 ms
+				Demand: cluster.Vector{
+					cluster.Core: 0.9, cluster.Cache: 6, cluster.DiskBW: 8, cluster.NetBW: 6,
+				},
+			},
+			{
+				Name:            "aggregating",
+				Components:      5,
+				BaseServiceTime: 0.0002, // 0.2 ms
+				Demand: cluster.Vector{
+					cluster.Core: 0.5, cluster.Cache: 3, cluster.DiskBW: 2, cluster.NetBW: 8,
+				},
+			},
+		},
+	}
+}
+
+// EcommerceTopology is a four-stage topology (front-end, catalog,
+// recommendation, checkout-pricing) used by the e-commerce example; the
+// paper's introduction names e-commerce sites as a target workload class.
+func EcommerceTopology() Topology {
+	return Topology{
+		Name: "ecommerce",
+		Stages: []StageSpec{
+			{Name: "frontend", Components: 4, BaseServiceTime: 0.0002,
+				Demand: cluster.Vector{cluster.Core: 0.5, cluster.Cache: 3, cluster.DiskBW: 1, cluster.NetBW: 6}},
+			{Name: "catalog", Components: 32, BaseServiceTime: 0.0007,
+				Demand: cluster.Vector{cluster.Core: 0.8, cluster.Cache: 6, cluster.DiskBW: 10, cluster.NetBW: 5}},
+			{Name: "recommend", Components: 16, BaseServiceTime: 0.0009,
+				Demand: cluster.Vector{cluster.Core: 1.1, cluster.Cache: 8, cluster.DiskBW: 4, cluster.NetBW: 4}},
+			{Name: "pricing", Components: 8, BaseServiceTime: 0.0004,
+				Demand: cluster.Vector{cluster.Core: 0.6, cluster.Cache: 4, cluster.DiskBW: 2, cluster.NetBW: 5}},
+		},
+	}
+}

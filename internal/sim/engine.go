@@ -1,0 +1,198 @@
+// Package sim implements a deterministic discrete-event simulation engine:
+// a virtual clock, a binary-heap event queue, and periodic tasks. All of the
+// PCS reproduction's cluster, workload and service dynamics run on top of
+// this engine.
+//
+// Time is a float64 number of seconds of virtual time. Events scheduled for
+// the same instant fire in FIFO order of scheduling, which keeps runs
+// reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a callback scheduled to run at a point in virtual time.
+type Event func(now float64)
+
+type scheduledEvent struct {
+	at    float64
+	seq   uint64 // tie-break: FIFO among same-time events
+	fn    Event
+	index int // heap index, -1 once popped or cancelled
+}
+
+// EventHandle allows a scheduled event to be cancelled before it fires.
+type EventHandle struct {
+	ev     *scheduledEvent
+	engine *Engine
+}
+
+// Cancel removes the event from the queue. Cancelling an event that already
+// fired or was already cancelled is a no-op. It reports whether the event
+// was actually removed.
+func (h *EventHandle) Cancel() bool {
+	if h == nil || h.ev == nil || h.ev.index < 0 {
+		return false
+	}
+	heap.Remove(&h.engine.queue, h.ev.index)
+	h.ev.index = -1
+	h.ev.fn = nil
+	return true
+}
+
+// Time returns the virtual time the event is (or was) scheduled for.
+func (h *EventHandle) Time() float64 { return h.ev.at }
+
+type eventQueue []*scheduledEvent
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*scheduledEvent)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now     float64
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine with the clock at 0.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending reports the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Fired reports the total number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it indicates a logic bug that would silently corrupt causality.
+func (e *Engine) At(t float64, fn Event) *EventHandle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %.9f before now %.9f", t, e.now))
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic("sim: scheduling at non-finite time")
+	}
+	ev := &scheduledEvent{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return &EventHandle{ev: ev, engine: e}
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d float64, fn Event) *EventHandle {
+	return e.At(e.now+d, fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in time order until the queue drains, the horizon is
+// reached, or Stop is called. It returns the final virtual time. Events
+// scheduled beyond the horizon remain queued; the clock is left at the
+// horizon if it was reached.
+func (e *Engine) Run(horizon float64) float64 {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > horizon {
+			e.now = horizon
+			return e.now
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		fn := next.fn
+		next.fn = nil
+		e.fired++
+		fn(e.now)
+	}
+	if e.now < horizon && !e.stopped && !math.IsInf(horizon, 1) {
+		e.now = horizon
+	}
+	return e.now
+}
+
+// RunUntilEmpty executes all queued events regardless of time.
+func (e *Engine) RunUntilEmpty() float64 {
+	return e.Run(math.Inf(1))
+}
+
+// Every schedules fn to run now+period, now+2·period, ... until the returned
+// Ticker is stopped. The first invocation is one period from now (or at
+// start if a positive start offset is supplied via EveryAt).
+func (e *Engine) Every(period float64, fn Event) *Ticker {
+	return e.EveryAt(e.now+period, period, fn)
+}
+
+// EveryAt schedules fn at absolute time first and then every period
+// thereafter.
+func (e *Engine) EveryAt(first, period float64, fn Event) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.handle = e.At(first, t.tick)
+	return t
+}
+
+// Ticker repeatedly fires a callback at a fixed virtual-time period.
+type Ticker struct {
+	engine  *Engine
+	period  float64
+	fn      Event
+	handle  *EventHandle
+	stopped bool
+}
+
+func (t *Ticker) tick(now float64) {
+	if t.stopped {
+		return
+	}
+	t.fn(now)
+	if !t.stopped {
+		t.handle = t.engine.At(now+t.period, t.tick)
+	}
+}
+
+// Stop cancels future firings.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.handle != nil {
+		t.handle.Cancel()
+	}
+}

@@ -1,0 +1,251 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(3, func(float64) { order = append(order, 3) })
+	e.At(1, func(float64) { order = append(order, 1) })
+	e.At(2, func(float64) { order = append(order, 2) })
+	e.RunUntilEmpty()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func(float64) { order = append(order, i) })
+	}
+	e.RunUntilEmpty()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNowAdvances(t *testing.T) {
+	e := NewEngine()
+	var at float64
+	e.At(2.5, func(now float64) { at = now })
+	e.RunUntilEmpty()
+	if at != 2.5 {
+		t.Fatalf("callback saw now=%v", at)
+	}
+	if e.Now() != 2.5 {
+		t.Fatalf("engine now=%v", e.Now())
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	e.At(1, func(now float64) {
+		e.After(2, func(now2 float64) { times = append(times, now2) })
+	})
+	e.RunUntilEmpty()
+	if len(times) != 1 || times[0] != 3 {
+		t.Fatalf("After fired at %v, want [3]", times)
+	}
+}
+
+func TestHorizonStopsEarly(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.At(10, func(float64) { fired = true })
+	end := e.Run(5)
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	if end != 5 || e.Now() != 5 {
+		t.Fatalf("clock = %v, want 5", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	// A later Run picks the event up.
+	e.Run(20)
+	if !fired {
+		t.Fatal("event not fired after extending horizon")
+	}
+}
+
+func TestRunAdvancesClockToHorizonWhenQueueDrains(t *testing.T) {
+	e := NewEngine()
+	e.At(1, func(float64) {})
+	if end := e.Run(100); end != 100 {
+		t.Fatalf("end = %v, want 100", end)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.At(1, func(float64) { count++; e.Stop() })
+	e.At(2, func(float64) { count++ })
+	e.Run(10)
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 (stopped)", count)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	h := e.At(1, func(float64) { fired = true })
+	if !h.Cancel() {
+		t.Fatal("first cancel should report true")
+	}
+	if h.Cancel() {
+		t.Fatal("second cancel should report false")
+	}
+	e.RunUntilEmpty()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(1, func(float64) { order = append(order, 1) })
+	h2 := e.At(2, func(float64) { order = append(order, 2) })
+	e.At(3, func(float64) { order = append(order, 3) })
+	h2.Cancel()
+	e.RunUntilEmpty()
+	if len(order) != 2 || order[0] != 1 || order[1] != 3 {
+		t.Fatalf("order = %v, want [1 3]", order)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func(float64) {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(1, func(float64) {})
+	})
+	e.RunUntilEmpty()
+}
+
+func TestSchedulingNaNPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling at NaN did not panic")
+		}
+	}()
+	e.At(math.NaN(), func(float64) {})
+}
+
+func TestTickerFiresPeriodically(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	tk := e.Every(2, func(now float64) { times = append(times, now) })
+	e.Run(9)
+	tk.Stop()
+	want := []float64{2, 4, 6, 8}
+	if len(times) != len(want) {
+		t.Fatalf("ticker fired at %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("ticker fired at %v, want %v", times, want)
+		}
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tk *Ticker
+	tk = e.Every(1, func(float64) {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	e.Run(100)
+	if count != 3 {
+		t.Fatalf("ticker fired %d times, want 3", count)
+	}
+}
+
+func TestEveryAt(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	e.EveryAt(0.5, 1, func(now float64) { times = append(times, now) })
+	e.Run(3)
+	want := []float64{0.5, 1.5, 2.5}
+	if len(times) != len(want) {
+		t.Fatalf("fired at %v", times)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", times, want)
+		}
+	}
+}
+
+func TestEveryPanicsOnBadPeriod(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0) did not panic")
+		}
+	}()
+	e.Every(0, func(float64) {})
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.At(float64(i), func(float64) {})
+	}
+	e.RunUntilEmpty()
+	if e.Fired() != 5 {
+		t.Fatalf("fired = %d, want 5", e.Fired())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	// Events scheduled from inside events interleave correctly.
+	e := NewEngine()
+	var order []string
+	e.At(1, func(float64) {
+		order = append(order, "a")
+		e.At(1.5, func(float64) { order = append(order, "b") })
+	})
+	e.At(2, func(float64) { order = append(order, "c") })
+	e.RunUntilEmpty()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestManyEventsStress(t *testing.T) {
+	e := NewEngine()
+	const n = 100000
+	count := 0
+	for i := 0; i < n; i++ {
+		e.At(float64(i%100), func(float64) { count++ })
+	}
+	e.RunUntilEmpty()
+	if count != n {
+		t.Fatalf("count = %d, want %d", count, n)
+	}
+}

@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram is a fixed-bucket histogram over [Lo, Hi) with uniform bucket
+// width. Observations outside the range are counted in the under/overflow
+// counters rather than dropped, so totals always balance.
+type Histogram struct {
+	Lo, Hi    float64
+	buckets   []int
+	underflow int
+	overflow  int
+	total     int
+}
+
+// NewHistogram creates a histogram with n uniform buckets spanning [lo, hi).
+// It panics if n < 1 or hi <= lo, which are programming errors.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n < 1 {
+		panic("stats: histogram needs at least one bucket")
+	}
+	if hi <= lo {
+		panic("stats: histogram needs hi > lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, buckets: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.underflow++
+	case x >= h.Hi:
+		h.overflow++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.buckets)))
+		if i >= len(h.buckets) { // guard float rounding at the upper edge
+			i = len(h.buckets) - 1
+		}
+		h.buckets[i]++
+	}
+}
+
+// Total reports the number of observations recorded, including out-of-range.
+func (h *Histogram) Total() int { return h.total }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) int { return h.buckets[i] }
+
+// NumBuckets returns the number of in-range buckets.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// Underflow and Overflow report the out-of-range counts.
+func (h *Histogram) Underflow() int { return h.underflow }
+
+// Overflow reports the count of observations at or above Hi.
+func (h *Histogram) Overflow() int { return h.overflow }
+
+// FractionBelow reports the fraction of observations strictly below x,
+// approximated at bucket granularity (each bucket's mass is attributed to
+// its lower edge).
+func (h *Histogram) FractionBelow(x float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	count := h.underflow
+	width := (h.Hi - h.Lo) / float64(len(h.buckets))
+	for i, c := range h.buckets {
+		edge := h.Lo + float64(i)*width
+		if edge >= x {
+			break
+		}
+		count += c
+	}
+	return float64(count) / float64(h.total)
+}
+
+// String renders a compact ASCII view, one line per non-empty bucket.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	width := (h.Hi - h.Lo) / float64(len(h.buckets))
+	maxCount := 0
+	for _, c := range h.buckets {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		bar := 1
+		if maxCount > 0 {
+			bar = c * 40 / maxCount
+			if bar == 0 {
+				bar = 1
+			}
+		}
+		fmt.Fprintf(&b, "[%8.2f, %8.2f) %6d %s\n",
+			h.Lo+float64(i)*width, h.Lo+float64(i+1)*width, c, strings.Repeat("#", bar))
+	}
+	if h.underflow > 0 {
+		fmt.Fprintf(&b, "underflow %d\n", h.underflow)
+	}
+	if h.overflow > 0 {
+		fmt.Fprintf(&b, "overflow  %d\n", h.overflow)
+	}
+	return b.String()
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	if h.Total() != 10 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	for i := 0; i < 10; i++ {
+		if h.Bucket(i) != 1 {
+			t.Fatalf("bucket %d = %d, want 1", i, h.Bucket(i))
+		}
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(-0.5)
+	h.Add(2.5)
+	h.Add(1.0) // upper edge is exclusive → overflow
+	if h.Underflow() != 1 {
+		t.Errorf("underflow = %d, want 1", h.Underflow())
+	}
+	if h.Overflow() != 2 {
+		t.Errorf("overflow = %d, want 2", h.Overflow())
+	}
+	if h.Total() != 3 {
+		t.Errorf("total = %d, want 3", h.Total())
+	}
+}
+
+func TestHistogramUpperEdgeRounding(t *testing.T) {
+	h := NewHistogram(0, 1, 3)
+	h.Add(0.9999999999999999) // rounds to bucket index 3 without the guard
+	if h.Overflow() != 0 {
+		t.Fatalf("value below Hi counted as overflow")
+	}
+	if h.Bucket(2) != 1 {
+		t.Fatalf("last bucket = %d, want 1", h.Bucket(2))
+	}
+}
+
+func TestHistogramFractionBelow(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	if got := h.FractionBelow(5); !almostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("FractionBelow(5) = %v, want 0.5", got)
+	}
+	if got := h.FractionBelow(100); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("FractionBelow(100) = %v, want 1", got)
+	}
+	var empty = NewHistogram(0, 1, 2)
+	if empty.FractionBelow(0.5) != 0 {
+		t.Fatal("empty histogram FractionBelow should be 0")
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(1.6)
+	h.Add(-1)
+	s := h.String()
+	if !strings.Contains(s, "underflow 1") {
+		t.Errorf("String() missing underflow: %q", s)
+	}
+	if !strings.Contains(s, "#") {
+		t.Errorf("String() missing bars: %q", s)
+	}
+}
+
+func TestHistogramPanicsOnBadConfig(t *testing.T) {
+	for _, tc := range []struct {
+		lo, hi float64
+		n      int
+	}{
+		{0, 1, 0},
+		{1, 1, 4},
+		{2, 1, 4},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v,%v,%d) did not panic", tc.lo, tc.hi, tc.n)
+				}
+			}()
+			NewHistogram(tc.lo, tc.hi, tc.n)
+		}()
+	}
+}
+
+func TestHistogramNumBuckets(t *testing.T) {
+	h := NewHistogram(0, 1, 7)
+	if h.NumBuckets() != 7 {
+		t.Fatalf("NumBuckets = %d", h.NumBuckets())
+	}
+}

@@ -1,0 +1,90 @@
+// Package stats provides the numerical building blocks used throughout the
+// PCS reproduction: online moment accumulators, percentile estimation,
+// histograms, Pearson correlation, and polynomial least-squares regression.
+//
+// Everything in this package is deterministic and allocation-conscious; the
+// scheduler calls into it on the hot path when rebuilding the performance
+// matrix, and the benchmark harness uses it to summarise latency traces.
+package stats
+
+import "math"
+
+// Welford accumulates mean and variance of a stream of observations using
+// Welford's numerically stable online algorithm. The zero value is ready to
+// use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// AddAll folds every value of xs into the accumulator.
+func (w *Welford) AddAll(xs []float64) {
+	for _, x := range xs {
+		w.Add(x)
+	}
+}
+
+// N reports the number of observations added so far.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean, or 0 if no observations were added.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the population variance of the observations seen so far.
+// It returns 0 for fewer than two observations.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// SampleVariance returns the unbiased (n-1) sample variance.
+func (w *Welford) SampleVariance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// SquaredCV returns the squared coefficient of variation C²x = var(x)/x̄²,
+// the quantity the M/G/1 latency formula (paper Eq. 2) depends on. It
+// returns 0 when the mean is 0.
+func (w *Welford) SquaredCV() float64 {
+	if w.mean == 0 {
+		return 0
+	}
+	return w.Variance() / (w.mean * w.mean)
+}
+
+// Reset returns the accumulator to its zero state.
+func (w *Welford) Reset() { *w = Welford{} }
+
+// Merge combines another accumulator into this one, as if every observation
+// added to other had been added to w. Uses the parallel variance formula.
+func (w *Welford) Merge(other *Welford) {
+	if other.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *other
+		return
+	}
+	n := w.n + other.n
+	delta := other.mean - w.mean
+	mean := w.mean + delta*float64(other.n)/float64(n)
+	m2 := w.m2 + other.m2 + delta*delta*float64(w.n)*float64(other.n)/float64(n)
+	w.n, w.mean, w.m2 = n, mean, m2
+}

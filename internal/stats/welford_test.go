@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.N() != 0 || w.Mean() != 0 || w.Variance() != 0 || w.StdDev() != 0 {
+		t.Fatalf("zero-value Welford should report zeros, got n=%d mean=%v var=%v", w.N(), w.Mean(), w.Variance())
+	}
+}
+
+func TestWelfordSingleObservation(t *testing.T) {
+	var w Welford
+	w.Add(42)
+	if w.N() != 1 {
+		t.Fatalf("n = %d, want 1", w.N())
+	}
+	if w.Mean() != 42 {
+		t.Fatalf("mean = %v, want 42", w.Mean())
+	}
+	if w.Variance() != 0 {
+		t.Fatalf("variance of one observation = %v, want 0", w.Variance())
+	}
+}
+
+func TestWelfordKnownValues(t *testing.T) {
+	var w Welford
+	w.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEqual(w.Mean(), 5, 1e-12) {
+		t.Errorf("mean = %v, want 5", w.Mean())
+	}
+	if !almostEqual(w.Variance(), 4, 1e-12) {
+		t.Errorf("population variance = %v, want 4", w.Variance())
+	}
+	if !almostEqual(w.SampleVariance(), 32.0/7, 1e-12) {
+		t.Errorf("sample variance = %v, want %v", w.SampleVariance(), 32.0/7)
+	}
+	if !almostEqual(w.StdDev(), 2, 1e-12) {
+		t.Errorf("stddev = %v, want 2", w.StdDev())
+	}
+}
+
+func TestWelfordSquaredCV(t *testing.T) {
+	var w Welford
+	w.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	want := 4.0 / 25.0
+	if !almostEqual(w.SquaredCV(), want, 1e-12) {
+		t.Errorf("C² = %v, want %v", w.SquaredCV(), want)
+	}
+}
+
+func TestWelfordSquaredCVZeroMean(t *testing.T) {
+	var w Welford
+	w.AddAll([]float64{-1, 1})
+	if w.SquaredCV() != 0 {
+		t.Errorf("C² with zero mean = %v, want 0", w.SquaredCV())
+	}
+}
+
+func TestWelfordReset(t *testing.T) {
+	var w Welford
+	w.AddAll([]float64{1, 2, 3})
+	w.Reset()
+	if w.N() != 0 || w.Mean() != 0 {
+		t.Fatalf("reset accumulator not empty: n=%d mean=%v", w.N(), w.Mean())
+	}
+}
+
+func TestWelfordMatchesDirectComputation(t *testing.T) {
+	// Property: streaming mean/variance match the two-pass formulas.
+	f := func(xs []float64) bool {
+		// Bound magnitudes to keep the two-pass reference numerically sane.
+		for i := range xs {
+			if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) {
+				return true
+			}
+			xs[i] = math.Mod(xs[i], 1e6)
+		}
+		var w Welford
+		w.AddAll(xs)
+		if len(xs) == 0 {
+			return w.N() == 0
+		}
+		mean := Mean(xs)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		wantVar := ss / float64(len(xs))
+		tol := 1e-6 * (1 + math.Abs(mean) + wantVar)
+		return almostEqual(w.Mean(), mean, tol) && almostEqual(w.Variance(), wantVar, tol)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelfordMergeEquivalentToSequential(t *testing.T) {
+	f := func(a, b []float64) bool {
+		for i := range a {
+			if math.IsNaN(a[i]) || math.IsInf(a[i], 0) {
+				return true
+			}
+			a[i] = math.Mod(a[i], 1e6)
+		}
+		for i := range b {
+			if math.IsNaN(b[i]) || math.IsInf(b[i], 0) {
+				return true
+			}
+			b[i] = math.Mod(b[i], 1e6)
+		}
+		var w1, w2, all Welford
+		w1.AddAll(a)
+		w2.AddAll(b)
+		all.AddAll(a)
+		all.AddAll(b)
+		w1.Merge(&w2)
+		if w1.N() != all.N() {
+			return false
+		}
+		if all.N() == 0 {
+			return true
+		}
+		tol := 1e-6 * (1 + math.Abs(all.Mean()) + all.Variance())
+		return almostEqual(w1.Mean(), all.Mean(), tol) && almostEqual(w1.Variance(), all.Variance(), tol)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelfordMergeIntoEmpty(t *testing.T) {
+	var empty, full Welford
+	full.AddAll([]float64{1, 2, 3})
+	empty.Merge(&full)
+	if empty.N() != 3 || !almostEqual(empty.Mean(), 2, 1e-12) {
+		t.Fatalf("merge into empty: n=%d mean=%v", empty.N(), empty.Mean())
+	}
+	var other Welford
+	full.Merge(&other) // merging empty is a no-op
+	if full.N() != 3 {
+		t.Fatalf("merge of empty changed n to %d", full.N())
+	}
+}

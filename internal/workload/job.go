@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+)
+
+// BatchJob is one running batch job occupying resources on a node. It
+// implements cluster.Program with a demand vector fixed at creation (the
+// job-level dynamism the paper describes comes from jobs arriving and
+// departing, not from intra-job phase changes; see PhasedJob for the
+// two-phase extension).
+type BatchJob struct {
+	id      string
+	Kind    JobKind
+	InputMB float64
+	demand  cluster.Vector
+	// Start and End are virtual times in seconds, filled by the generator.
+	Start, End float64
+}
+
+// NewBatchJob creates a job of the given kind and input size. jitter scales
+// the demand vector (1.0 = nominal) to model run-to-run variation.
+func NewBatchJob(id string, kind JobKind, inputMB, jitter float64) *BatchJob {
+	if jitter <= 0 {
+		jitter = 1
+	}
+	return &BatchJob{
+		id:      id,
+		Kind:    kind,
+		InputMB: inputMB,
+		demand:  Demand(kind, inputMB).Scale(jitter),
+	}
+}
+
+// ProgramID implements cluster.Program.
+func (j *BatchJob) ProgramID() string { return j.id }
+
+// Demand implements cluster.Program.
+func (j *BatchJob) Demand() cluster.Vector { return j.demand }
+
+// String describes the job.
+func (j *BatchJob) String() string {
+	return fmt.Sprintf("%s[%s %.0fMB]", j.id, j.Kind, j.InputMB)
+}
+
+// PhasedJob wraps a BatchJob with a two-phase demand profile: a map-like
+// phase using the nominal demand and a reduce-like phase that shifts weight
+// from CPU toward I/O. The generator flips the phase halfway through the
+// job's lifetime; the hosting node must be Refresh()ed afterwards because
+// the demand mutates in place.
+type PhasedJob struct {
+	BatchJob
+	inReduce bool
+}
+
+// NewPhasedJob creates a two-phase job.
+func NewPhasedJob(id string, kind JobKind, inputMB, jitter float64) *PhasedJob {
+	j := NewBatchJob(id, kind, inputMB, jitter)
+	return &PhasedJob{BatchJob: *j}
+}
+
+// EnterReducePhase shifts the job's demand toward I/O: core demand halves
+// and disk/network demand grows by half. Idempotent.
+func (j *PhasedJob) EnterReducePhase() {
+	if j.inReduce {
+		return
+	}
+	j.inReduce = true
+	j.demand[cluster.Core] *= 0.5
+	j.demand[cluster.DiskBW] *= 1.5
+	j.demand[cluster.NetBW] *= 1.5
+}
+
+// InReducePhase reports whether the job has entered its reduce phase.
+func (j *PhasedJob) InReducePhase() bool { return j.inReduce }

@@ -1,0 +1,297 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+func TestDemandPaperAnchor(t *testing.T) {
+	// §II-B: WordCount on a 12-core Xeon uses ≈31 %, 61 %, 79 % CPU at
+	// 500 MB, 2 GB, 8 GB inputs. Our curve should land near those points.
+	cases := []struct {
+		inputMB float64
+		wantCPU float64 // fraction of 12 cores
+	}{
+		{500, 0.31},
+		{2048, 0.61},
+		{8192, 0.79},
+	}
+	for _, tc := range cases {
+		d := Demand(HadoopWordCount, tc.inputMB)
+		gotFrac := d[cluster.Core] / 12
+		if math.Abs(gotFrac-tc.wantCPU) > 0.06 {
+			t.Errorf("WordCount %vMB: CPU fraction = %.2f, want ≈%.2f", tc.inputMB, gotFrac, tc.wantCPU)
+		}
+	}
+}
+
+func TestDemandMonotoneInInputSize(t *testing.T) {
+	for _, kind := range JobKinds() {
+		prev := Demand(kind, 0)
+		for _, size := range []float64{10, 100, 1000, 10000, 100000} {
+			cur := Demand(kind, size)
+			for r := 0; r < cluster.NumResources; r++ {
+				if cur[r] < prev[r]-1e-12 {
+					t.Fatalf("%s: demand[%d] not monotone at %vMB", kind, r, size)
+				}
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestDemandZeroAndNegativeInput(t *testing.T) {
+	for _, kind := range JobKinds() {
+		if !Demand(kind, 0).IsZero() {
+			t.Errorf("%s: zero input should have zero demand", kind)
+		}
+		if !Demand(kind, -5).IsZero() {
+			t.Errorf("%s: negative input should clamp to zero demand", kind)
+		}
+	}
+}
+
+func TestStackCharacterisation(t *testing.T) {
+	// The paper's example: Hadoop Bayes is CPU-intensive, Spark Bayes is
+	// I/O-intensive (§II-B). At a common large input, Hadoop Bayes must
+	// dominate on cores and Spark Bayes on disk bandwidth.
+	const size = 4096
+	hb := Demand(HadoopBayes, size)
+	sb := Demand(SparkBayes, size)
+	if hb[cluster.Core] <= sb[cluster.Core] {
+		t.Errorf("Hadoop Bayes core %.2f should exceed Spark Bayes %.2f", hb[cluster.Core], sb[cluster.Core])
+	}
+	if sb[cluster.DiskBW] <= hb[cluster.DiskBW] {
+		t.Errorf("Spark Bayes diskBW %.2f should exceed Hadoop Bayes %.2f", sb[cluster.DiskBW], hb[cluster.DiskBW])
+	}
+}
+
+func TestIsHadoop(t *testing.T) {
+	for _, k := range []JobKind{HadoopBayes, HadoopWordCount, HadoopPageIndex} {
+		if !k.IsHadoop() {
+			t.Errorf("%s should be Hadoop", k)
+		}
+	}
+	for _, k := range []JobKind{SparkBayes, SparkWordCount, SparkSort} {
+		if k.IsHadoop() {
+			t.Errorf("%s should not be Hadoop", k)
+		}
+	}
+}
+
+func TestJobKindStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range JobKinds() {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("kind %d has empty or duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if JobKind(99).String() == "" {
+		t.Error("unknown kind should still format")
+	}
+}
+
+func TestDurationScalesWithInput(t *testing.T) {
+	if Duration(HadoopWordCount, 100) >= Duration(HadoopWordCount, 10000) {
+		t.Error("duration should grow with input size")
+	}
+	// Spark completes faster than Hadoop on the same input (in-memory).
+	if Duration(SparkSort, 4096) >= Duration(HadoopWordCount, 4096) {
+		t.Error("Spark should finish sooner than Hadoop at equal input")
+	}
+	if Duration(HadoopBayes, 0) < 1 {
+		t.Error("even tiny jobs take a few seconds")
+	}
+}
+
+func TestBatchJobProgramInterface(t *testing.T) {
+	j := NewBatchJob("job-1", SparkSort, 1000, 1.0)
+	if j.ProgramID() != "job-1" {
+		t.Fatalf("id = %q", j.ProgramID())
+	}
+	want := Demand(SparkSort, 1000)
+	if j.Demand() != want {
+		t.Fatalf("demand = %v, want %v", j.Demand(), want)
+	}
+	if j.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestBatchJobJitter(t *testing.T) {
+	base := NewBatchJob("a", HadoopBayes, 1000, 1.0)
+	scaled := NewBatchJob("b", HadoopBayes, 1000, 1.5)
+	for r := 0; r < cluster.NumResources; r++ {
+		if math.Abs(scaled.Demand()[r]-1.5*base.Demand()[r]) > 1e-9 {
+			t.Fatalf("jitter not applied: %v vs %v", scaled.Demand(), base.Demand())
+		}
+	}
+	// Non-positive jitter falls back to nominal.
+	fallback := NewBatchJob("c", HadoopBayes, 1000, 0)
+	if fallback.Demand() != base.Demand() {
+		t.Fatal("zero jitter should mean nominal demand")
+	}
+}
+
+func TestPhasedJobShiftsDemand(t *testing.T) {
+	j := NewPhasedJob("p", HadoopWordCount, 2000, 1.0)
+	before := j.Demand()
+	j.EnterReducePhase()
+	after := j.Demand()
+	if !j.InReducePhase() {
+		t.Fatal("phase flag not set")
+	}
+	if after[cluster.Core] >= before[cluster.Core] {
+		t.Error("reduce phase should lower core demand")
+	}
+	if after[cluster.DiskBW] <= before[cluster.DiskBW] {
+		t.Error("reduce phase should raise disk demand")
+	}
+	// Idempotent.
+	j.EnterReducePhase()
+	if j.Demand() != after {
+		t.Error("EnterReducePhase is not idempotent")
+	}
+}
+
+func TestGeneratorMaintainsConcurrency(t *testing.T) {
+	engine := sim.NewEngine()
+	cl := cluster.New(10, cluster.DefaultCapacity())
+	src := xrand.New(3)
+	g := NewGenerator(engine, cl, src, GeneratorConfig{TargetConcurrency: 2, Heterogeneity: -1})
+	g.Start()
+	engine.Run(300)
+
+	if g.Started() == 0 {
+		t.Fatal("no jobs started")
+	}
+	if g.Ended() == 0 {
+		t.Fatal("no jobs ended")
+	}
+	perNode := float64(g.Active()) / 10
+	if perNode < 0.5 || perNode > 6 {
+		t.Fatalf("steady-state concurrency per node = %.2f, want around 2", perNode)
+	}
+	// Active accounting is consistent.
+	if g.Active() != g.Started()-g.Ended() {
+		t.Fatalf("active=%d started=%d ended=%d inconsistent", g.Active(), g.Started(), g.Ended())
+	}
+}
+
+func TestGeneratorProducesContention(t *testing.T) {
+	engine := sim.NewEngine()
+	cl := cluster.New(4, cluster.DefaultCapacity())
+	g := NewGenerator(engine, cl, xrand.New(4), GeneratorConfig{TargetConcurrency: 3})
+	g.Start()
+	engine.Run(60)
+	total := 0.0
+	for _, v := range cl.Contentions() {
+		total += v[cluster.Core]
+	}
+	if total == 0 {
+		t.Fatal("no core contention from batch jobs after 60s")
+	}
+}
+
+func TestGeneratorHeterogeneitySpreadsTargets(t *testing.T) {
+	engine := sim.NewEngine()
+	cl := cluster.New(20, cluster.DefaultCapacity())
+	g := NewGenerator(engine, cl, xrand.New(5), GeneratorConfig{TargetConcurrency: 2, Heterogeneity: 0.6})
+	min, max := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 20; i++ {
+		v := g.NodeTarget(i)
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		if v < 2*0.4-1e-9 || v > 2*1.6+1e-9 {
+			t.Fatalf("node target %v outside [0.8, 3.2]", v)
+		}
+	}
+	if max-min < 0.3 {
+		t.Fatalf("heterogeneity spread too small: [%v, %v]", min, max)
+	}
+}
+
+func TestGeneratorTwoPhaseJobsShiftNodeDemand(t *testing.T) {
+	engine := sim.NewEngine()
+	cl := cluster.New(2, cluster.DefaultCapacity())
+	g := NewGenerator(engine, cl, xrand.New(6), GeneratorConfig{
+		TargetConcurrency: 3, TwoPhase: true, MinInputMB: 2000, MaxInputMB: 8000,
+	})
+	g.Start()
+	engine.Run(120)
+	if g.Started() == 0 {
+		t.Fatal("no jobs")
+	}
+	// Smoke: the run completes without panics and jobs churn.
+	if g.Ended() == 0 {
+		t.Fatal("no two-phase jobs completed")
+	}
+}
+
+func TestKindSizeGrid(t *testing.T) {
+	kinds := []JobKind{HadoopBayes, SparkSort}
+	sizes := []float64{100, 200, 300}
+	grid := KindSizeGrid(kinds, sizes)
+	if len(grid) != 6 {
+		t.Fatalf("grid size = %d, want 6", len(grid))
+	}
+	if grid[0] != Demand(HadoopBayes, 100) {
+		t.Fatal("grid[0] mismatch")
+	}
+	if grid[5] != Demand(SparkSort, 300) {
+		t.Fatal("grid[5] mismatch")
+	}
+}
+
+func TestLinearSizes(t *testing.T) {
+	s := LinearSizes(5, 0, 100)
+	want := []float64{0, 25, 50, 75, 100}
+	for i := range want {
+		if math.Abs(s[i]-want[i]) > 1e-9 {
+			t.Fatalf("sizes = %v", s)
+		}
+	}
+	if got := LinearSizes(1, 7, 100); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("single size = %v", got)
+	}
+}
+
+func TestTrainingMixesProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		src := xrand.New(seed)
+		mixes := TrainingMixes(src, 20, 3, 1, 1000)
+		if len(mixes) != 20 {
+			return false
+		}
+		for _, m := range mixes {
+			for r := 0; r < cluster.NumResources; r++ {
+				if m[r] < 0 || math.IsNaN(m[r]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrainingMixesDefaults(t *testing.T) {
+	src := xrand.New(1)
+	mixes := TrainingMixes(src, 10, 0, 0, 0) // all defaults
+	if len(mixes) != 10 {
+		t.Fatalf("len = %d", len(mixes))
+	}
+}

@@ -1,0 +1,366 @@
+// Package pcs is the public API of the PCS reproduction: predictive
+// component-level scheduling for reducing tail latency in cloud online
+// services (Han et al., ICPP 2015).
+//
+// The package runs end-to-end simulations of a multi-stage online service
+// co-located with short batch jobs on a cluster, under one of six execution
+// techniques: Basic, request redundancy (RED-3, RED-5), request reissue
+// (RI-90, RI-99), or PCS itself (monitor → performance predictor →
+// greedy component-level scheduler). A minimal session:
+//
+//	result, err := pcs.Run(pcs.Options{
+//		Technique:   pcs.PCS,
+//		ArrivalRate: 100, // requests/second
+//		Requests:    20000,
+//		Seed:        1,
+//	})
+//	fmt.Printf("avg overall %.1f ms, p99 component %.2f ms\n",
+//		result.AvgOverallMs, result.P99ComponentMs)
+//
+// Lower-level building blocks (the predictor's regressions, the M/G/1
+// latency model, the performance matrix and Algorithm 1) are exposed via
+// the Predictor and Scheduler helpers in this package for users who want to
+// embed PCS-style scheduling in their own systems.
+package pcs
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/cluster"
+	"repro/internal/monitor"
+	"repro/internal/profiling"
+	"repro/internal/scheduler"
+	"repro/internal/service"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// Technique selects the latency-reduction technique of §VI-A.
+type Technique int
+
+const (
+	// Basic executes each sub-request once, with no redundancy and no
+	// scheduling.
+	Basic Technique = iota
+	// RED3 replicates every sub-request on 3 component replicas.
+	RED3
+	// RED5 replicates every sub-request on 5 component replicas.
+	RED5
+	// RI90 reissues a sub-request after the 90th percentile of its
+	// class's expected latency.
+	RI90
+	// RI99 reissues after the 99th percentile.
+	RI99
+	// PCS runs Basic execution plus predictive component-level scheduling.
+	PCS
+)
+
+// String returns the paper's name for the technique.
+func (t Technique) String() string {
+	switch t {
+	case Basic:
+		return "Basic"
+	case RED3:
+		return "RED-3"
+	case RED5:
+		return "RED-5"
+	case RI90:
+		return "RI-90"
+	case RI99:
+		return "RI-99"
+	case PCS:
+		return "PCS"
+	default:
+		return fmt.Sprintf("technique(%d)", int(t))
+	}
+}
+
+// Techniques lists all six compared techniques in the paper's order.
+func Techniques() []Technique {
+	return []Technique{Basic, RED3, RED5, RI90, RI99, PCS}
+}
+
+// Options configures one simulation run. The zero value of every field
+// selects the evaluation default noted on it.
+type Options struct {
+	// Technique is the execution technique (default Basic).
+	Technique Technique
+	// Seed drives all randomness; runs are deterministic given a seed.
+	Seed int64
+	// Nodes is the cluster size (default 30, the paper's testbed).
+	Nodes int
+	// SearchComponents is the fan-out of the searching stage (default 100,
+	// the paper's Fig. 6 deployment). The segmenting and aggregating
+	// stages are sized by the Nutch topology.
+	SearchComponents int
+	// ArrivalRate is the request arrival rate λ in requests/second
+	// (default 100).
+	ArrivalRate float64
+	// Requests is the number of arrivals to generate (default 20000).
+	Requests int
+	// WarmupFraction of the run's duration is excluded from metrics
+	// (default 0.15).
+	WarmupFraction float64
+	// DrainSeconds extends the horizon past the last arrival so in-flight
+	// requests can finish (default 10).
+	DrainSeconds float64
+
+	// BatchConcurrency is the average number of co-located batch jobs per
+	// node (default 2).
+	BatchConcurrency float64
+	// MinInputMB/MaxInputMB bound batch-job input sizes (defaults 1 MB and
+	// 10 GB, the paper's Fig. 6 sweep).
+	MinInputMB, MaxInputMB float64
+	// TwoPhaseJobs enables map→reduce demand shifts inside batch jobs.
+	TwoPhaseJobs bool
+
+	// CancelDelaySeconds is the redundancy cancellation-message delay
+	// (default 3 ms — network plus coordination latency on the paper's
+	// 1 GbE/Storm testbed; replicas that start within this window of each
+	// other all run to completion, §VI-C's "cancellation messages both in
+	// flight" effect).
+	CancelDelaySeconds float64
+
+	// SchedulingInterval is PCS's interval in seconds (default 5; see
+	// DESIGN.md on time compression vs the paper's 600 s — batch-job
+	// lifetimes are compressed by the same factor).
+	SchedulingInterval float64
+	// EpsilonSeconds is the migration threshold ε: migrations predicted to
+	// reduce overall latency by less are throttled. The paper sets ε to
+	// offset its migration cost (5 ms against a 100 ms acceptable latency,
+	// with Storm redeployments). This simulation's time scale is
+	// compressed ~20× and migrations are cheap (components keep serving),
+	// so the default is 0.000005 (0.005 ms); the threshold ablation bench
+	// sweeps it.
+	EpsilonSeconds float64
+	// MaxMigrationsPerInterval caps migrations per scheduling round
+	// (default 20, the upper end of the 10–20 components the paper reports
+	// migrating per interval). 0 keeps the default; -1 removes the cap.
+	MaxMigrationsPerInterval int
+	// RegressionDegree is the polynomial degree of the per-resource
+	// regressions used by the runtime predictor (default 1: linear fits
+	// stay monotone when the scheduler extrapolates beyond the profiled
+	// contention range; the Fig. 5 accuracy experiment uses degree 2
+	// in-range).
+	RegressionDegree int
+	// QueueModel selects the predictor's queueing formula: "mg1"
+	// (default), "mm1", or "none".
+	QueueModel string
+	// TrainingMixes is the number of random co-runner backgrounds profiled
+	// when training PCS's models (default 150).
+	TrainingMixes int
+	// ProfilingProbes is the number of probe requests per training sample
+	// (default 300).
+	ProfilingProbes int
+
+	// MonitorNoiseSigma is the relative measurement noise of the monitor
+	// (default 0.02).
+	MonitorNoiseSigma float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Nodes <= 0 {
+		o.Nodes = 30
+	}
+	if o.SearchComponents <= 0 {
+		o.SearchComponents = 100
+	}
+	if o.ArrivalRate <= 0 {
+		o.ArrivalRate = 100
+	}
+	if o.Requests <= 0 {
+		o.Requests = 20000
+	}
+	if o.WarmupFraction <= 0 || o.WarmupFraction >= 1 {
+		o.WarmupFraction = 0.15
+	}
+	if o.DrainSeconds <= 0 {
+		o.DrainSeconds = 10
+	}
+	if o.BatchConcurrency <= 0 {
+		o.BatchConcurrency = 2
+	}
+	if o.MinInputMB <= 0 {
+		o.MinInputMB = 1
+	}
+	if o.MaxInputMB <= o.MinInputMB {
+		o.MaxInputMB = 10 * 1024
+	}
+	if o.CancelDelaySeconds <= 0 {
+		o.CancelDelaySeconds = 0.003
+	}
+	if o.SchedulingInterval <= 0 {
+		o.SchedulingInterval = 5
+	}
+	if o.EpsilonSeconds <= 0 {
+		o.EpsilonSeconds = 0.000005
+	}
+	if o.MaxMigrationsPerInterval == 0 {
+		o.MaxMigrationsPerInterval = 20
+	} else if o.MaxMigrationsPerInterval < 0 {
+		o.MaxMigrationsPerInterval = 0 // scheduler treats 0 as unlimited
+	}
+	if o.RegressionDegree <= 0 {
+		o.RegressionDegree = 1
+	}
+	if o.QueueModel == "" {
+		o.QueueModel = "mg1"
+	}
+	if o.TrainingMixes <= 0 {
+		o.TrainingMixes = 150
+	}
+	if o.ProfilingProbes <= 0 {
+		o.ProfilingProbes = 300
+	}
+	if o.MonitorNoiseSigma <= 0 {
+		o.MonitorNoiseSigma = 0.02
+	}
+	return o
+}
+
+// Result reports one run. Latencies are in milliseconds.
+type Result struct {
+	Technique   string
+	ArrivalRate float64
+
+	// AvgOverallMs is the average overall service latency (the paper's
+	// second metric).
+	AvgOverallMs float64
+	// P99ComponentMs is the 99th-percentile component latency (the
+	// paper's first metric).
+	P99ComponentMs float64
+
+	// Distribution detail.
+	OverallP50Ms, OverallP99Ms, OverallMaxMs float64
+	ComponentMeanMs, ComponentP50Ms          float64
+	StageMeanMs                              []float64
+
+	// Run accounting.
+	Arrivals, Completed int
+	Migrations          int
+	SchedulingIntervals int
+	BatchJobsStarted    int
+	VirtualSeconds      float64
+}
+
+// Run executes one simulation and reports its latency metrics.
+func Run(opts Options) (Result, error) {
+	o := opts.withDefaults()
+	root := xrand.New(o.Seed ^ 0x5ca1ab1e)
+
+	engine := sim.NewEngine()
+	cl := cluster.New(o.Nodes, cluster.DefaultCapacity())
+
+	gen := workload.NewGenerator(engine, cl, root.Fork(), workload.GeneratorConfig{
+		TargetConcurrency: o.BatchConcurrency,
+		MinInputMB:        o.MinInputMB,
+		MaxInputMB:        o.MaxInputMB,
+		TwoPhase:          o.TwoPhaseJobs,
+	})
+
+	policy, err := policyFor(o)
+	if err != nil {
+		return Result{}, err
+	}
+
+	duration := float64(o.Requests) / o.ArrivalRate
+	topo := service.NutchTopology(o.SearchComponents)
+	svc, err := service.New(engine, cl, root.Fork(), policy, service.Config{
+		Topology: topo,
+		Warmup:   duration * o.WarmupFraction,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	mon := monitor.New(engine, cl, root.Fork(), monitor.Config{
+		NoiseSigma: o.MonitorNoiseSigma,
+	})
+	svc.OnArrival = mon.RecordArrival
+
+	var ctrl *scheduler.Controller
+	if o.Technique == PCS {
+		queue, err := queueModelFor(o.QueueModel)
+		if err != nil {
+			return Result{}, err
+		}
+		// Training backgrounds mirror the paper's profiling: single
+		// co-runners swept across kinds and input sizes (strongly
+		// informative per-resource samples), plus random multi-job mixes
+		// for coverage of co-location.
+		backgrounds := workload.KindSizeGrid(workload.JobKinds(),
+			workload.LinearSizes(12, o.MinInputMB, o.MaxInputMB))
+		backgrounds = append(backgrounds,
+			workload.TrainingMixes(root.Fork(), o.TrainingMixes, 3, o.MinInputMB, o.MaxInputMB)...)
+		models, err := profiling.TrainStageModels(topo, svc.Law(), backgrounds, profiling.Config{
+			Probes:            o.ProfilingProbes,
+			MonitorNoiseSigma: o.MonitorNoiseSigma,
+			Degree:            o.RegressionDegree,
+		}, root.Fork())
+		if err != nil {
+			return Result{}, err
+		}
+		ctrl = scheduler.NewController(svc, mon, models, root.Fork(), scheduler.ControllerConfig{
+			Interval: o.SchedulingInterval,
+			Scheduler: scheduler.Config{
+				Epsilon:       o.EpsilonSeconds,
+				MaxMigrations: o.MaxMigrationsPerInterval,
+			},
+			Queue:          queue,
+			FallbackLambda: o.ArrivalRate,
+		})
+	}
+
+	// Start the world: batch interference, monitoring, scheduling,
+	// arrivals — then run to the horizon.
+	gen.Start()
+	mon.Start()
+	if ctrl != nil {
+		ctrl.Start()
+	}
+	svc.StartArrivals(o.ArrivalRate, o.Requests)
+	horizon := duration + o.DrainSeconds
+	engine.Run(horizon)
+
+	rep := svc.Collector().Report()
+	res := Result{
+		Technique:        o.Technique.String(),
+		ArrivalRate:      o.ArrivalRate,
+		AvgOverallMs:     rep.AvgOverallMs,
+		P99ComponentMs:   rep.P99ComponentMs,
+		OverallP50Ms:     rep.Overall.P50,
+		OverallP99Ms:     rep.Overall.P99,
+		OverallMaxMs:     rep.Overall.Max,
+		ComponentMeanMs:  rep.Component.Mean,
+		ComponentP50Ms:   rep.Component.P50,
+		StageMeanMs:      rep.StageMeanMs,
+		Arrivals:         svc.Arrivals(),
+		Completed:        svc.Completed(),
+		Migrations:       svc.Migrations(),
+		BatchJobsStarted: gen.Started(),
+		VirtualSeconds:   engine.Now(),
+	}
+	if ctrl != nil {
+		res.SchedulingIntervals = ctrl.Intervals
+	}
+	return res, nil
+}
+
+func policyFor(o Options) (service.Policy, error) {
+	switch o.Technique {
+	case Basic, PCS:
+		return baseline.Basic{}, nil
+	case RED3:
+		return baseline.NewRedundancy(3, o.CancelDelaySeconds), nil
+	case RED5:
+		return baseline.NewRedundancy(5, o.CancelDelaySeconds), nil
+	case RI90:
+		return baseline.NewReissue(90), nil
+	case RI99:
+		return baseline.NewReissue(99), nil
+	default:
+		return nil, fmt.Errorf("pcs: unknown technique %d", int(o.Technique))
+	}
+}
