@@ -13,7 +13,9 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/scheduler"
@@ -193,6 +195,62 @@ func BenchmarkMatrixBuild(b *testing.B) {
 		if _, _, err := scheduler.BuildAndSchedule(in, scheduler.Config{Epsilon: 1e9}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkParallelSweep measures the wall-clock win of the parallel
+// replication runner: the same 8-replication aggregate computed serially
+// (workers=1) and fanned out across all cores (workers=0 → GOMAXPROCS).
+// The aggregates are bit-identical either way — only the wall clock moves —
+// so on a 4+ core machine the parallel sub-benchmark's ns/op should be
+// ≥ 2× lower than serial's. The speedup ratio is reported on the parallel
+// run as cores allow.
+func BenchmarkParallelSweep(b *testing.B) {
+	const replications = 8
+	opts := pcs.Options{
+		Technique:        pcs.Basic,
+		Seed:             1,
+		Nodes:            10,
+		SearchComponents: 20,
+		ArrivalRate:      100,
+		Requests:         4000,
+	}
+	run := func(b *testing.B, workers int) pcs.Aggregate {
+		var agg pcs.Aggregate
+		for i := 0; i < b.N; i++ {
+			var err error
+			agg, err = pcs.RunManyWorkers(opts, replications, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(agg.AvgOverallMs.Mean, "avg-overall-ms")
+			b.ReportMetric(agg.AvgOverallMs.CI95, "ci95-ms")
+		}
+		return agg
+	}
+	var serial, parallel pcs.Aggregate
+	var serialNs float64
+	var ranSerial, ranParallel bool
+	b.Run("serial", func(b *testing.B) {
+		ranSerial = true
+		start := time.Now()
+		serial = run(b, 1)
+		serialNs = float64(time.Since(start).Nanoseconds()) / float64(b.N)
+	})
+	b.Run(fmt.Sprintf("parallel-%dcore", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		ranParallel = true
+		start := time.Now()
+		parallel = run(b, 0)
+		parallelNs := float64(time.Since(start).Nanoseconds()) / float64(b.N)
+		if serialNs > 0 && parallelNs > 0 {
+			b.ReportMetric(serialNs/parallelNs, "speedup-x")
+		}
+	})
+	// A -bench filter may select only one sub-benchmark; compare only when
+	// both actually ran.
+	if ranSerial && ranParallel && serial.AvgOverallMs != parallel.AvgOverallMs {
+		b.Fatalf("parallel aggregate diverged from serial: %+v vs %+v",
+			parallel.AvgOverallMs, serial.AvgOverallMs)
 	}
 }
 

@@ -8,6 +8,7 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
 
@@ -17,31 +18,43 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		seed    = flag.Int64("seed", 1, "random seed")
-		hadoop  = flag.Int("hadoop-sizes", 20, "number of Hadoop input sizes (50MB..4GB)")
-		spark   = flag.Int("spark-sizes", 10, "number of Spark input sizes (200MB..7GB)")
-		probes  = flag.Int("probes", 100, "probe requests per measurement")
-		verbose = flag.Bool("v", false, "print every case, not just the summary")
+		seed         = flag.Int64("seed", 1, "random seed")
+		hadoop       = flag.Int("hadoop-sizes", 20, "number of Hadoop input sizes (50MB..4GB)")
+		spark        = flag.Int("spark-sizes", 10, "number of Spark input sizes (200MB..7GB)")
+		probes       = flag.Int("probes", 100, "probe requests per measurement")
+		replications = flag.Int("replications", 1, "independent replications to average (mean±CI95)")
+		workers      = flag.Int("workers", 0, "parallel workers (0 = all cores); never affects the results")
+		verbose      = flag.Bool("v", false, "print every case, not just the summary")
 	)
 	flag.Parse()
 
-	res, err := experiments.RunFig5(experiments.Fig5Config{
+	cfg := experiments.Fig5Config{
 		Seed:        *seed,
 		HadoopSizes: *hadoop,
 		SparkSizes:  *spark,
 		Probes:      *probes,
-	})
+	}
+	agg, err := experiments.RunFig5Many(cfg, *replications, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}
+	res := agg.Results[0]
 	if *verbose {
 		res.WriteTable(os.Stdout)
+		if *replications > 1 {
+			fmt.Printf("\nacross %d replications: average error %.2f%% ± %.2f%%\n",
+				agg.Replications, agg.MeanErrPct, agg.MeanErrCI95)
+		}
 		return
 	}
 	// Summary only.
-	log.Printf("cases: %d", len(res.Cases))
-	log.Printf("error < 3%%: %.2f%% of cases (paper: 63.33%%)", 100*res.FracBelow3)
-	log.Printf("error < 5%%: %.2f%% of cases (paper: 82.22%%)", 100*res.FracBelow5)
-	log.Printf("error < 8%%: %.2f%% of cases (paper: 96.67%%)", 100*res.FracBelow8)
-	log.Printf("average error: %.2f%% (paper: 2.68%%)", res.MeanErrPct)
+	log.Printf("cases: %d × %d replications", len(res.Cases), agg.Replications)
+	log.Printf("error < 3%%: %.2f%% of cases (paper: 63.33%%)", 100*agg.FracBelow3)
+	log.Printf("error < 5%%: %.2f%% of cases (paper: 82.22%%)", 100*agg.FracBelow5)
+	log.Printf("error < 8%%: %.2f%% of cases (paper: 96.67%%)", 100*agg.FracBelow8)
+	if *replications > 1 {
+		log.Printf("average error: %.2f%% ± %.2f%% (paper: 2.68%%)", agg.MeanErrPct, agg.MeanErrCI95)
+	} else {
+		log.Printf("average error: %.2f%% (paper: 2.68%%)", agg.MeanErrPct)
+	}
 }

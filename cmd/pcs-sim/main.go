@@ -27,15 +27,17 @@ func parseTechnique(s string) (pcs.Technique, error) {
 func main() {
 	log.SetFlags(0)
 	var (
-		technique = flag.String("technique", "PCS", "execution technique: Basic, RED-3, RED-5, RI-90, RI-99 or PCS")
-		rate      = flag.Float64("rate", 100, "request arrival rate (requests/second)")
-		requests  = flag.Int("requests", 20000, "number of requests to simulate")
-		nodes     = flag.Int("nodes", 30, "cluster size")
-		search    = flag.Int("search-components", 100, "searching-stage fan-out")
-		seed      = flag.Int64("seed", 1, "random seed")
-		interval  = flag.Float64("interval", 5, "PCS scheduling interval (seconds)")
-		epsilon   = flag.Float64("epsilon", 0.000005, "PCS migration threshold ε (seconds)")
-		queue     = flag.String("queue", "mg1", "PCS queue model: mg1, mm1 or none")
+		technique    = flag.String("technique", "PCS", "execution technique: Basic, RED-3, RED-5, RI-90, RI-99 or PCS")
+		rate         = flag.Float64("rate", 100, "request arrival rate (requests/second)")
+		requests     = flag.Int("requests", 20000, "number of requests to simulate")
+		nodes        = flag.Int("nodes", 30, "cluster size")
+		search       = flag.Int("search-components", 100, "searching-stage fan-out")
+		seed         = flag.Int64("seed", 1, "random seed")
+		interval     = flag.Float64("interval", 5, "PCS scheduling interval (seconds)")
+		epsilon      = flag.Float64("epsilon", 0.000005, "PCS migration threshold ε (seconds)")
+		queue        = flag.String("queue", "mg1", "PCS queue model: mg1, mm1 or none")
+		replications = flag.Int("replications", 1, "independent replications to run and aggregate (mean±CI95)")
+		workers      = flag.Int("workers", 0, "parallel simulation workers (0 = all cores); never affects the results")
 	)
 	flag.Parse()
 
@@ -43,7 +45,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := pcs.Run(pcs.Options{
+	opts := pcs.Options{
 		Technique:          tech,
 		ArrivalRate:        *rate,
 		Requests:           *requests,
@@ -53,7 +55,16 @@ func main() {
 		SchedulingInterval: *interval,
 		EpsilonSeconds:     *epsilon,
 		QueueModel:         *queue,
-	})
+	}
+	if *replications > 1 {
+		agg, err := pcs.RunManyWorkers(opts, *replications, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printAggregate(agg)
+		return
+	}
+	res, err := pcs.Run(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,5 +87,28 @@ func main() {
 		fmt.Println()
 		fmt.Printf("scheduling intervals      %d\n", res.SchedulingIntervals)
 		fmt.Printf("migrations enforced       %d\n", res.Migrations)
+	}
+}
+
+// printAggregate renders a multi-replication run: across-replication means
+// with 95 % confidence intervals plus the per-replication spread.
+func printAggregate(agg pcs.Aggregate) {
+	fmt.Printf("technique           %s\n", agg.Technique)
+	fmt.Printf("arrival rate        %.0f req/s\n", agg.ArrivalRate)
+	fmt.Printf("replications        %d (on %d workers)\n", agg.Replications, agg.Workers)
+	fmt.Printf("requests            %d arrived, %d completed (all replications)\n", agg.Arrivals, agg.Completed)
+	fmt.Println()
+	row := func(name string, m pcs.MetricSummary) {
+		fmt.Printf("%-24s %10.3f ± %.3f ms   (p50 %.3f, p99 %.3f, min %.3f, max %.3f)\n",
+			name, m.Mean, m.CI95, m.P50, m.P99, m.Min, m.Max)
+	}
+	row("avg overall latency", agg.AvgOverallMs)
+	row("p99 component latency", agg.P99ComponentMs)
+	row("overall p50", agg.OverallP50Ms)
+	row("overall p99", agg.OverallP99Ms)
+	row("component mean", agg.ComponentMeanMs)
+	if agg.Migrations > 0 {
+		fmt.Println()
+		fmt.Printf("migrations enforced       %d (all replications)\n", agg.Migrations)
 	}
 }

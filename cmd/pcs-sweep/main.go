@@ -18,11 +18,13 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		seed     = flag.Int64("seed", 1, "random seed")
-		requests = flag.Int("requests", 20000, "requests per run (runs last ≥90 virtual seconds regardless)")
-		nodes    = flag.Int("nodes", 30, "cluster size")
-		search   = flag.Int("search-components", 100, "searching-stage fan-out")
-		rates    = flag.String("rates", "10,20,50,100,200,500", "comma-separated arrival rates")
+		seed         = flag.Int64("seed", 1, "random seed")
+		requests     = flag.Int("requests", 20000, "requests per run (runs last ≥90 virtual seconds regardless)")
+		nodes        = flag.Int("nodes", 30, "cluster size")
+		search       = flag.Int("search-components", 100, "searching-stage fan-out")
+		rates        = flag.String("rates", "10,20,50,100,200,500", "comma-separated arrival rates")
+		replications = flag.Int("replications", 1, "independent replications per (technique, rate) cell; >1 reports mean±CI95")
+		workers      = flag.Int("workers", 0, "parallel simulation workers (0 = all cores); never affects the results")
 	)
 	flag.Parse()
 
@@ -41,6 +43,8 @@ func main() {
 		Requests:         *requests,
 		Nodes:            *nodes,
 		SearchComponents: *search,
+		Replications:     *replications,
+		Workers:          *workers,
 	}
 	res, err := experiments.RunFig6(cfg)
 	if err != nil {

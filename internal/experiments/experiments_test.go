@@ -162,3 +162,132 @@ func TestSyntheticMatrixInputIsSchedulable(t *testing.T) {
 		}
 	}
 }
+
+func TestFig6ReplicatedSweepDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replicated fig6 sweep is expensive")
+	}
+	base := Fig6Config{
+		Seed:             5,
+		Rates:            []float64{50},
+		Techniques:       []pcs.Technique{pcs.Basic, pcs.RED3},
+		Requests:         800,
+		Nodes:            8,
+		SearchComponents: 12,
+		Replications:     3,
+	}
+	one := base
+	one.Workers = 1
+	many := base
+	many.Workers = 8
+	a, err := RunFig6(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFig6(many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Cells {
+		ca, cb := a.Cells[i], b.Cells[i]
+		if ca.Result.AvgOverallMs != cb.Result.AvgOverallMs ||
+			ca.Result.P99ComponentMs != cb.Result.P99ComponentMs ||
+			ca.AvgOverallCI95Ms != cb.AvgOverallCI95Ms {
+			t.Fatalf("cell %d differs between worker counts:\n%+v\nvs\n%+v", i, ca, cb)
+		}
+		if ca.AvgOverallCI95Ms <= 0 {
+			t.Fatalf("cell %d has no confidence interval despite 3 replications", i)
+		}
+	}
+	if a.P99ReductionPct != b.P99ReductionPct || a.OverallReductionPct != b.OverallReductionPct {
+		t.Fatal("headline reductions differ between worker counts")
+	}
+}
+
+func TestFig6SingleReplicationMatchesHistoricalSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig6 sweep is expensive")
+	}
+	// The runner-based sweep with Replications=1 must produce exactly the
+	// result of calling pcs.Run directly with the historical cell seed.
+	cfg := Fig6Config{
+		Seed:             3,
+		Rates:            []float64{50},
+		Techniques:       []pcs.Technique{pcs.Basic},
+		Requests:         800,
+		Nodes:            8,
+		SearchComponents: 12,
+	}
+	res, err := RunFig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := pcs.Run(pcs.Options{
+		Technique:        pcs.Basic,
+		Seed:             cfg.Seed ^ int64(50)<<16 ^ int64(pcs.Basic)<<8,
+		Nodes:            8,
+		SearchComponents: 12,
+		ArrivalRate:      50,
+		Requests:         int(90 * 50), // the sweep's 90-virtual-second floor
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := res.Cell("Basic", 50)
+	if cell == nil {
+		t.Fatal("missing cell")
+	}
+	if cell.Result.AvgOverallMs != direct.AvgOverallMs ||
+		cell.Result.P99ComponentMs != direct.P99ComponentMs {
+		t.Fatalf("sweep cell %v/%v differs from direct run %v/%v",
+			cell.Result.AvgOverallMs, cell.Result.P99ComponentMs,
+			direct.AvgOverallMs, direct.P99ComponentMs)
+	}
+	if cell.AvgOverallCI95Ms != 0 {
+		t.Fatal("single replication must not report a confidence interval")
+	}
+}
+
+func TestFig5ManyAggregates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig5 takes a few seconds")
+	}
+	cfg := Fig5Config{Seed: 4, HadoopSizes: 3, SparkSizes: 2, Probes: 40}
+	agg, err := RunFig5Many(cfg, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Replications != 2 || len(agg.Results) != 2 {
+		t.Fatalf("replications = %d, results = %d", agg.Replications, len(agg.Results))
+	}
+	single, err := RunFig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replication 0 runs the root seed, so it must match a direct call.
+	if agg.Results[0].MeanErrPct != single.MeanErrPct {
+		t.Fatalf("replication 0 err %v, direct run %v", agg.Results[0].MeanErrPct, single.MeanErrPct)
+	}
+	want := (agg.Results[0].MeanErrPct + agg.Results[1].MeanErrPct) / 2
+	if diff := agg.MeanErrPct - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("aggregate mean %v, want %v", agg.MeanErrPct, want)
+	}
+}
+
+func TestFig7ParallelConstruction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig7 timing is a second or two")
+	}
+	points, err := RunFig7(Fig7Config{
+		Seed:    2,
+		Points:  []Fig7Point{{M: 20, K: 4}},
+		Repeats: 2,
+		Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 || points[0].AnalysisMs <= 0 {
+		t.Fatalf("bad points: %+v", points)
+	}
+}

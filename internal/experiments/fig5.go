@@ -15,7 +15,9 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/predictor"
 	"repro/internal/profiling"
+	"repro/internal/runner"
 	"repro/internal/service"
+	"repro/internal/stats"
 	"repro/internal/workload"
 	"repro/internal/xrand"
 )
@@ -195,6 +197,52 @@ func abs(x float64) float64 {
 		return -x
 	}
 	return x
+}
+
+// Fig5Aggregate summarises RunFig5Many: the headline accuracy numbers
+// averaged over independent replications, with a confidence interval on the
+// mean error.
+type Fig5Aggregate struct {
+	Replications int
+	// MeanErrPct is the across-replication mean of the average prediction
+	// error; MeanErrCI95 its 95 % confidence half-width.
+	MeanErrPct, MeanErrCI95 float64
+	// FracBelow3/5/8 are across-replication means of the error bands.
+	FracBelow3, FracBelow5, FracBelow8 float64
+	// Results holds the per-replication results in replication order;
+	// Results[0] ran with cfg.Seed itself.
+	Results []Fig5Result
+}
+
+// RunFig5Many executes n independent replications of the prediction-
+// accuracy experiment in parallel (workers <= 0 selects GOMAXPROCS) and
+// averages the headline numbers. Replication i runs with the seed stream
+// xrand.StreamSeed(cfg.Seed, i), so the aggregate is identical for any
+// worker count.
+func RunFig5Many(cfg Fig5Config, n, workers int) (Fig5Aggregate, error) {
+	results, err := runner.Run(cfg.Seed, n, runner.Options{Workers: workers},
+		func(rep int, seed int64) (Fig5Result, error) {
+			c := cfg
+			c.Seed = seed
+			return RunFig5(c)
+		})
+	if err != nil {
+		return Fig5Aggregate{}, err
+	}
+	agg := Fig5Aggregate{Replications: n, Results: results}
+	var errW, b3, b5, b8 stats.Welford
+	for _, r := range results {
+		errW.Add(r.MeanErrPct)
+		b3.Add(r.FracBelow3)
+		b5.Add(r.FracBelow5)
+		b8.Add(r.FracBelow8)
+	}
+	agg.MeanErrPct = errW.Mean()
+	agg.MeanErrCI95 = errW.MeanCI95()
+	agg.FracBelow3 = b3.Mean()
+	agg.FracBelow5 = b5.Mean()
+	agg.FracBelow8 = b8.Mean()
+	return agg, nil
 }
 
 // WriteTable renders the per-case errors and the summary bands in the

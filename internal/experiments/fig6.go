@@ -5,6 +5,9 @@ import (
 	"io"
 	"text/tabwriter"
 
+	"repro/internal/runner"
+	"repro/internal/stats"
+	"repro/internal/xrand"
 	"repro/pcs"
 )
 
@@ -22,6 +25,13 @@ type Fig6Config struct {
 	// Nodes and SearchComponents size the deployment (paper: 30 nodes, 100
 	// searching components).
 	Nodes, SearchComponents int
+	// Replications is the number of independent replications per
+	// (technique, rate) cell; each cell then reports across-replication
+	// means with confidence intervals (default 1, the single-run sweep).
+	Replications int
+	// Workers bounds the worker pool that the cells × replications jobs
+	// fan out on; 0 selects GOMAXPROCS.
+	Workers int
 }
 
 func (c Fig6Config) withDefaults() Fig6Config {
@@ -40,14 +50,23 @@ func (c Fig6Config) withDefaults() Fig6Config {
 	if c.SearchComponents <= 0 {
 		c.SearchComponents = 100
 	}
+	if c.Replications <= 0 {
+		c.Replications = 1
+	}
 	return c
 }
 
-// Fig6Cell is one (technique, rate) measurement.
+// Fig6Cell is one (technique, rate) measurement. With Replications > 1 the
+// Result's latency metrics are across-replication means and the CI fields
+// carry the 95 % confidence half-widths of the two headline metrics.
 type Fig6Cell struct {
 	Technique string
 	Rate      float64
 	Result    pcs.Result
+	// AvgOverallCI95Ms / P99ComponentCI95Ms are zero for a single
+	// replication.
+	AvgOverallCI95Ms   float64
+	P99ComponentCI95Ms float64
 }
 
 // Fig6Result holds the full sweep plus the paper's headline aggregates.
@@ -72,12 +91,21 @@ func (r Fig6Result) Cell(technique string, rate float64) *Fig6Cell {
 	return nil
 }
 
-// RunFig6 executes the sweep. Runs are independent and deterministic given
-// the seed; each (technique, rate) cell uses its own derived seed so adding
-// techniques does not perturb other cells.
+// RunFig6 executes the sweep on the replication runner: all cells ×
+// replications fan out across the worker pool, and every job's seed is a
+// pure function of its (cell, replication) coordinates, so the sweep is
+// deterministic for any worker count. Each (technique, rate) cell uses its
+// own derived seed so adding techniques does not perturb other cells; with
+// Replications == 1 the cell values are identical to the historical serial
+// sweep.
 func RunFig6(cfg Fig6Config) (Fig6Result, error) {
 	c := cfg.withDefaults()
-	var out Fig6Result
+
+	type cellSpec struct {
+		tech pcs.Technique
+		opts pcs.Options
+	}
+	var specs []cellSpec
 	for _, rate := range c.Rates {
 		// Every run lasts at least 90 virtual seconds so PCS sees a
 		// meaningful number of scheduling intervals even at low rates.
@@ -86,22 +114,98 @@ func RunFig6(cfg Fig6Config) (Fig6Result, error) {
 			requests = min
 		}
 		for _, tech := range c.Techniques {
-			res, err := pcs.Run(pcs.Options{
+			specs = append(specs, cellSpec{tech, pcs.Options{
 				Technique:        tech,
 				Seed:             c.Seed ^ int64(rate)<<16 ^ int64(tech)<<8,
 				Nodes:            c.Nodes,
 				SearchComponents: c.SearchComponents,
 				ArrivalRate:      rate,
 				Requests:         requests,
-			})
-			if err != nil {
-				return out, fmt.Errorf("experiments: fig6 %s at λ=%.0f: %w", tech, rate, err)
-			}
-			out.Cells = append(out.Cells, Fig6Cell{Technique: tech.String(), Rate: rate, Result: res})
+			}})
 		}
+	}
+
+	reps := c.Replications
+	jobs := len(specs) * reps
+	// The runner's own root-seed stream is unused: every job derives its
+	// seed from its cell's root so cells stay independent of each other.
+	results, err := runner.Run(c.Seed, jobs, runner.Options{Workers: c.Workers},
+		func(idx int, _ int64) (pcs.Result, error) {
+			spec := specs[idx/reps]
+			o := spec.opts
+			o.Seed = xrand.StreamSeed(o.Seed, idx%reps)
+			res, runErr := pcs.Run(o)
+			if runErr != nil {
+				return pcs.Result{}, fmt.Errorf("experiments: fig6 %s at λ=%.0f: %w",
+					spec.tech, o.ArrivalRate, runErr)
+			}
+			return res, nil
+		})
+	if err != nil {
+		return Fig6Result{}, err
+	}
+
+	var out Fig6Result
+	for i, spec := range specs {
+		cell := mergeCell(spec.tech.String(), spec.opts.ArrivalRate, results[i*reps:(i+1)*reps])
+		out.Cells = append(out.Cells, cell)
 	}
 	out.P99ReductionPct, out.OverallReductionPct = headlineReductions(out, c.Rates)
 	return out, nil
+}
+
+// mergeCell folds a cell's replications into one Fig6Cell: latency metrics
+// and counts become across-replication means (a single replication passes
+// through untouched), and the headline metrics gain confidence intervals.
+func mergeCell(technique string, rate float64, runs []pcs.Result) Fig6Cell {
+	if len(runs) == 1 {
+		return Fig6Cell{Technique: technique, Rate: rate, Result: runs[0]}
+	}
+	mean := func(f func(pcs.Result) float64) (float64, float64) {
+		var w stats.Welford
+		for _, r := range runs {
+			w.Add(f(r))
+		}
+		return w.Mean(), w.MeanCI95()
+	}
+	merged := runs[0]
+	var ci Fig6Cell
+	merged.AvgOverallMs, ci.AvgOverallCI95Ms = mean(func(r pcs.Result) float64 { return r.AvgOverallMs })
+	merged.P99ComponentMs, ci.P99ComponentCI95Ms = mean(func(r pcs.Result) float64 { return r.P99ComponentMs })
+	merged.OverallP50Ms, _ = mean(func(r pcs.Result) float64 { return r.OverallP50Ms })
+	merged.OverallP99Ms, _ = mean(func(r pcs.Result) float64 { return r.OverallP99Ms })
+	merged.OverallMaxMs, _ = mean(func(r pcs.Result) float64 { return r.OverallMaxMs })
+	merged.ComponentMeanMs, _ = mean(func(r pcs.Result) float64 { return r.ComponentMeanMs })
+	merged.ComponentP50Ms, _ = mean(func(r pcs.Result) float64 { return r.ComponentP50Ms })
+	merged.VirtualSeconds, _ = mean(func(r pcs.Result) float64 { return r.VirtualSeconds })
+	stage := make([]float64, len(merged.StageMeanMs))
+	for s := range stage {
+		v, _ := mean(func(r pcs.Result) float64 {
+			if s < len(r.StageMeanMs) {
+				return r.StageMeanMs[s]
+			}
+			return 0
+		})
+		stage[s] = v
+	}
+	merged.StageMeanMs = stage
+	merged.Arrivals, merged.Completed, merged.Migrations = 0, 0, 0
+	merged.SchedulingIntervals, merged.BatchJobsStarted = 0, 0
+	for _, r := range runs {
+		merged.Arrivals += r.Arrivals
+		merged.Completed += r.Completed
+		merged.Migrations += r.Migrations
+		merged.SchedulingIntervals += r.SchedulingIntervals
+		merged.BatchJobsStarted += r.BatchJobsStarted
+	}
+	n := len(runs)
+	merged.Arrivals /= n
+	merged.Completed /= n
+	merged.Migrations /= n
+	merged.SchedulingIntervals /= n
+	merged.BatchJobsStarted /= n
+	ci.Technique, ci.Rate, ci.Result = technique, rate, merged
+	return ci
 }
 
 // headlineReductions computes the paper's headline aggregates: PCS's
@@ -134,10 +238,11 @@ func headlineReductions(r Fig6Result, rates []float64) (p99, overall float64) {
 
 // WriteTable renders the sweep as two tables (average overall latency and
 // p99 component latency), one row per technique, one column per rate —
-// the shape of the paper's Fig. 6.
+// the shape of the paper's Fig. 6. Cells aggregated over multiple
+// replications are rendered as mean±CI95.
 func (r Fig6Result) WriteTable(w io.Writer, cfg Fig6Config) {
 	c := cfg.withDefaults()
-	writeOne := func(title string, pick func(pcs.Result) float64) {
+	writeOne := func(title string, pick func(Fig6Cell) (float64, float64)) {
 		fmt.Fprintf(w, "%s (ms)\n", title)
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 		fmt.Fprint(tw, "technique")
@@ -153,15 +258,24 @@ func (r Fig6Result) WriteTable(w io.Writer, cfg Fig6Config) {
 					fmt.Fprint(tw, "\t-")
 					continue
 				}
-				fmt.Fprintf(tw, "\t%.2f", pick(cell.Result))
+				v, ci := pick(*cell)
+				if ci > 0 {
+					fmt.Fprintf(tw, "\t%.2f±%.2f", v, ci)
+				} else {
+					fmt.Fprintf(tw, "\t%.2f", v)
+				}
 			}
 			fmt.Fprintln(tw)
 		}
 		tw.Flush()
 		fmt.Fprintln(w)
 	}
-	writeOne("Average overall service latency", func(res pcs.Result) float64 { return res.AvgOverallMs })
-	writeOne("99th-percentile component latency", func(res pcs.Result) float64 { return res.P99ComponentMs })
+	writeOne("Average overall service latency", func(cell Fig6Cell) (float64, float64) {
+		return cell.Result.AvgOverallMs, cell.AvgOverallCI95Ms
+	})
+	writeOne("99th-percentile component latency", func(cell Fig6Cell) (float64, float64) {
+		return cell.Result.P99ComponentMs, cell.P99ComponentCI95Ms
+	})
 	fmt.Fprintf(w, "PCS reduction vs redundancy/reissue: p99 component %.2f%% (paper: 67.05%%), avg overall %.2f%% (paper: 64.16%%)\n",
 		r.P99ReductionPct, r.OverallReductionPct)
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/predictor"
 	"repro/internal/profiling"
+	"repro/internal/runner"
 	"repro/internal/scheduler"
 	"repro/internal/service"
 	"repro/internal/workload"
@@ -30,6 +31,12 @@ type Fig7Config struct {
 	Epsilon float64
 	// Repeats averages the timing over this many runs (default 3).
 	Repeats int
+	// Workers bounds the pool that builds the synthetic matrix inputs in
+	// parallel (0 selects GOMAXPROCS). Construction dominates the wall
+	// clock of the experiment and is deterministic per (point, repeat);
+	// the timed BuildAndSchedule calls always run serially so the
+	// measured analysis/search times stay uncontended.
+	Workers int
 }
 
 // Fig7Point is one measurement: sizes in, times out.
@@ -142,16 +149,28 @@ func SyntheticMatrixInput(m, k, window int, lambda float64, src *xrand.Source) p
 }
 
 // RunFig7 measures analysis and search times across the configured sizes.
+// The synthetic inputs for every (point, repeat) pair are built in parallel
+// on the replication runner — each from a seed that is a pure function of
+// its coordinates — and then timed one at a time.
 func RunFig7(cfg Fig7Config) ([]Fig7Point, error) {
 	c := cfg.withDefaults()
-	src := xrand.New(c.Seed ^ 0xf167)
+
+	jobs := len(c.Points) * c.Repeats
+	inputs, err := runner.Run(c.Seed^0xf167, jobs, runner.Options{Workers: c.Workers},
+		func(idx int, seed int64) (predictor.MatrixInput, error) {
+			p := c.Points[idx/c.Repeats]
+			return SyntheticMatrixInput(p.M, p.K, c.Window, c.Lambda, xrand.New(seed)), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
 	out := make([]Fig7Point, 0, len(c.Points))
-	for _, p := range c.Points {
+	for i, p := range c.Points {
 		var analysisMs, searchMs float64
 		migrations := 0
 		for rep := 0; rep < c.Repeats; rep++ {
-			in := SyntheticMatrixInput(p.M, p.K, c.Window, c.Lambda, src.Fork())
-			res, _, err := scheduler.BuildAndSchedule(in, scheduler.Config{Epsilon: c.Epsilon})
+			res, _, err := scheduler.BuildAndSchedule(inputs[i*c.Repeats+rep], scheduler.Config{Epsilon: c.Epsilon})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: fig7 m=%d k=%d: %w", p.M, p.K, err)
 			}

@@ -1,0 +1,117 @@
+// Package runner executes independent simulation replications across a
+// pool of worker goroutines. The paper's evaluation (§VI) derives every
+// headline number from repeated runs — six arrival rates × six techniques,
+// each ideally averaged over many seeds — and those runs share nothing, so
+// they parallelise perfectly.
+//
+// Determinism is the design constraint: replication i always runs with the
+// seed xrand.StreamSeed(root, i), and results are collected into a slice
+// indexed by replication, so the output is bit-identical regardless of the
+// number of workers or the order in which the scheduler interleaves them.
+// Aggregation (Welford merge, percentiles over per-replication metrics)
+// happens after the pool drains, on the ordered slice.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/xrand"
+)
+
+// Job computes one replication. rep is the replication index in [0, n);
+// seed is the replication's deterministic RNG seed derived from the root
+// seed. A Job must not share mutable state with other replications: it runs
+// concurrently with them.
+type Job[T any] func(rep int, seed int64) (T, error)
+
+// Options configures the pool.
+type Options struct {
+	// Workers is the number of concurrent worker goroutines. Zero or
+	// negative selects GOMAXPROCS, the number of usable cores.
+	Workers int
+}
+
+// EffectiveWorkers reports the worker count Run actually uses for n
+// replications: the configured count (or GOMAXPROCS when unset), clamped
+// to n.
+func (o Options) EffectiveWorkers(n int) int { return o.workers(n) }
+
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes n replications of job across the pool and returns their
+// results ordered by replication index. Replication i runs with seed
+// xrand.StreamSeed(root, i) — stream 0 is the root seed itself, so a
+// 1-replication run reproduces a direct call with the root seed.
+//
+// If any replication fails, Run stops handing out new replications, waits
+// for in-flight ones, and returns the error of the lowest-indexed
+// replication that failed. Which replications are still attempted after the
+// first failure depends on scheduling, so on error only the presence of a
+// failure is deterministic, not the reported index; successful runs are
+// fully deterministic.
+func Run[T any](root int64, n int, opts Options, job Job[T]) ([]T, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("runner: need at least one replication, got %d", n)
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+
+	workers := opts.workers(n)
+	if workers == 1 {
+		// Serial fast path: no goroutines, same seeds, same results.
+		for rep := 0; rep < n; rep++ {
+			res, err := job(rep, xrand.StreamSeed(root, rep))
+			if err != nil {
+				return nil, fmt.Errorf("runner: replication %d: %w", rep, err)
+			}
+			results[rep] = res
+		}
+		return results, nil
+	}
+
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				rep := int(next.Add(1)) - 1
+				if rep >= n || failed.Load() {
+					return
+				}
+				res, err := job(rep, xrand.StreamSeed(root, rep))
+				if err != nil {
+					errs[rep] = err
+					failed.Store(true)
+					return
+				}
+				results[rep] = res
+			}
+		}()
+	}
+	wg.Wait()
+
+	for rep, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("runner: replication %d: %w", rep, err)
+		}
+	}
+	return results, nil
+}

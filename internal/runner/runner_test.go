@@ -1,0 +1,138 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// jobValue is a deterministic function of (rep, seed) so result slices can
+// be compared across worker counts.
+func jobValue(rep int, seed int64) float64 {
+	src := xrand.New(seed)
+	return float64(rep) + src.Float64()
+}
+
+func TestRunIdenticalAcrossWorkerCounts(t *testing.T) {
+	const root, n = 42, 37
+	var want []float64
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		got, err := Run(root, n, Options{Workers: workers}, func(rep int, seed int64) (float64, error) {
+			return jobValue(rep, seed), nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: got %d results, want %d", workers, len(got), n)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result[%d] = %v, want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRunStreamZeroIsRootSeed(t *testing.T) {
+	seeds, err := Run(7, 3, Options{Workers: 1}, func(rep int, seed int64) (int64, error) {
+		return seed, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeds[0] != 7 {
+		t.Fatalf("replication 0 seed = %d, want the root seed 7", seeds[0])
+	}
+	if seeds[1] == seeds[0] || seeds[2] == seeds[1] || seeds[2] == seeds[0] {
+		t.Fatalf("replication seeds collide: %v", seeds)
+	}
+}
+
+func TestRunMergeMatchesSerialReference(t *testing.T) {
+	// A parallel run's merged statistics must equal a plain serial loop
+	// folding the same observations in replication order.
+	const root, n = 9, 24
+	results, err := Run(root, n, Options{Workers: 6}, func(rep int, seed int64) (float64, error) {
+		return jobValue(rep, seed), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merged stats.Welford
+	hist := stats.NewHistogram(0, float64(n)+1, 8)
+	for _, v := range results {
+		merged.Add(v)
+		hist.Add(v)
+	}
+
+	var ref stats.Welford
+	refHist := stats.NewHistogram(0, float64(n)+1, 8)
+	for rep := 0; rep < n; rep++ {
+		v := jobValue(rep, xrand.StreamSeed(root, rep))
+		ref.Add(v)
+		refHist.Add(v)
+	}
+	if merged.N() != ref.N() || merged.Mean() != ref.Mean() || merged.Variance() != ref.Variance() {
+		t.Fatalf("merged stats differ: mean %v vs %v, var %v vs %v",
+			merged.Mean(), ref.Mean(), merged.Variance(), ref.Variance())
+	}
+	for i := 0; i < hist.NumBuckets(); i++ {
+		if hist.Bucket(i) != refHist.Bucket(i) {
+			t.Fatalf("bucket %d: %d vs %d", i, hist.Bucket(i), refHist.Bucket(i))
+		}
+	}
+}
+
+func TestRunErrorReportsLowestFailedReplication(t *testing.T) {
+	errBoom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		_, err := Run(1, 16, Options{Workers: workers}, func(rep int, seed int64) (int, error) {
+			if rep%5 == 3 { // replications 3, 8, 13 fail
+				return 0, fmt.Errorf("rep %d: %w", rep, errBoom)
+			}
+			return rep, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: expected error", workers)
+		}
+		if !errors.Is(err, errBoom) {
+			t.Fatalf("workers=%d: error chain lost: %v", workers, err)
+		}
+	}
+}
+
+func TestRunRejectsNonPositiveN(t *testing.T) {
+	if _, err := Run(1, 0, Options{}, func(int, int64) (int, error) { return 0, nil }); err == nil {
+		t.Fatal("n=0 should error")
+	}
+}
+
+func TestRunActuallyRunsConcurrently(t *testing.T) {
+	// With more workers than GOMAXPROCS=1 would suggest, replications must
+	// still all execute exactly once.
+	var calls atomic.Int64
+	res, err := Run(3, 50, Options{Workers: 8}, func(rep int, seed int64) (int, error) {
+		calls.Add(1)
+		return rep, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 50 {
+		t.Fatalf("job ran %d times, want 50", calls.Load())
+	}
+	for i, v := range res {
+		if v != i {
+			t.Fatalf("result[%d] = %d", i, v)
+		}
+	}
+}

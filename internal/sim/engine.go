@@ -24,27 +24,32 @@ type scheduledEvent struct {
 	index int // heap index, -1 once popped or cancelled
 }
 
-// EventHandle allows a scheduled event to be cancelled before it fires.
+// EventHandle allows a scheduled event to be cancelled before it fires. It
+// is a small value: copy it freely. The zero value is an inert handle whose
+// Cancel is a no-op.
 type EventHandle struct {
 	ev     *scheduledEvent
 	engine *Engine
+	seq    uint64 // guards against the pooled event being reused
+	at     float64
 }
 
 // Cancel removes the event from the queue. Cancelling an event that already
-// fired or was already cancelled is a no-op. It reports whether the event
-// was actually removed.
-func (h *EventHandle) Cancel() bool {
-	if h == nil || h.ev == nil || h.ev.index < 0 {
+// fired or was already cancelled is a no-op — the event structs are pooled,
+// so the handle's sequence number distinguishes its event from a later one
+// reusing the same struct. It reports whether the event was actually
+// removed.
+func (h EventHandle) Cancel() bool {
+	if h.ev == nil || h.ev.index < 0 || h.ev.seq != h.seq {
 		return false
 	}
 	heap.Remove(&h.engine.queue, h.ev.index)
-	h.ev.index = -1
-	h.ev.fn = nil
+	h.engine.recycle(h.ev)
 	return true
 }
 
 // Time returns the virtual time the event is (or was) scheduled for.
-func (h *EventHandle) Time() float64 { return h.ev.at }
+func (h EventHandle) Time() float64 { return h.at }
 
 type eventQueue []*scheduledEvent
 
@@ -83,11 +88,34 @@ type Engine struct {
 	seq     uint64
 	stopped bool
 	fired   uint64
+	free    []*scheduledEvent // recycled event structs (hot-path pooling)
 }
 
-// NewEngine returns an engine with the clock at 0.
+// NewEngine returns an engine with the clock at 0. The event queue is
+// pre-sized so steady-state simulation rarely grows it; the event pool
+// fills lazily from fired events.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{queue: make(eventQueue, 0, 1024)}
+}
+
+// alloc takes an event struct from the pool, or allocates a fresh one.
+func (e *Engine) alloc() *scheduledEvent {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &scheduledEvent{}
+}
+
+// recycle returns a popped or cancelled event struct to the pool. The
+// struct's sequence number stays until reuse; outstanding handles detect
+// staleness via index < 0 now and the seq mismatch after reuse.
+func (e *Engine) recycle(ev *scheduledEvent) {
+	ev.fn = nil
+	ev.index = -1
+	e.free = append(e.free, ev)
 }
 
 // Now returns the current virtual time in seconds.
@@ -101,21 +129,22 @@ func (e *Engine) Fired() uint64 { return e.fired }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it indicates a logic bug that would silently corrupt causality.
-func (e *Engine) At(t float64, fn Event) *EventHandle {
+func (e *Engine) At(t float64, fn Event) EventHandle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %.9f before now %.9f", t, e.now))
 	}
 	if math.IsNaN(t) || math.IsInf(t, 0) {
 		panic("sim: scheduling at non-finite time")
 	}
-	ev := &scheduledEvent{at: t, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at, ev.seq, ev.fn = t, e.seq, fn
 	e.seq++
 	heap.Push(&e.queue, ev)
-	return &EventHandle{ev: ev, engine: e}
+	return EventHandle{ev: ev, engine: e, seq: ev.seq, at: t}
 }
 
 // After schedules fn to run d seconds from now.
-func (e *Engine) After(d float64, fn Event) *EventHandle {
+func (e *Engine) After(d float64, fn Event) EventHandle {
 	return e.At(e.now+d, fn)
 }
 
@@ -137,7 +166,7 @@ func (e *Engine) Run(horizon float64) float64 {
 		heap.Pop(&e.queue)
 		e.now = next.at
 		fn := next.fn
-		next.fn = nil
+		e.recycle(next) // fn is saved; the struct may be reused by fn's own scheduling
 		e.fired++
 		fn(e.now)
 	}
@@ -175,7 +204,7 @@ type Ticker struct {
 	engine  *Engine
 	period  float64
 	fn      Event
-	handle  *EventHandle
+	handle  EventHandle
 	stopped bool
 }
 
@@ -192,7 +221,5 @@ func (t *Ticker) tick(now float64) {
 // Stop cancels future firings.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	if t.handle != nil {
-		t.handle.Cancel()
-	}
+	t.handle.Cancel()
 }

@@ -249,3 +249,47 @@ func TestManyEventsStress(t *testing.T) {
 		t.Fatalf("count = %d, want %d", count, n)
 	}
 }
+
+func TestEventPoolingReusesStructs(t *testing.T) {
+	// After an event fires its struct returns to the pool; a stale handle
+	// must not cancel the struct's next occupant.
+	e := NewEngine()
+	h1 := e.At(1, func(float64) {})
+	e.Run(2)
+	fired := false
+	e.At(3, func(float64) { fired = true }) // likely reuses h1's struct
+	if h1.Cancel() {
+		t.Fatal("stale handle cancelled a recycled event")
+	}
+	e.Run(4)
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
+func TestCancelledEventStructIsRecycled(t *testing.T) {
+	e := NewEngine()
+	h := e.At(5, func(float64) { t.Fatal("cancelled event fired") })
+	if !h.Cancel() {
+		t.Fatal("first cancel failed")
+	}
+	if h.Cancel() {
+		t.Fatal("second cancel succeeded")
+	}
+	count := 0
+	e.At(1, func(float64) { count++ })
+	e.RunUntilEmpty()
+	if count != 1 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestHandleTimeSurvivesRecycling(t *testing.T) {
+	e := NewEngine()
+	h := e.At(2.5, func(float64) {})
+	e.RunUntilEmpty()
+	e.At(9, func(float64) {})
+	if h.Time() != 2.5 {
+		t.Fatalf("Time() = %v after recycling, want 2.5", h.Time())
+	}
+}

@@ -60,6 +60,25 @@ func (h *Histogram) Underflow() int { return h.underflow }
 // Overflow reports the count of observations at or above Hi.
 func (h *Histogram) Overflow() int { return h.overflow }
 
+// Merge folds another histogram's counts into h, as if every observation
+// added to other had been added to h. The two histograms must have the same
+// range and bucket count; merging mismatched shapes panics, since silently
+// rebinning would corrupt the distribution. This lets consumers that each
+// fill a private histogram (e.g. one per replication) combine them after
+// the fact.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.Lo != h.Lo || other.Hi != h.Hi || len(other.buckets) != len(h.buckets) {
+		panic(fmt.Sprintf("stats: merging mismatched histograms: [%g,%g)×%d vs [%g,%g)×%d",
+			h.Lo, h.Hi, len(h.buckets), other.Lo, other.Hi, len(other.buckets)))
+	}
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	h.underflow += other.underflow
+	h.overflow += other.overflow
+	h.total += other.total
+}
+
 // FractionBelow reports the fraction of observations strictly below x,
 // approximated at bucket granularity (each bucket's mass is attributed to
 // its lower edge).

@@ -105,3 +105,39 @@ func TestHistogramNumBuckets(t *testing.T) {
 		t.Fatalf("NumBuckets = %d", h.NumBuckets())
 	}
 }
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(0, 10, 5)
+	b := NewHistogram(0, 10, 5)
+	ref := NewHistogram(0, 10, 5)
+	for i, x := range []float64{-1, 0.5, 3, 3.9, 7, 11, 9.99, 2} {
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+		ref.Add(x)
+	}
+	a.Merge(b)
+	if a.Total() != ref.Total() {
+		t.Fatalf("total = %d, want %d", a.Total(), ref.Total())
+	}
+	for i := 0; i < ref.NumBuckets(); i++ {
+		if a.Bucket(i) != ref.Bucket(i) {
+			t.Fatalf("bucket %d = %d, want %d", i, a.Bucket(i), ref.Bucket(i))
+		}
+	}
+	if a.Underflow() != ref.Underflow() || a.Overflow() != ref.Overflow() {
+		t.Fatalf("under/overflow = %d/%d, want %d/%d",
+			a.Underflow(), a.Overflow(), ref.Underflow(), ref.Overflow())
+	}
+}
+
+func TestHistogramMergeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging mismatched histograms did not panic")
+		}
+	}()
+	NewHistogram(0, 10, 5).Merge(NewHistogram(0, 10, 6))
+}

@@ -72,6 +72,42 @@ func (w *Welford) SquaredCV() float64 {
 // Reset returns the accumulator to its zero state.
 func (w *Welford) Reset() { *w = Welford{} }
 
+// MeanCI95 returns the half-width of the 95 % confidence interval of the
+// mean, using Student's t quantile for small samples and the normal 1.96
+// beyond. It returns 0 for fewer than two observations.
+func (w *Welford) MeanCI95() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return tQuantile975(w.n-1) * math.Sqrt(w.SampleVariance()/float64(w.n))
+}
+
+// tQuantile975 returns the 97.5th-percentile quantile of Student's t
+// distribution with df degrees of freedom (two-sided 95 % interval),
+// tabulated for small df, stepped through standard anchor rows in the
+// medium range, and 1.96 asymptotically.
+func tQuantile975(df int) float64 {
+	table := [...]float64{
+		12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+	}
+	switch {
+	case df < 1:
+		return 0
+	case df <= len(table):
+		return table[df-1]
+	case df <= 40:
+		return 2.021
+	case df <= 60:
+		return 2.000
+	case df <= 120:
+		return 1.980
+	default:
+		return 1.96
+	}
+}
+
 // Merge combines another accumulator into this one, as if every observation
 // added to other had been added to w. Uses the parallel variance formula.
 func (w *Welford) Merge(other *Welford) {

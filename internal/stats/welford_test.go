@@ -153,3 +153,29 @@ func TestWelfordMergeIntoEmpty(t *testing.T) {
 		t.Fatalf("merge of empty changed n to %d", full.N())
 	}
 }
+
+func TestMeanCI95(t *testing.T) {
+	var w Welford
+	if w.MeanCI95() != 0 {
+		t.Fatal("empty accumulator should have zero CI")
+	}
+	w.Add(5)
+	if w.MeanCI95() != 0 {
+		t.Fatal("single observation should have zero CI")
+	}
+	// Two observations: df=1, t=12.706, s=sqrt(2)/... check exact formula.
+	w.Add(7)
+	// mean 6, sample variance 2, CI = 12.706*sqrt(2/2) = 12.706
+	if got := w.MeanCI95(); math.Abs(got-12.706) > 1e-9 {
+		t.Fatalf("CI95 = %v, want 12.706", got)
+	}
+	// Large n: CI shrinks as t*s/sqrt(n) with t ≈ 1.98 at df=99.
+	var big Welford
+	for i := 0; i < 100; i++ {
+		big.Add(float64(i % 10))
+	}
+	want := 1.980 * math.Sqrt(big.SampleVariance()/100)
+	if got := big.MeanCI95(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("CI95 = %v, want %v", got, want)
+	}
+}

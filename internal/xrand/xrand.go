@@ -27,6 +27,28 @@ func (s *Source) Fork() *Source {
 	return New(s.r.Int63())
 }
 
+// StreamSeed derives the seed of stream i from a root seed. Stream 0 is the
+// root seed itself, so single-stream consumers reproduce the unstreamed
+// run bit for bit; streams i > 0 are SplitMix64 outputs, which are well
+// distributed even for adjacent roots and indices. Unlike Fork, the
+// derivation is positional — stream i's seed depends only on (root, i), so
+// replications can be claimed by concurrent workers in any order without
+// perturbing each other's draws.
+func StreamSeed(root int64, i int) int64 {
+	if i == 0 {
+		return root
+	}
+	return int64(splitmix64(uint64(root) + uint64(i)*0x9e3779b97f4a7c15))
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator (Steele et al.,
+// "Fast splittable pseudorandom number generators", OOPSLA 2014).
+func splitmix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // Float64 returns a uniform draw in [0, 1).
 func (s *Source) Float64() float64 { return s.r.Float64() }
 

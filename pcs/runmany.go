@@ -1,0 +1,115 @@
+package pcs
+
+import (
+	"math"
+
+	"repro/internal/runner"
+	"repro/internal/stats"
+)
+
+// MetricSummary describes one latency metric across replications: the
+// across-replication mean with a 95 % confidence interval, plus the spread
+// of the per-replication values.
+type MetricSummary struct {
+	// Mean is the across-replication mean, CI95 the half-width of its 95 %
+	// confidence interval (Student's t).
+	Mean, CI95 float64
+	// StdDev is the sample standard deviation of per-replication values.
+	StdDev float64
+	// P50/P99/Min/Max describe the distribution of per-replication values.
+	P50, P99, Min, Max float64
+}
+
+// Aggregate is the result of RunMany: every Result metric the evaluation
+// reports, summarised across n independent replications.
+type Aggregate struct {
+	Technique    string
+	ArrivalRate  float64
+	Replications int
+	Workers      int
+
+	// AvgOverallMs and P99ComponentMs summarise the paper's two headline
+	// metrics across replications.
+	AvgOverallMs   MetricSummary
+	P99ComponentMs MetricSummary
+
+	// Distribution detail, likewise across replications.
+	OverallP50Ms    MetricSummary
+	OverallP99Ms    MetricSummary
+	ComponentMeanMs MetricSummary
+
+	// Totals summed over replications.
+	Arrivals, Completed, Migrations int
+
+	// Runs holds the per-replication results in replication order
+	// (replication 0 uses Options.Seed itself, replication i > 0 a seed
+	// derived from it).
+	Runs []Result
+}
+
+// RunMany executes n independent replications of the configured simulation
+// in parallel across all usable cores and aggregates their metrics.
+// Replication i runs Run with the seed stream xrand.StreamSeed(opts.Seed, i),
+// so the aggregate is deterministic given opts.Seed and n: identical for
+// any worker count and any goroutine interleaving, and RunMany(opts, 1)
+// reproduces Run(opts) exactly.
+func RunMany(opts Options, n int) (Aggregate, error) {
+	return RunManyWorkers(opts, n, 0)
+}
+
+// RunManyWorkers is RunMany with an explicit worker count; workers <= 0
+// selects GOMAXPROCS. The worker count affects wall-clock time only, never
+// the aggregate values.
+func RunManyWorkers(opts Options, n, workers int) (Aggregate, error) {
+	pool := runner.Options{Workers: workers}
+	runs, err := runner.Run(opts.Seed, n, pool, func(rep int, seed int64) (Result, error) {
+		o := opts
+		o.Seed = seed
+		return Run(o)
+	})
+	if err != nil {
+		return Aggregate{}, err
+	}
+
+	agg := Aggregate{
+		Technique:    runs[0].Technique,
+		ArrivalRate:  runs[0].ArrivalRate,
+		Replications: n,
+		Workers:      pool.EffectiveWorkers(n),
+		Runs:         runs,
+	}
+	pick := func(f func(Result) float64) MetricSummary {
+		vals := make([]float64, len(runs))
+		for i, r := range runs {
+			vals[i] = f(r)
+		}
+		return summarizeMetric(vals)
+	}
+	agg.AvgOverallMs = pick(func(r Result) float64 { return r.AvgOverallMs })
+	agg.P99ComponentMs = pick(func(r Result) float64 { return r.P99ComponentMs })
+	agg.OverallP50Ms = pick(func(r Result) float64 { return r.OverallP50Ms })
+	agg.OverallP99Ms = pick(func(r Result) float64 { return r.OverallP99Ms })
+	agg.ComponentMeanMs = pick(func(r Result) float64 { return r.ComponentMeanMs })
+	for _, r := range runs {
+		agg.Arrivals += r.Arrivals
+		agg.Completed += r.Completed
+		agg.Migrations += r.Migrations
+	}
+	return agg, nil
+}
+
+// summarizeMetric folds per-replication values of one metric through the
+// stats machinery: Welford for mean/CI/stddev, percentiles for the spread.
+func summarizeMetric(vals []float64) MetricSummary {
+	var w stats.Welford
+	w.AddAll(vals)
+	return MetricSummary{
+		Mean:   w.Mean(),
+		CI95:   w.MeanCI95(),
+		StdDev: math.Sqrt(w.SampleVariance()),
+		P50:    stats.Percentile(vals, 50),
+		P99:    stats.Percentile(vals, 99),
+		Min:    stats.Min(vals),
+		Max:    stats.Max(vals),
+	}
+}

@@ -1,0 +1,143 @@
+package pcs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// manyTestOptions is a deliberately small deployment so multi-replication
+// tests stay fast; Basic avoids the PCS training pass.
+func manyTestOptions() Options {
+	return Options{
+		Technique:        Basic,
+		Seed:             11,
+		Nodes:            8,
+		SearchComponents: 12,
+		ArrivalRate:      50,
+		Requests:         600,
+	}
+}
+
+func aggregatesEqual(a, b Aggregate) bool {
+	eq := func(x, y MetricSummary) bool { return x == y }
+	return a.Technique == b.Technique &&
+		a.Replications == b.Replications &&
+		eq(a.AvgOverallMs, b.AvgOverallMs) &&
+		eq(a.P99ComponentMs, b.P99ComponentMs) &&
+		eq(a.OverallP50Ms, b.OverallP50Ms) &&
+		eq(a.OverallP99Ms, b.OverallP99Ms) &&
+		eq(a.ComponentMeanMs, b.ComponentMeanMs) &&
+		a.Arrivals == b.Arrivals &&
+		a.Completed == b.Completed &&
+		a.Migrations == b.Migrations
+}
+
+func TestRunManyIdenticalForAnyWorkerCount(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-replication run takes a few seconds")
+	}
+	opts := manyTestOptions()
+	const n = 6
+	ref, err := RunManyWorkers(opts, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, err := RunManyWorkers(opts, n, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !aggregatesEqual(ref, got) {
+			t.Fatalf("workers=%d aggregate differs from workers=1:\n%+v\nvs\n%+v",
+				workers, got, ref)
+		}
+		for i := range ref.Runs {
+			if ref.Runs[i].AvgOverallMs != got.Runs[i].AvgOverallMs ||
+				ref.Runs[i].P99ComponentMs != got.Runs[i].P99ComponentMs {
+				t.Fatalf("workers=%d: replication %d differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestRunManySingleReplicationReproducesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run takes a second")
+	}
+	opts := manyTestOptions()
+	single, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := RunMany(opts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.AvgOverallMs.Mean != single.AvgOverallMs ||
+		agg.P99ComponentMs.Mean != single.P99ComponentMs {
+		t.Fatalf("RunMany(opts, 1) = %.6f/%.6f ms, Run(opts) = %.6f/%.6f ms",
+			agg.AvgOverallMs.Mean, agg.P99ComponentMs.Mean,
+			single.AvgOverallMs, single.P99ComponentMs)
+	}
+	if agg.AvgOverallMs.CI95 != 0 {
+		t.Fatal("single replication should have zero CI")
+	}
+}
+
+func TestRunManyMergeMatchesSerialReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-replication run takes a few seconds")
+	}
+	opts := manyTestOptions()
+	const n = 5
+	agg, err := RunManyWorkers(opts, n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serial reference: run each replication directly with its stream seed
+	// and fold the metrics through the stats machinery by hand.
+	var w stats.Welford
+	vals := make([]float64, n)
+	totalCompleted := 0
+	for i := 0; i < n; i++ {
+		o := opts
+		o.Seed = xrand.StreamSeed(opts.Seed, i)
+		r, err := Run(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals[i] = r.AvgOverallMs
+		w.Add(r.AvgOverallMs)
+		totalCompleted += r.Completed
+	}
+	if agg.AvgOverallMs.Mean != w.Mean() {
+		t.Fatalf("aggregate mean %.9f, serial reference %.9f", agg.AvgOverallMs.Mean, w.Mean())
+	}
+	if math.Abs(agg.AvgOverallMs.CI95-w.MeanCI95()) > 1e-12 {
+		t.Fatalf("aggregate CI %.9f, serial reference %.9f", agg.AvgOverallMs.CI95, w.MeanCI95())
+	}
+	if p50 := stats.Percentile(vals, 50); agg.AvgOverallMs.P50 != p50 {
+		t.Fatalf("aggregate p50 %.9f, serial reference %.9f", agg.AvgOverallMs.P50, p50)
+	}
+	if agg.Completed != totalCompleted {
+		t.Fatalf("aggregate completed %d, serial reference %d", agg.Completed, totalCompleted)
+	}
+	if agg.AvgOverallMs.Min > agg.AvgOverallMs.P50 || agg.AvgOverallMs.P50 > agg.AvgOverallMs.Max {
+		t.Fatal("metric summary ordering violated")
+	}
+}
+
+func TestRunManyPropagatesRunErrors(t *testing.T) {
+	opts := manyTestOptions()
+	opts.Technique = Technique(99)
+	if _, err := RunMany(opts, 3); err == nil {
+		t.Fatal("invalid technique should fail")
+	}
+	if _, err := RunMany(manyTestOptions(), 0); err == nil {
+		t.Fatal("zero replications should fail")
+	}
+}
