@@ -13,12 +13,14 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/pcs"
 )
 
 func main() {
 	log.SetFlags(0)
 	var (
 		seed         = flag.Int64("seed", 1, "random seed")
+		scenarioName = flag.String("scenario", "", "scenario whose dominant-stage component is profiled;\nempty selects nutch-search. Registered:\n"+pcs.DescribeScenarios())
 		hadoop       = flag.Int("hadoop-sizes", 20, "number of Hadoop input sizes (50MB..4GB)")
 		spark        = flag.Int("spark-sizes", 10, "number of Spark input sizes (200MB..7GB)")
 		probes       = flag.Int("probes", 100, "probe requests per measurement")
@@ -30,6 +32,7 @@ func main() {
 
 	cfg := experiments.Fig5Config{
 		Seed:        *seed,
+		Scenario:    *scenarioName,
 		HadoopSizes: *hadoop,
 		SparkSizes:  *spark,
 		Probes:      *probes,

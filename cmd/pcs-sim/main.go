@@ -1,60 +1,80 @@
-// Command pcs-sim runs one simulation of the multi-stage service under a
+// Command pcs-sim runs one simulation of a multi-stage service under a
 // chosen technique and prints a full latency report.
 //
 // Usage:
 //
 //	pcs-sim -technique PCS -rate 200 -requests 20000 -seed 1
+//	pcs-sim -scenario ecommerce -technique PCS
+//	pcs-sim -technique Basic -replications 16
+//	pcs-sim -technique Basic -ci-target 0.05
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"strings"
 
 	"repro/pcs"
 )
-
-func parseTechnique(s string) (pcs.Technique, error) {
-	for _, t := range pcs.Techniques() {
-		if strings.EqualFold(t.String(), s) {
-			return t, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown technique %q (want one of Basic, RED-3, RED-5, RI-90, RI-99, PCS)", s)
-}
 
 func main() {
 	log.SetFlags(0)
 	var (
 		technique    = flag.String("technique", "PCS", "execution technique: Basic, RED-3, RED-5, RI-90, RI-99 or PCS")
+		scenarioName = flag.String("scenario", "", "deployment scenario; empty selects nutch-search.\nRegistered:\n"+pcs.DescribeScenarios())
 		rate         = flag.Float64("rate", 100, "request arrival rate (requests/second)")
 		requests     = flag.Int("requests", 20000, "number of requests to simulate")
-		nodes        = flag.Int("nodes", 30, "cluster size")
-		search       = flag.Int("search-components", 100, "searching-stage fan-out")
+		nodes        = flag.Int("nodes", 0, "cluster size (0 = scenario default)")
+		fanOut       = flag.Int("search-components", 0, "dominant-stage fan-out (0 = scenario default)")
 		seed         = flag.Int64("seed", 1, "random seed")
 		interval     = flag.Float64("interval", 5, "PCS scheduling interval (seconds)")
 		epsilon      = flag.Float64("epsilon", 0.000005, "PCS migration threshold ε (seconds)")
 		queue        = flag.String("queue", "mg1", "PCS queue model: mg1, mm1 or none")
 		replications = flag.Int("replications", 1, "independent replications to run and aggregate (mean±CI95)")
+		ciTarget     = flag.Float64("ci-target", 0, "adaptive replications: replicate until the relative CI95 half-width\nof both headline metrics falls below this (e.g. 0.05 for ±5%); 0 disables")
+		maxReps      = flag.Int("max-replications", 64, "hard replication cap for -ci-target")
 		workers      = flag.Int("workers", 0, "parallel simulation workers (0 = all cores); never affects the results")
 	)
 	flag.Parse()
 
-	tech, err := parseTechnique(*technique)
+	tech, err := pcs.ParseTechnique(*technique)
 	if err != nil {
 		log.Fatal(err)
 	}
 	opts := pcs.Options{
 		Technique:          tech,
+		Scenario:           *scenarioName,
 		ArrivalRate:        *rate,
 		Requests:           *requests,
 		Nodes:              *nodes,
-		SearchComponents:   *search,
+		SearchComponents:   *fanOut,
 		Seed:               *seed,
 		SchedulingInterval: *interval,
 		EpsilonSeconds:     *epsilon,
 		QueueModel:         *queue,
+	}
+	if *ciTarget > 0 {
+		if *replications > 1 {
+			log.Fatal("-replications and -ci-target are mutually exclusive: " +
+				"use -replications for a fixed count or -ci-target to stop on CI width")
+		}
+		agg, err := pcs.RunUntil(opts, pcs.CITarget{
+			RelHalfWidth:    *ciTarget,
+			MaxReplications: *maxReps,
+			Workers:         *workers,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		printAggregate(agg)
+		if agg.Converged {
+			fmt.Printf("\nconverged: relative CI95 ≤ %.1f%% after %d replications\n",
+				100**ciTarget, agg.Replications)
+		} else {
+			fmt.Printf("\nNOT converged: CI target %.1f%% missed at the %d-replication cap\n",
+				100**ciTarget, agg.Replications)
+		}
+		return
 	}
 	if *replications > 1 {
 		agg, err := pcs.RunManyWorkers(opts, *replications, *workers)
@@ -70,6 +90,7 @@ func main() {
 	}
 
 	fmt.Printf("technique           %s\n", res.Technique)
+	fmt.Printf("scenario            %s\n", res.Scenario)
 	fmt.Printf("arrival rate        %.0f req/s\n", res.ArrivalRate)
 	fmt.Printf("requests            %d arrived, %d completed\n", res.Arrivals, res.Completed)
 	fmt.Printf("virtual time        %.1f s\n", res.VirtualSeconds)
@@ -94,6 +115,7 @@ func main() {
 // with 95 % confidence intervals plus the per-replication spread.
 func printAggregate(agg pcs.Aggregate) {
 	fmt.Printf("technique           %s\n", agg.Technique)
+	fmt.Printf("scenario            %s\n", agg.Scenario)
 	fmt.Printf("arrival rate        %.0f req/s\n", agg.ArrivalRate)
 	fmt.Printf("replications        %d (on %d workers)\n", agg.Replications, agg.Workers)
 	fmt.Printf("requests            %d arrived, %d completed (all replications)\n", agg.Arrivals, agg.Completed)

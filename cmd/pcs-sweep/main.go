@@ -3,6 +3,9 @@
 // RI-90, RI-99 and PCS across the six arrival rates, plus the headline
 // aggregate reductions (paper: −67.05 % p99 component latency and −64.16 %
 // average overall latency versus the redundancy/reissue techniques).
+//
+// The sweep runs any registered scenario (-scenario) and any technique
+// subset (-techniques); the defaults reproduce the paper's figure.
 package main
 
 import (
@@ -13,16 +16,19 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/pcs"
 )
 
 func main() {
 	log.SetFlags(0)
 	var (
 		seed         = flag.Int64("seed", 1, "random seed")
+		scenarioName = flag.String("scenario", "", "deployment scenario; empty selects nutch-search.\nRegistered:\n"+pcs.DescribeScenarios())
 		requests     = flag.Int("requests", 20000, "requests per run (runs last ≥90 virtual seconds regardless)")
-		nodes        = flag.Int("nodes", 30, "cluster size")
-		search       = flag.Int("search-components", 100, "searching-stage fan-out")
+		nodes        = flag.Int("nodes", 0, "cluster size (0 = scenario default)")
+		fanOut       = flag.Int("search-components", 0, "dominant-stage fan-out (0 = scenario default)")
 		rates        = flag.String("rates", "10,20,50,100,200,500", "comma-separated arrival rates")
+		techniques   = flag.String("techniques", "", "comma-separated technique subset (empty = all six)")
 		replications = flag.Int("replications", 1, "independent replications per (technique, rate) cell; >1 reports mean±CI95")
 		workers      = flag.Int("workers", 0, "parallel simulation workers (0 = all cores); never affects the results")
 	)
@@ -36,13 +42,25 @@ func main() {
 		}
 		rateList = append(rateList, v)
 	}
+	var techList []pcs.Technique
+	if *techniques != "" {
+		for _, s := range strings.Split(*techniques, ",") {
+			t, err := pcs.ParseTechnique(s)
+			if err != nil {
+				log.Fatal(err)
+			}
+			techList = append(techList, t)
+		}
+	}
 
 	cfg := experiments.Fig6Config{
 		Seed:             *seed,
+		Scenario:         *scenarioName,
 		Rates:            rateList,
+		Techniques:       techList,
 		Requests:         *requests,
 		Nodes:            *nodes,
-		SearchComponents: *search,
+		SearchComponents: *fanOut,
 		Replications:     *replications,
 		Workers:          *workers,
 	}

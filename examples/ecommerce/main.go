@@ -6,7 +6,9 @@
 //
 // It drives the lower-level building blocks directly (cluster, workload
 // generator, service, monitor, controller) rather than pcs.Run, showing
-// how to embed PCS scheduling in a custom setup.
+// how to embed PCS scheduling in a custom setup. The deployment itself —
+// topology, cluster size, batch-interference defaults — comes from the
+// scenario registry, the same "ecommerce" entry pcs.Run resolves.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/monitor"
 	"repro/internal/profiling"
+	"repro/internal/scenario"
 	"repro/internal/scheduler"
 	"repro/internal/service"
 	"repro/internal/sim"
@@ -26,16 +29,19 @@ import (
 )
 
 func runOnce(seed int64, usePCS bool, peak float64, cycleSeconds float64) (avgMs, p99Ms float64, migrations int) {
+	sc := scenario.MustGet("ecommerce")
 	root := xrand.New(seed)
 	engine := sim.NewEngine()
-	cl := cluster.New(16, cluster.DefaultCapacity())
+	cl := cluster.New(sc.Nodes, cluster.DefaultCapacity())
 
 	gen := workload.NewGenerator(engine, cl, root.Fork(), workload.GeneratorConfig{
-		TargetConcurrency: 2,
-		TwoPhase:          true, // map→reduce demand shifts
+		TargetConcurrency: sc.Workload.BatchConcurrency,
+		MinInputMB:        sc.Workload.MinInputMB,
+		MaxInputMB:        sc.Workload.MaxInputMB,
+		TwoPhase:          sc.Workload.TwoPhaseJobs, // map→reduce demand shifts
 	})
 
-	topo := service.EcommerceTopology()
+	topo := sc.Topology(0)
 	svc, err := service.New(engine, cl, root.Fork(), baseline.Basic{}, service.Config{
 		Topology: topo,
 		Warmup:   10,

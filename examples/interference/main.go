@@ -16,6 +16,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/predictor"
 	"repro/internal/profiling"
+	"repro/internal/scenario"
 	"repro/internal/service"
 	"repro/internal/workload"
 	"repro/internal/xrand"
@@ -24,13 +25,18 @@ import (
 func main() {
 	log.SetFlags(0)
 	seed := flag.Int64("seed", 1, "random seed")
+	scenarioName := flag.String("scenario", "", "scenario whose dominant-stage component is profiled;\nempty selects nutch-search. Registered:\n"+scenario.Describe())
 	lambda := flag.Float64("lambda", 200, "arrival rate for the latency prediction (req/s)")
 	flag.Parse()
 
+	sc, err := scenario.Get(*scenarioName)
+	if err != nil {
+		log.Fatal(err)
+	}
 	src := xrand.New(*seed)
 	capacity := cluster.DefaultCapacity()
 	law := service.DefaultLaw(capacity)
-	search := service.NutchTopology(0).Stages[1]
+	search := sc.Topology(0).Stages[sc.DominantStage]
 
 	// Profile: single co-runners over the kind × size grid plus random
 	// mixes, as PCS does at startup.

@@ -19,13 +19,18 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	scenarioName := flag.String("scenario", "", "deployment scenario; empty selects nutch-search.\nRegistered:\n"+pcs.DescribeScenarios())
 	rate := flag.Float64("rate", 200, "request arrival rate (requests/second)")
 	requests := flag.Int("requests", 12000, "requests per technique run")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
-	fmt.Printf("Nutch search engine: 3 stages, 100 searching components, 30 nodes\n")
-	fmt.Printf("Batch interference: Hadoop/Spark jobs, 1 MB–10 GB inputs, ~2 jobs/node\n")
+	if *scenarioName == "" {
+		fmt.Printf("Nutch search engine: 3 stages, 100 searching components, 30 nodes\n")
+		fmt.Printf("Batch interference: Hadoop/Spark jobs, 1 MB–10 GB inputs, ~2 jobs/node\n")
+	} else {
+		fmt.Printf("scenario %s\n", *scenarioName)
+	}
 	fmt.Printf("λ=%.0f req/s, %d requests per run\n\n", *rate, *requests)
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -33,6 +38,7 @@ func main() {
 	for _, tech := range pcs.Techniques() {
 		res, err := pcs.Run(pcs.Options{
 			Technique:   tech,
+			Scenario:    *scenarioName,
 			ArrivalRate: *rate,
 			Requests:    *requests,
 			Seed:        *seed,

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -320,5 +321,40 @@ func TestVectorString(t *testing.T) {
 	s := Vector{1, 2, 3, 4}.String()
 	if s == "" {
 		t.Fatal("empty String()")
+	}
+}
+
+// TestRefreshSumsInHostingOrder pins Refresh's summation order: float
+// addition is not associative, so the aggregate must be the in-order sum
+// of hosted programs' demands, not a random map-order sum. (A map-order
+// Refresh once made same-seed simulations diverge by an ulp.)
+func TestRefreshSumsInHostingOrder(t *testing.T) {
+	// Magnitudes chosen so order changes the floating-point sum.
+	demands := []float64{1e16, 1.5, -0, 3.25, 1e-3, 7e15, 2.125}
+	var want Vector
+	n := NewNode(0, Vector{}) // unlimited capacity: no clamping
+	for i, d := range demands {
+		p := &fakeProgram{id: fmt.Sprintf("p%d", i), demand: Vector{Core: d}}
+		n.Host(p)
+		want[Core] += d
+	}
+	for trial := 0; trial < 20; trial++ {
+		n.Refresh()
+		if got := n.RawDemand()[Core]; got != want[Core] {
+			t.Fatalf("trial %d: Refresh sum = %.20g, want in-order %.20g", trial, got, want[Core])
+		}
+	}
+	// Eviction must preserve the order of the remaining programs.
+	n.Evict("p1")
+	want[Core] = 0
+	for i, d := range demands {
+		if i == 1 {
+			continue
+		}
+		want[Core] += d
+	}
+	n.Refresh()
+	if got := n.RawDemand()[Core]; got != want[Core] {
+		t.Fatalf("post-evict Refresh sum = %.20g, want %.20g", got, want[Core])
 	}
 }

@@ -22,6 +22,12 @@ type Node struct {
 	Capacity Vector // saturation point per resource; zero entries = unlimited
 
 	programs map[string]Program
+	// order keeps hosted programs in arrival order. Refresh must sum
+	// demands in a deterministic order: float addition is not
+	// associative, so iterating the map directly would let Go's random
+	// map order perturb the aggregate by an ulp from run to run —
+	// breaking the simulator's bit-for-bit reproducibility per seed.
+	order []Program
 	// cached aggregate demand; maintained incrementally where possible
 	// and recomputed on Refresh.
 	aggregate Vector
@@ -45,6 +51,7 @@ func (n *Node) Host(p Program) {
 		panic(fmt.Sprintf("cluster: program %q already hosted on %s", id, n.Name))
 	}
 	n.programs[id] = p
+	n.order = append(n.order, p)
 	n.aggregate = n.aggregate.Add(p.Demand())
 }
 
@@ -56,6 +63,12 @@ func (n *Node) Evict(id string) bool {
 		return false
 	}
 	delete(n.programs, id)
+	for i, q := range n.order {
+		if q.ProgramID() == id {
+			n.order = append(n.order[:i], n.order[i+1:]...)
+			break
+		}
+	}
 	n.aggregate = n.aggregate.Sub(p.Demand())
 	return true
 }
@@ -86,7 +99,7 @@ func (n *Node) ProgramIDs() []string {
 // own.
 func (n *Node) Refresh() {
 	var agg Vector
-	for _, p := range n.programs {
+	for _, p := range n.order {
 		agg = agg.Add(p.Demand())
 	}
 	n.aggregate = agg

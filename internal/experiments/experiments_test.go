@@ -106,8 +106,76 @@ func TestFig6TinySweep(t *testing.T) {
 	}
 	var sb strings.Builder
 	res.WriteTable(&sb, cfg)
+	// With no redundancy/reissue baselines in the subset there is nothing
+	// for the headline aggregate to compare against, so it is omitted.
+	if strings.Contains(sb.String(), "PCS reduction") {
+		t.Fatalf("headline printed without baselines:\n%s", sb.String())
+	}
+
+	// A subset that includes a baseline prints the headline.
+	cfg.Techniques = []pcs.Technique{pcs.RED3, pcs.PCS}
+	withBase, err := RunFig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	withBase.WriteTable(&sb, cfg)
 	if !strings.Contains(sb.String(), "PCS reduction") {
 		t.Fatalf("table missing headline:\n%s", sb.String())
+	}
+}
+
+func TestFig6ScenarioSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig6 sweep is expensive")
+	}
+	cfg := Fig6Config{
+		Seed:             1,
+		Scenario:         "social-feed",
+		Rates:            []float64{50},
+		Techniques:       []pcs.Technique{pcs.Basic},
+		Requests:         1200,
+		Nodes:            10,
+		SearchComponents: 24,
+	}
+	res, err := RunFig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := res.Cell("Basic", 50)
+	if cell == nil || cell.Result.Completed == 0 {
+		t.Fatal("scenario sweep produced no results")
+	}
+	if cell.Result.Scenario != "social-feed" {
+		t.Fatalf("cell scenario = %q", cell.Result.Scenario)
+	}
+	// The social-feed topology has four stages.
+	if len(cell.Result.StageMeanMs) != 4 {
+		t.Fatalf("stage means = %v", cell.Result.StageMeanMs)
+	}
+
+	if _, err := RunFig6(Fig6Config{Scenario: "bogus", Rates: []float64{10},
+		Techniques: []pcs.Technique{pcs.Basic}, Requests: 100}); err == nil {
+		t.Fatal("unknown scenario accepted by RunFig6")
+	}
+}
+
+func TestFig5ScenarioSelectsDominantStage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig5 takes a few seconds")
+	}
+	res, err := RunFig5(Fig5Config{Seed: 3, Scenario: "ecommerce", HadoopSizes: 3, SparkSizes: 2, Probes: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cases) != 15 {
+		t.Fatalf("cases = %d, want 15", len(res.Cases))
+	}
+	if res.MeanErrPct <= 0 || res.MeanErrPct > 15 {
+		t.Fatalf("mean error = %.2f%% outside sanity band", res.MeanErrPct)
+	}
+	if _, err := RunFig5(Fig5Config{Scenario: "bogus"}); err == nil {
+		t.Fatal("unknown scenario accepted by RunFig5")
 	}
 }
 

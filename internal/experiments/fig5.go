@@ -16,6 +16,7 @@ import (
 	"repro/internal/predictor"
 	"repro/internal/profiling"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/service"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -28,6 +29,9 @@ import (
 // must predict the component's service time for each co-location.
 type Fig5Config struct {
 	Seed int64
+	// Scenario selects whose dominant-stage component is profiled (empty =
+	// nutch-search, whose searching stage the paper profiles).
+	Scenario string
 	// HadoopSizes is the number of Hadoop input sizes (paper: 20, from
 	// 50 MB to 4 GB).
 	HadoopSizes int
@@ -92,10 +96,16 @@ type Fig5Result struct {
 // RunFig5 executes the prediction-accuracy experiment.
 func RunFig5(cfg Fig5Config) (Fig5Result, error) {
 	c := cfg.withDefaults()
+	sc, err := scenario.Get(c.Scenario)
+	if err != nil {
+		return Fig5Result{}, err
+	}
 	src := xrand.New(c.Seed ^ 0xf165)
 	capacity := cluster.DefaultCapacity()
 	law := service.DefaultLaw(capacity)
-	searchSpec := service.NutchTopology(0).Stages[1] // the searching component
+	// The profiled component: the paper profiles a searching component;
+	// other scenarios profile their own dominant stage.
+	searchSpec := sc.Topology(0).Stages[sc.DominantStage]
 
 	hadoopKinds := []workload.JobKind{workload.HadoopBayes, workload.HadoopWordCount, workload.HadoopPageIndex}
 	sparkKinds := []workload.JobKind{workload.SparkBayes, workload.SparkWordCount, workload.SparkSort}

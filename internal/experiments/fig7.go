@@ -9,6 +9,7 @@ import (
 	"repro/internal/predictor"
 	"repro/internal/profiling"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/scheduler"
 	"repro/internal/service"
 	"repro/internal/workload"
@@ -78,7 +79,7 @@ func (c Fig7Config) withDefaults() Fig7Config {
 func SyntheticMatrixInput(m, k, window int, lambda float64, src *xrand.Source) predictor.MatrixInput {
 	capacity := cluster.DefaultCapacity()
 	law := service.DefaultLaw(capacity)
-	topo := service.NutchTopology(0)
+	topo := scenario.MustGet(scenario.Default).Topology(0)
 
 	// One model per stage from a compact profiling pass.
 	backgrounds := workload.TrainingMixes(src.Fork(), 60, 3, 1, 8192)

@@ -1,0 +1,149 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/service"
+)
+
+// The built-in scenarios. "nutch-search" and "ecommerce" promote the
+// topologies that predate the registry; "microservice-chain" and
+// "social-feed" stress the two structural extremes the paper's Eqs. 3–4
+// expose: overall latency as a sum of many sequential stages, and stage
+// latency as the max over a very wide fan-out.
+func init() {
+	mustRegister(Scenario{
+		Name: "nutch-search",
+		Description: "paper's 3-stage Nutch web search: segmenting → searching ×100 → " +
+			"aggregating on 30 nodes (Fig. 6 deployment)",
+		Topology:      service.NutchTopology,
+		DominantStage: 1,
+		Nodes:         30,
+		Workload: WorkloadDefaults{
+			BatchConcurrency: 2,
+			MinInputMB:       1,
+			MaxInputMB:       10 * 1024,
+		},
+	})
+	mustRegister(Scenario{
+		Name: "ecommerce",
+		Description: "4-stage e-commerce site: frontend → catalog ×32 → recommend ×16 → " +
+			"pricing ×8 on 16 nodes, two-phase batch jobs",
+		Topology: func(fanOut int) service.Topology {
+			return resizeStage(service.EcommerceTopology(), 1, fanOut)
+		},
+		DominantStage: 1,
+		Nodes:         16,
+		Workload: WorkloadDefaults{
+			BatchConcurrency: 2,
+			MinInputMB:       1,
+			MaxInputMB:       10 * 1024,
+			TwoPhaseJobs:     true,
+		},
+	})
+	mustRegister(Scenario{
+		Name: "microservice-chain",
+		Description: "deep 8-stage microservice call chain with narrow fan-outs: " +
+			"overall latency is dominated by the sum over stages (Eq. 4), not any one max",
+		Topology:      chainTopology,
+		DominantStage: 3,
+		Nodes:         24,
+		Workload: WorkloadDefaults{
+			BatchConcurrency: 2,
+			MinInputMB:       1,
+			MaxInputMB:       4 * 1024,
+			TwoPhaseJobs:     true,
+		},
+	})
+	mustRegister(Scenario{
+		Name: "social-feed",
+		Description: "wide fan-out social-feed read path: gateway → timeline ×160 → " +
+			"rank ×12 → mix, where one slow timeline shard drags the whole stage (Eq. 3)",
+		Topology:      socialFeedTopology,
+		DominantStage: 1,
+		Nodes:         40,
+		Workload: WorkloadDefaults{
+			BatchConcurrency: 2.5,
+			MinInputMB:       1,
+			MaxInputMB:       10 * 1024,
+		},
+	})
+}
+
+func mustRegister(s Scenario) {
+	if err := Register(s); err != nil {
+		panic(fmt.Sprintf("scenario: registering built-in: %v", err))
+	}
+}
+
+// resizeStage returns topo with the given stage's fan-out set to fanOut;
+// fanOut <= 0 keeps the topology's own width.
+func resizeStage(topo service.Topology, stage, fanOut int) service.Topology {
+	if fanOut <= 0 {
+		return topo
+	}
+	stages := make([]service.StageSpec, len(topo.Stages))
+	copy(stages, topo.Stages)
+	stages[stage].Components = fanOut
+	topo.Stages = stages
+	return topo
+}
+
+// chainTopology is a deep request path: eight sequential services, each a
+// handful of instances wide. Per-stage base times are small, but they sum
+// (Eq. 4), so a single contended stage anywhere in the chain inflates
+// every request — the regime where migrating the one hot component pays
+// off across the whole chain. fanOut widens the mid-chain "inventory"
+// lookup stage.
+func chainTopology(fanOut int) service.Topology {
+	if fanOut <= 0 {
+		fanOut = 12
+	}
+	mk := func(name string, comps int, base float64, core, cache, disk, net float64) service.StageSpec {
+		return service.StageSpec{
+			Name: name, Components: comps, BaseServiceTime: base,
+			Demand: cluster.Vector{
+				cluster.Core: core, cluster.Cache: cache, cluster.DiskBW: disk, cluster.NetBW: net,
+			},
+		}
+	}
+	return service.Topology{
+		Name: "microservice-chain",
+		Stages: []service.StageSpec{
+			mk("edge", 4, 0.0002, 0.5, 3, 1, 7),
+			mk("auth", 6, 0.0003, 0.7, 4, 2, 4),
+			mk("session", 6, 0.0003, 0.6, 5, 3, 3),
+			mk("inventory", fanOut, 0.0006, 0.9, 6, 9, 4),
+			mk("pricing", 8, 0.0004, 0.8, 5, 2, 3),
+			mk("basket", 6, 0.0003, 0.6, 4, 4, 3),
+			mk("render", 6, 0.0004, 0.8, 6, 1, 5),
+			mk("egress", 4, 0.0002, 0.4, 2, 1, 8),
+		},
+	}
+}
+
+// socialFeedTopology is the opposite extreme: a read path whose middle
+// stage fans out to many timeline shards and completes only when the last
+// shard answers (Eq. 3), so the p99 of a single shard becomes the stage
+// latency almost surely — the tail-at-scale regime redundancy targets and
+// PCS attacks by moving the straggler shards. fanOut widens the timeline
+// stage (default 160 shards).
+func socialFeedTopology(fanOut int) service.Topology {
+	if fanOut <= 0 {
+		fanOut = 160
+	}
+	return service.Topology{
+		Name: "social-feed",
+		Stages: []service.StageSpec{
+			{Name: "gateway", Components: 6, BaseServiceTime: 0.0002,
+				Demand: cluster.Vector{cluster.Core: 0.5, cluster.Cache: 3, cluster.DiskBW: 1, cluster.NetBW: 8}},
+			{Name: "timeline", Components: fanOut, BaseServiceTime: 0.0007,
+				Demand: cluster.Vector{cluster.Core: 0.8, cluster.Cache: 6, cluster.DiskBW: 7, cluster.NetBW: 5}},
+			{Name: "rank", Components: 12, BaseServiceTime: 0.0009,
+				Demand: cluster.Vector{cluster.Core: 1.2, cluster.Cache: 8, cluster.DiskBW: 2, cluster.NetBW: 3}},
+			{Name: "mix", Components: 5, BaseServiceTime: 0.0003,
+				Demand: cluster.Vector{cluster.Core: 0.6, cluster.Cache: 4, cluster.DiskBW: 1, cluster.NetBW: 7}},
+		},
+	}
+}

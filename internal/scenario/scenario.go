@@ -1,0 +1,152 @@
+// Package scenario is the registry of named simulation scenarios: a
+// scenario bundles a service topology with the workload/interference
+// defaults the world around it should use. The paper evaluates one
+// deployment (the Nutch-style search engine); the reproduction grows
+// "as many scenarios as you can imagine" by registering more entries here
+// and selecting them by name via pcs.Options.Scenario or the -scenario
+// flag of the cmd/ tools.
+//
+// Scenarios are self-describing: Names/Describe let CLIs list what is
+// available, and every entry carries enough defaults that
+// pcs.Run(pcs.Options{Scenario: name}) is a complete, runnable world.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/service"
+)
+
+// Default is the scenario selected when none is named: the paper's own
+// deployment.
+const Default = "nutch-search"
+
+// WorkloadDefaults are the batch-interference settings a scenario runs
+// under when the caller does not override them.
+type WorkloadDefaults struct {
+	// BatchConcurrency is the average number of co-located batch jobs per
+	// node.
+	BatchConcurrency float64
+	// MinInputMB and MaxInputMB bound batch-job input sizes.
+	MinInputMB, MaxInputMB float64
+	// TwoPhaseJobs enables map→reduce demand shifts inside batch jobs.
+	TwoPhaseJobs bool
+}
+
+// Scenario is one named, self-describing deployment.
+type Scenario struct {
+	// Name is the registry key (e.g. "nutch-search").
+	Name string
+	// Description is a one-line summary for CLI listings.
+	Description string
+	// Topology builds the service topology. fanOut sizes the scenario's
+	// dominant stage; fanOut <= 0 selects the scenario's default width.
+	Topology func(fanOut int) service.Topology
+	// DominantStage is the index of the stage that dominates the
+	// scenario's latency — the stage fanOut resizes, and the one
+	// prediction experiments (Fig. 5) profile.
+	DominantStage int
+	// Nodes is the default cluster size.
+	Nodes int
+	// Workload carries the scenario's batch-interference defaults.
+	Workload WorkloadDefaults
+}
+
+func (s Scenario) validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: empty name")
+	}
+	if s.Topology == nil {
+		return fmt.Errorf("scenario %q: nil topology builder", s.Name)
+	}
+	if s.Nodes <= 0 {
+		return fmt.Errorf("scenario %q: non-positive default node count", s.Name)
+	}
+	topo := s.Topology(0)
+	if err := topo.Validate(); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	if s.DominantStage < 0 || s.DominantStage >= len(topo.Stages) {
+		return fmt.Errorf("scenario %q: dominant stage %d out of range [0, %d)",
+			s.Name, s.DominantStage, len(topo.Stages))
+	}
+	w := s.Workload
+	if w.BatchConcurrency <= 0 || w.MinInputMB <= 0 || w.MaxInputMB <= w.MinInputMB {
+		return fmt.Errorf("scenario %q: incomplete workload defaults %+v", s.Name, w)
+	}
+	return nil
+}
+
+var registry = map[string]Scenario{}
+
+// Register adds a scenario to the registry. It returns an error for
+// incomplete entries or duplicate names; built-ins register at init and
+// panic on failure, since a broken built-in is a programming error.
+func Register(s Scenario) error {
+	if err := s.validate(); err != nil {
+		return err
+	}
+	// Lookups are case-insensitive, so registration must be too: two
+	// names differing only by case would make Get's answer depend on map
+	// iteration order.
+	for name := range registry {
+		if strings.EqualFold(name, s.Name) {
+			return fmt.Errorf("scenario %q: already registered as %q", s.Name, name)
+		}
+	}
+	registry[s.Name] = s
+	return nil
+}
+
+// Get looks a scenario up by name (case-insensitive). The empty name
+// selects Default. Unknown names error, listing what is registered.
+func Get(name string) (Scenario, error) {
+	if name == "" {
+		name = Default
+	}
+	if s, ok := registry[name]; ok {
+		return s, nil
+	}
+	// Accept case variations so CLI usage stays forgiving.
+	for k, s := range registry {
+		if strings.EqualFold(k, name) {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("scenario: unknown scenario %q (registered: %s)",
+		name, strings.Join(Names(), ", "))
+}
+
+// MustGet is Get for names known at compile time; it panics on error.
+func MustGet(name string) Scenario {
+	s, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Names lists the registered scenario names in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Describe renders a "name — description" line per registered scenario,
+// for CLI usage text.
+func Describe() string {
+	var b strings.Builder
+	for i, name := range Names() {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "%s — %s", name, registry[name].Description)
+	}
+	return b.String()
+}

@@ -1,0 +1,141 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/service"
+)
+
+func TestBuiltinsRegistered(t *testing.T) {
+	for _, name := range []string{"nutch-search", "ecommerce", "microservice-chain", "social-feed"} {
+		s, err := Get(name)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", name, err)
+		}
+		if s.Name != name {
+			t.Fatalf("Get(%q).Name = %q", name, s.Name)
+		}
+		if s.Description == "" {
+			t.Errorf("%s: empty description", name)
+		}
+		topo := s.Topology(0)
+		if err := topo.Validate(); err != nil {
+			t.Errorf("%s default topology: %v", name, err)
+		}
+		if s.DominantStage < 0 || s.DominantStage >= len(topo.Stages) {
+			t.Errorf("%s: dominant stage %d out of range", name, s.DominantStage)
+		}
+	}
+	if len(Names()) < 4 {
+		t.Fatalf("Names() = %v, want at least the four built-ins", Names())
+	}
+}
+
+func TestGetDefaultAndCaseInsensitive(t *testing.T) {
+	def, err := Get("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Name != Default {
+		t.Fatalf("empty name resolved to %q, want %q", def.Name, Default)
+	}
+	upper, err := Get("ECommerce")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upper.Name != "ecommerce" {
+		t.Fatalf("case-insensitive lookup resolved to %q", upper.Name)
+	}
+}
+
+func TestGetUnknownErrors(t *testing.T) {
+	_, err := Get("no-such-scenario")
+	if err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	// The error must be actionable: name the offender and the options.
+	msg := err.Error()
+	if !strings.Contains(msg, "no-such-scenario") || !strings.Contains(msg, "nutch-search") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestMustGetPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGet on unknown name did not panic")
+		}
+	}()
+	MustGet("no-such-scenario")
+}
+
+func TestRegisterRejectsBadScenarios(t *testing.T) {
+	cases := map[string]Scenario{
+		"empty name": {Topology: service.NutchTopology, Nodes: 4,
+			Workload: WorkloadDefaults{BatchConcurrency: 1, MinInputMB: 1, MaxInputMB: 2}},
+		"nil topology": {Name: "t1", Nodes: 4,
+			Workload: WorkloadDefaults{BatchConcurrency: 1, MinInputMB: 1, MaxInputMB: 2}},
+		"no nodes": {Name: "t2", Topology: service.NutchTopology,
+			Workload: WorkloadDefaults{BatchConcurrency: 1, MinInputMB: 1, MaxInputMB: 2}},
+		"bad workload": {Name: "t3", Topology: service.NutchTopology, Nodes: 4,
+			Workload: WorkloadDefaults{BatchConcurrency: 1, MinInputMB: 5, MaxInputMB: 2}},
+		"bad dominant stage": {Name: "t4", Topology: service.NutchTopology, Nodes: 4, DominantStage: 9,
+			Workload: WorkloadDefaults{BatchConcurrency: 1, MinInputMB: 1, MaxInputMB: 2}},
+		"duplicate": {Name: "nutch-search", Topology: service.NutchTopology, Nodes: 4,
+			Workload: WorkloadDefaults{BatchConcurrency: 1, MinInputMB: 1, MaxInputMB: 2}},
+		"case-variant duplicate": {Name: "Nutch-Search", Topology: service.NutchTopology, Nodes: 4,
+			Workload: WorkloadDefaults{BatchConcurrency: 1, MinInputMB: 1, MaxInputMB: 2}},
+	}
+	for label, s := range cases {
+		if err := Register(s); err == nil {
+			t.Errorf("%s: Register accepted %+v", label, s)
+		}
+	}
+}
+
+func TestFanOutResizesDominantStage(t *testing.T) {
+	for _, name := range Names() {
+		s := MustGet(name)
+		topo := s.Topology(7)
+		if got := topo.Stages[s.DominantStage].Components; got != 7 {
+			t.Errorf("%s: Topology(7) dominant stage has %d components", name, got)
+		}
+		def := s.Topology(0)
+		if def.Stages[s.DominantStage].Components == 7 {
+			t.Errorf("%s: default topology unexpectedly 7 wide", name)
+		}
+	}
+}
+
+func TestPromotedTopologiesMatchServicePackage(t *testing.T) {
+	// The registry must not fork the topologies it promoted: nutch-search
+	// and ecommerce stay bit-identical to the service package's builders,
+	// which pcs.Run used before the registry existed.
+	nutch := MustGet("nutch-search").Topology(100)
+	want := service.NutchTopology(100)
+	if len(nutch.Stages) != len(want.Stages) || nutch.Name != want.Name {
+		t.Fatalf("nutch-search diverged: %+v vs %+v", nutch, want)
+	}
+	for i := range want.Stages {
+		if nutch.Stages[i] != want.Stages[i] {
+			t.Fatalf("nutch-search stage %d diverged", i)
+		}
+	}
+	ec := MustGet("ecommerce").Topology(0)
+	wantEc := service.EcommerceTopology()
+	for i := range wantEc.Stages {
+		if ec.Stages[i] != wantEc.Stages[i] {
+			t.Fatalf("ecommerce stage %d diverged", i)
+		}
+	}
+}
+
+func TestDescribeListsEveryScenario(t *testing.T) {
+	out := Describe()
+	for _, name := range Names() {
+		if !strings.Contains(out, name) {
+			t.Errorf("Describe() missing %s:\n%s", name, out)
+		}
+	}
+}

@@ -151,24 +151,52 @@ func (e *Engine) After(d float64, fn Event) EventHandle {
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// PeekNextTime reports the virtual time of the earliest queued event
+// without executing it. The second return is false when the queue is empty.
+// Together with Step it lets callers interleave observation with execution
+// instead of handing the whole run to Run.
+func (e *Engine) PeekNextTime() (float64, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
+// Step pops the earliest queued event, advances the clock to its fire time
+// and executes it. It reports false (and leaves the clock untouched) when
+// the queue is empty. Step ignores the horizon and Stop — bounding a
+// stepped run is the caller's job, typically via PeekNextTime.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	next := e.queue[0]
+	heap.Pop(&e.queue)
+	e.now = next.at
+	fn := next.fn
+	e.recycle(next) // fn is saved; the struct may be reused by fn's own scheduling
+	e.fired++
+	fn(e.now)
+	return true
+}
+
 // Run executes events in time order until the queue drains, the horizon is
 // reached, or Stop is called. It returns the final virtual time. Events
 // scheduled beyond the horizon remain queued; the clock is left at the
-// horizon if it was reached.
+// horizon if it was reached. Run is a loop over the PeekNextTime/Step
+// primitives; stepped and monolithic execution are interchangeable.
 func (e *Engine) Run(horizon float64) float64 {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
-		next := e.queue[0]
-		if next.at > horizon {
+	for !e.stopped {
+		next, ok := e.PeekNextTime()
+		if !ok {
+			break
+		}
+		if next > horizon {
 			e.now = horizon
 			return e.now
 		}
-		heap.Pop(&e.queue)
-		e.now = next.at
-		fn := next.fn
-		e.recycle(next) // fn is saved; the struct may be reused by fn's own scheduling
-		e.fired++
-		fn(e.now)
+		e.Step()
 	}
 	if e.now < horizon && !e.stopped && !math.IsInf(horizon, 1) {
 		e.now = horizon

@@ -293,3 +293,121 @@ func TestHandleTimeSurvivesRecycling(t *testing.T) {
 		t.Fatalf("Time() = %v after recycling, want 2.5", h.Time())
 	}
 }
+
+func TestPeekNextTime(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.PeekNextTime(); ok {
+		t.Fatal("empty engine has a next event")
+	}
+	e.At(3, func(float64) {})
+	e.At(1, func(float64) {})
+	if next, ok := e.PeekNextTime(); !ok || next != 1 {
+		t.Fatalf("PeekNextTime = %v, %v; want 1, true", next, ok)
+	}
+	if e.Now() != 0 {
+		t.Fatal("peek advanced the clock")
+	}
+}
+
+func TestStepExecutesOneEvent(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	e.At(1, func(now float64) { fired = append(fired, now) })
+	e.At(2, func(now float64) { fired = append(fired, now) })
+	if !e.Step() {
+		t.Fatal("Step on non-empty queue returned false")
+	}
+	if len(fired) != 1 || fired[0] != 1 || e.Now() != 1 {
+		t.Fatalf("after one step: fired=%v now=%v", fired, e.Now())
+	}
+	if !e.Step() {
+		t.Fatal("second step returned false")
+	}
+	if e.Step() {
+		t.Fatal("Step on drained queue returned true")
+	}
+	if len(fired) != 2 || e.Now() != 2 {
+		t.Fatalf("after stepping dry: fired=%v now=%v", fired, e.Now())
+	}
+}
+
+// TestStepLoopMatchesRun drives an identical schedule once with Run and
+// once with the Peek/Step primitives, checking fire order, times and the
+// fired counter all agree — the contract the steppable Simulation relies
+// on.
+func TestStepLoopMatchesRun(t *testing.T) {
+	build := func(e *Engine, log *[]float64) {
+		var reschedule func(now float64)
+		reschedule = func(now float64) {
+			*log = append(*log, now)
+			if now < 5 {
+				e.After(0.7, reschedule)
+				e.After(1.3, func(at float64) { *log = append(*log, at) })
+			}
+		}
+		e.At(0.5, reschedule)
+		e.Every(1.1, func(now float64) { *log = append(*log, -now) })
+	}
+
+	ran := NewEngine()
+	var ranLog []float64
+	build(ran, &ranLog)
+	ran.Run(8)
+
+	stepped := NewEngine()
+	var stepLog []float64
+	build(stepped, &stepLog)
+	for {
+		next, ok := stepped.PeekNextTime()
+		if !ok || next > 8 {
+			break
+		}
+		stepped.Step()
+	}
+
+	if len(ranLog) != len(stepLog) {
+		t.Fatalf("event counts differ: Run %d vs stepped %d", len(ranLog), len(stepLog))
+	}
+	for i := range ranLog {
+		if ranLog[i] != stepLog[i] {
+			t.Fatalf("event %d differs: Run %v vs stepped %v", i, ranLog[i], stepLog[i])
+		}
+	}
+	if ran.Fired() != stepped.Fired() {
+		t.Fatalf("fired counters differ: %d vs %d", ran.Fired(), stepped.Fired())
+	}
+}
+
+// TestRunResumesAfterPartialRun checks that Run(h1) then Run(h2) executes
+// the same events as a single Run(h2) — the property that lets
+// Simulation.RunTo slice a run at arbitrary points.
+func TestRunResumesAfterPartialRun(t *testing.T) {
+	build := func(e *Engine, log *[]float64) {
+		for i := 1; i <= 10; i++ {
+			at := float64(i) * 0.9
+			e.At(at, func(now float64) { *log = append(*log, now) })
+		}
+	}
+	whole := NewEngine()
+	var wholeLog []float64
+	build(whole, &wholeLog)
+	whole.Run(9)
+
+	sliced := NewEngine()
+	var slicedLog []float64
+	build(sliced, &slicedLog)
+	for _, h := range []float64{1.0, 2.5, 2.5, 6.0, 9} {
+		sliced.Run(h)
+	}
+	if sliced.Now() != whole.Now() {
+		t.Fatalf("clocks differ: %v vs %v", sliced.Now(), whole.Now())
+	}
+	if len(wholeLog) != len(slicedLog) {
+		t.Fatalf("event counts differ: %d vs %d", len(wholeLog), len(slicedLog))
+	}
+	for i := range wholeLog {
+		if wholeLog[i] != slicedLog[i] {
+			t.Fatalf("event %d differs: %v vs %v", i, wholeLog[i], slicedLog[i])
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package pcs
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/runner"
+	"repro/internal/xrand"
+)
+
+// CITarget is RunUntil's stopping rule: replicate until the 95 %
+// confidence intervals of the headline metrics are tight enough, within a
+// hard replication cap.
+type CITarget struct {
+	// RelHalfWidth is the target relative CI95 half-width, e.g. 0.05 for
+	// ±5 %: replication stops once CI95/mean ≤ RelHalfWidth for both
+	// AvgOverallMs and P99ComponentMs. Required.
+	RelHalfWidth float64
+	// MinReplications is the floor before the first convergence check
+	// (default 5; at least 3, below which the t-interval is meaningless).
+	MinReplications int
+	// MaxReplications is the hard cap (default 64). If the target is not
+	// met by then, the aggregate is returned with Converged == false.
+	MaxReplications int
+	// BatchSize is how many replications run between convergence checks
+	// (default 4). It is a fixed count, not "one batch per core", so the
+	// stopping point — and therefore the aggregate — is identical on any
+	// machine.
+	BatchSize int
+	// Workers bounds each batch's worker pool (0 = all cores). It affects
+	// wall-clock time only, never the aggregate.
+	Workers int
+}
+
+func (t CITarget) withDefaults() CITarget {
+	if t.MinReplications <= 0 {
+		t.MinReplications = 5
+	}
+	if t.MinReplications < 3 {
+		t.MinReplications = 3
+	}
+	if t.MaxReplications <= 0 {
+		t.MaxReplications = 64
+	}
+	// The cap is the hard limit: an explicit MaxReplications below the
+	// minimum lowers the minimum, never the other way around.
+	if t.MinReplications > t.MaxReplications {
+		t.MinReplications = t.MaxReplications
+	}
+	if t.BatchSize <= 0 {
+		t.BatchSize = 4
+	}
+	return t
+}
+
+// converged reports whether both headline metrics meet the relative CI
+// target. Fewer than two replications never converge: a single sample has
+// no interval.
+func (t CITarget) converged(agg Aggregate) bool {
+	if agg.Replications < 2 {
+		return false
+	}
+	rel := func(m MetricSummary) float64 {
+		if m.Mean == 0 {
+			return math.Inf(1)
+		}
+		return m.CI95 / math.Abs(m.Mean)
+	}
+	return rel(agg.AvgOverallMs) <= t.RelHalfWidth && rel(agg.P99ComponentMs) <= t.RelHalfWidth
+}
+
+// RunUntil runs replication batches of the configured simulation until the
+// CI95 half-widths of the two headline metrics fall below the relative
+// target, or the replication cap is reached (ROADMAP's adaptive
+// replication counts). Replication i always runs with the seed stream
+// xrand.StreamSeed(opts.Seed, i) — the same streams as RunMany — so the
+// aggregate equals RunMany(opts, n) for the n it stops at, is bit-identical
+// for any worker count, and Converged records whether the target was met.
+func RunUntil(opts Options, target CITarget) (Aggregate, error) {
+	t := target.withDefaults()
+	if t.RelHalfWidth <= 0 {
+		return Aggregate{}, fmt.Errorf("pcs: RunUntil needs a positive relative CI target, got %g", t.RelHalfWidth)
+	}
+
+	pool := runner.Options{Workers: t.Workers}
+	var runs []Result
+	for len(runs) < t.MaxReplications {
+		batch := t.BatchSize
+		if len(runs) == 0 {
+			batch = t.MinReplications
+		}
+		if rem := t.MaxReplications - len(runs); batch > rem {
+			batch = rem
+		}
+		base := len(runs)
+		// The runner's own seed stream restarts at 0 every call, so derive
+		// each replication's seed from its global index instead.
+		batchRuns, err := runner.Run(opts.Seed, batch, pool,
+			func(rep int, _ int64) (Result, error) {
+				o := opts
+				o.Seed = xrand.StreamSeed(opts.Seed, base+rep)
+				return Run(o)
+			})
+		if err != nil {
+			return Aggregate{}, err
+		}
+		runs = append(runs, batchRuns...)
+		agg := aggregateRuns(runs, pool.EffectiveWorkers(len(runs)))
+		if t.converged(agg) {
+			agg.Converged = true
+			return agg, nil
+		}
+	}
+	return aggregateRuns(runs, pool.EffectiveWorkers(len(runs))), nil
+}

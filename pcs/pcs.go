@@ -25,16 +25,11 @@ package pcs
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/baseline"
-	"repro/internal/cluster"
-	"repro/internal/monitor"
-	"repro/internal/profiling"
-	"repro/internal/scheduler"
+	"repro/internal/scenario"
 	"repro/internal/service"
-	"repro/internal/sim"
-	"repro/internal/workload"
-	"repro/internal/xrand"
 )
 
 // Technique selects the latency-reduction technique of §VI-A.
@@ -82,18 +77,49 @@ func Techniques() []Technique {
 	return []Technique{Basic, RED3, RED5, RI90, RI99, PCS}
 }
 
+// ParseTechnique parses a technique name as printed by Technique.String.
+// Matching is case-insensitive and the dash is optional, so "PCS", "red-3"
+// and "RI90" all parse. Every CLI accepts technique names through this one
+// parser.
+func ParseTechnique(s string) (Technique, error) {
+	canon := func(v string) string {
+		return strings.ToLower(strings.ReplaceAll(strings.TrimSpace(v), "-", ""))
+	}
+	for _, t := range Techniques() {
+		if canon(t.String()) == canon(s) {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("pcs: unknown technique %q (want one of Basic, RED-3, RED-5, RI-90, RI-99, PCS)", s)
+}
+
+// Scenarios lists the registered scenario names selectable via
+// Options.Scenario.
+func Scenarios() []string { return scenario.Names() }
+
+// DescribeScenarios renders one "name — description" line per registered
+// scenario, for CLI usage text.
+func DescribeScenarios() string { return scenario.Describe() }
+
 // Options configures one simulation run. The zero value of every field
-// selects the evaluation default noted on it.
+// selects the evaluation default noted on it; deployment and workload
+// fields whose default says "scenario default" resolve against the
+// selected Scenario.
 type Options struct {
 	// Technique is the execution technique (default Basic).
 	Technique Technique
+	// Scenario names the deployment to simulate (default "nutch-search",
+	// the paper's own). See Scenarios() for the registered names.
+	Scenario string
 	// Seed drives all randomness; runs are deterministic given a seed.
 	Seed int64
-	// Nodes is the cluster size (default 30, the paper's testbed).
+	// Nodes is the cluster size (0 selects the scenario default; 30 for
+	// nutch-search, the paper's testbed).
 	Nodes int
-	// SearchComponents is the fan-out of the searching stage (default 100,
-	// the paper's Fig. 6 deployment). The segmenting and aggregating
-	// stages are sized by the Nutch topology.
+	// SearchComponents is the fan-out of the scenario's dominant stage
+	// (0 selects the scenario default; 100 searching components for
+	// nutch-search, the paper's Fig. 6 deployment). The remaining stages
+	// are sized by the scenario's topology.
 	SearchComponents int
 	// ArrivalRate is the request arrival rate λ in requests/second
 	// (default 100).
@@ -101,26 +127,30 @@ type Options struct {
 	// Requests is the number of arrivals to generate (default 20000).
 	Requests int
 	// WarmupFraction of the run's duration is excluded from metrics
-	// (default 0.15).
+	// (default 0.15; -1 disables warmup exclusion entirely).
 	WarmupFraction float64
 	// DrainSeconds extends the horizon past the last arrival so in-flight
-	// requests can finish (default 10).
+	// requests can finish (default 10; -1 ends the run at the last
+	// arrival).
 	DrainSeconds float64
 
 	// BatchConcurrency is the average number of co-located batch jobs per
-	// node (default 2).
+	// node (0 selects the scenario default; 2 for nutch-search).
 	BatchConcurrency float64
-	// MinInputMB/MaxInputMB bound batch-job input sizes (defaults 1 MB and
-	// 10 GB, the paper's Fig. 6 sweep).
+	// MinInputMB/MaxInputMB bound batch-job input sizes (0 selects the
+	// scenario defaults; 1 MB and 10 GB for nutch-search, the paper's
+	// Fig. 6 sweep).
 	MinInputMB, MaxInputMB float64
-	// TwoPhaseJobs enables map→reduce demand shifts inside batch jobs.
-	TwoPhaseJobs bool
+	// TwoPhaseJobs controls map→reduce demand shifts inside batch jobs:
+	// 0 keeps the scenario default, positive forces them on, negative
+	// (-1) forces them off.
+	TwoPhaseJobs int
 
 	// CancelDelaySeconds is the redundancy cancellation-message delay
 	// (default 3 ms — network plus coordination latency on the paper's
 	// 1 GbE/Storm testbed; replicas that start within this window of each
 	// other all run to completion, §VI-C's "cancellation messages both in
-	// flight" effect).
+	// flight" effect; -1 makes cancellation instantaneous).
 	CancelDelaySeconds float64
 
 	// SchedulingInterval is PCS's interval in seconds (default 5; see
@@ -160,35 +190,31 @@ type Options struct {
 	MonitorNoiseSigma float64
 }
 
+// withDefaults fills the scenario-independent defaults. For the fields
+// whose zero value would otherwise make "disable" unreachable —
+// WarmupFraction, DrainSeconds, CancelDelaySeconds — any negative value is
+// an explicit "off" (mirroring MaxMigrationsPerInterval: 0 keeps the
+// default, -1 disables).
 func (o Options) withDefaults() Options {
-	if o.Nodes <= 0 {
-		o.Nodes = 30
-	}
-	if o.SearchComponents <= 0 {
-		o.SearchComponents = 100
-	}
 	if o.ArrivalRate <= 0 {
 		o.ArrivalRate = 100
 	}
 	if o.Requests <= 0 {
 		o.Requests = 20000
 	}
-	if o.WarmupFraction <= 0 || o.WarmupFraction >= 1 {
+	if o.WarmupFraction < 0 {
+		o.WarmupFraction = 0
+	} else if o.WarmupFraction == 0 || o.WarmupFraction >= 1 {
 		o.WarmupFraction = 0.15
 	}
-	if o.DrainSeconds <= 0 {
+	if o.DrainSeconds < 0 {
+		o.DrainSeconds = 0
+	} else if o.DrainSeconds == 0 {
 		o.DrainSeconds = 10
 	}
-	if o.BatchConcurrency <= 0 {
-		o.BatchConcurrency = 2
-	}
-	if o.MinInputMB <= 0 {
-		o.MinInputMB = 1
-	}
-	if o.MaxInputMB <= o.MinInputMB {
-		o.MaxInputMB = 10 * 1024
-	}
-	if o.CancelDelaySeconds <= 0 {
+	if o.CancelDelaySeconds < 0 {
+		o.CancelDelaySeconds = 0
+	} else if o.CancelDelaySeconds == 0 {
 		o.CancelDelaySeconds = 0.003
 	}
 	if o.SchedulingInterval <= 0 {
@@ -220,9 +246,37 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// applyScenario fills the deployment and workload fields the selected
+// scenario defaults: cluster size and the batch-interference knobs.
+// Explicitly set fields win over the scenario.
+func (o Options) applyScenario(sc scenario.Scenario) Options {
+	o.Scenario = sc.Name
+	if o.Nodes <= 0 {
+		o.Nodes = sc.Nodes
+	}
+	if o.BatchConcurrency <= 0 {
+		o.BatchConcurrency = sc.Workload.BatchConcurrency
+	}
+	if o.MinInputMB <= 0 {
+		o.MinInputMB = sc.Workload.MinInputMB
+	}
+	if o.MaxInputMB <= o.MinInputMB {
+		o.MaxInputMB = sc.Workload.MaxInputMB
+	}
+	if o.TwoPhaseJobs == 0 {
+		if sc.Workload.TwoPhaseJobs {
+			o.TwoPhaseJobs = 1
+		} else {
+			o.TwoPhaseJobs = -1
+		}
+	}
+	return o
+}
+
 // Result reports one run. Latencies are in milliseconds.
 type Result struct {
 	Technique   string
+	Scenario    string
 	ArrivalRate float64
 
 	// AvgOverallMs is the average overall service latency (the paper's
@@ -245,107 +299,16 @@ type Result struct {
 	VirtualSeconds      float64
 }
 
-// Run executes one simulation and reports its latency metrics.
+// Run executes one simulation to its horizon and reports its latency
+// metrics. It is a thin wrapper over the steppable Simulation:
+// NewSimulation followed by Finish, with nothing in between. Callers who
+// want to observe or steer a run mid-flight use Simulation directly.
 func Run(opts Options) (Result, error) {
-	o := opts.withDefaults()
-	root := xrand.New(o.Seed ^ 0x5ca1ab1e)
-
-	engine := sim.NewEngine()
-	cl := cluster.New(o.Nodes, cluster.DefaultCapacity())
-
-	gen := workload.NewGenerator(engine, cl, root.Fork(), workload.GeneratorConfig{
-		TargetConcurrency: o.BatchConcurrency,
-		MinInputMB:        o.MinInputMB,
-		MaxInputMB:        o.MaxInputMB,
-		TwoPhase:          o.TwoPhaseJobs,
-	})
-
-	policy, err := policyFor(o)
+	s, err := NewSimulation(opts)
 	if err != nil {
 		return Result{}, err
 	}
-
-	duration := float64(o.Requests) / o.ArrivalRate
-	topo := service.NutchTopology(o.SearchComponents)
-	svc, err := service.New(engine, cl, root.Fork(), policy, service.Config{
-		Topology: topo,
-		Warmup:   duration * o.WarmupFraction,
-	})
-	if err != nil {
-		return Result{}, err
-	}
-
-	mon := monitor.New(engine, cl, root.Fork(), monitor.Config{
-		NoiseSigma: o.MonitorNoiseSigma,
-	})
-	svc.OnArrival = mon.RecordArrival
-
-	var ctrl *scheduler.Controller
-	if o.Technique == PCS {
-		queue, err := queueModelFor(o.QueueModel)
-		if err != nil {
-			return Result{}, err
-		}
-		// Training backgrounds mirror the paper's profiling: single
-		// co-runners swept across kinds and input sizes (strongly
-		// informative per-resource samples), plus random multi-job mixes
-		// for coverage of co-location.
-		backgrounds := workload.KindSizeGrid(workload.JobKinds(),
-			workload.LinearSizes(12, o.MinInputMB, o.MaxInputMB))
-		backgrounds = append(backgrounds,
-			workload.TrainingMixes(root.Fork(), o.TrainingMixes, 3, o.MinInputMB, o.MaxInputMB)...)
-		models, err := profiling.TrainStageModels(topo, svc.Law(), backgrounds, profiling.Config{
-			Probes:            o.ProfilingProbes,
-			MonitorNoiseSigma: o.MonitorNoiseSigma,
-			Degree:            o.RegressionDegree,
-		}, root.Fork())
-		if err != nil {
-			return Result{}, err
-		}
-		ctrl = scheduler.NewController(svc, mon, models, root.Fork(), scheduler.ControllerConfig{
-			Interval: o.SchedulingInterval,
-			Scheduler: scheduler.Config{
-				Epsilon:       o.EpsilonSeconds,
-				MaxMigrations: o.MaxMigrationsPerInterval,
-			},
-			Queue:          queue,
-			FallbackLambda: o.ArrivalRate,
-		})
-	}
-
-	// Start the world: batch interference, monitoring, scheduling,
-	// arrivals — then run to the horizon.
-	gen.Start()
-	mon.Start()
-	if ctrl != nil {
-		ctrl.Start()
-	}
-	svc.StartArrivals(o.ArrivalRate, o.Requests)
-	horizon := duration + o.DrainSeconds
-	engine.Run(horizon)
-
-	rep := svc.Collector().Report()
-	res := Result{
-		Technique:        o.Technique.String(),
-		ArrivalRate:      o.ArrivalRate,
-		AvgOverallMs:     rep.AvgOverallMs,
-		P99ComponentMs:   rep.P99ComponentMs,
-		OverallP50Ms:     rep.Overall.P50,
-		OverallP99Ms:     rep.Overall.P99,
-		OverallMaxMs:     rep.Overall.Max,
-		ComponentMeanMs:  rep.Component.Mean,
-		ComponentP50Ms:   rep.Component.P50,
-		StageMeanMs:      rep.StageMeanMs,
-		Arrivals:         svc.Arrivals(),
-		Completed:        svc.Completed(),
-		Migrations:       svc.Migrations(),
-		BatchJobsStarted: gen.Started(),
-		VirtualSeconds:   engine.Now(),
-	}
-	if ctrl != nil {
-		res.SchedulingIntervals = ctrl.Intervals
-	}
-	return res, nil
+	return s.Finish(), nil
 }
 
 func policyFor(o Options) (service.Policy, error) {

@@ -178,8 +178,8 @@ func TestStageAndOverallLatencyExported(t *testing.T) {
 
 func TestOptionsDefaults(t *testing.T) {
 	o := Options{}.withDefaults()
-	if o.Nodes != 30 || o.SearchComponents != 100 || o.ArrivalRate != 100 {
-		t.Fatalf("deployment defaults: %+v", o)
+	if o.ArrivalRate != 100 || o.Requests != 20000 {
+		t.Fatalf("workload defaults: %+v", o)
 	}
 	if o.EpsilonSeconds <= 0 || o.SchedulingInterval != 5 || o.MaxMigrationsPerInterval != 20 {
 		t.Fatalf("scheduling defaults: %+v", o)
@@ -188,6 +188,91 @@ func TestOptionsDefaults(t *testing.T) {
 	o2 := Options{MaxMigrationsPerInterval: -1}.withDefaults()
 	if o2.MaxMigrationsPerInterval != 0 {
 		t.Fatalf("uncapped = %d", o2.MaxMigrationsPerInterval)
+	}
+	// Deployment and batch-interference defaults come from the scenario,
+	// resolved when the simulation is built.
+	s, err := NewSimulation(Options{Technique: Basic, Requests: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Options()
+	if r.Scenario != "nutch-search" || r.Nodes != 30 || r.BatchConcurrency != 2 ||
+		r.MinInputMB != 1 || r.MaxInputMB != 10*1024 {
+		t.Fatalf("scenario defaults not applied: %+v", r)
+	}
+}
+
+func TestNegativeOneDisablesZeroValueTraps(t *testing.T) {
+	// 0 keeps each default; -1 (any negative) is an explicit "off" that
+	// used to be unreachable because withDefaults coerced ≤0 back to the
+	// default.
+	def := Options{}.withDefaults()
+	if def.CancelDelaySeconds != 0.003 || def.WarmupFraction != 0.15 || def.DrainSeconds != 10 {
+		t.Fatalf("defaults: %+v", def)
+	}
+	off := Options{CancelDelaySeconds: -1, WarmupFraction: -1, DrainSeconds: -1}.withDefaults()
+	if off.CancelDelaySeconds != 0 {
+		t.Fatalf("CancelDelaySeconds -1 → %v, want 0 (instant cancellation)", off.CancelDelaySeconds)
+	}
+	if off.WarmupFraction != 0 {
+		t.Fatalf("WarmupFraction -1 → %v, want 0 (no warmup exclusion)", off.WarmupFraction)
+	}
+	if off.DrainSeconds != 0 {
+		t.Fatalf("DrainSeconds -1 → %v, want 0 (no drain)", off.DrainSeconds)
+	}
+	// Explicit values still win.
+	set := Options{CancelDelaySeconds: 0.01, WarmupFraction: 0.3, DrainSeconds: 5}.withDefaults()
+	if set.CancelDelaySeconds != 0.01 || set.WarmupFraction != 0.3 || set.DrainSeconds != 5 {
+		t.Fatalf("explicit values clobbered: %+v", set)
+	}
+}
+
+func TestNegativeOneOffValuesRunEndToEnd(t *testing.T) {
+	o := smallOpts(RED3, 11)
+	o.CancelDelaySeconds = -1
+	o.WarmupFraction = -1
+	o.DrainSeconds = -1
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no drain the horizon ends at the arrival window.
+	if want := float64(o.Requests) / o.ArrivalRate; res.VirtualSeconds != want {
+		t.Fatalf("VirtualSeconds = %v, want %v (no drain)", res.VirtualSeconds, want)
+	}
+	// With no warmup every completed request is observed; the observed
+	// run must differ from the defaulted one.
+	defRes, err := Run(smallOpts(RED3, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgOverallMs == defRes.AvgOverallMs {
+		t.Fatal("disabling warmup/drain changed nothing (suspicious)")
+	}
+}
+
+func TestParseTechnique(t *testing.T) {
+	cases := map[string]Technique{
+		"Basic": Basic, "basic": Basic,
+		"RED-3": RED3, "red3": RED3, "Red-5": RED5,
+		"RI-90": RI90, "ri90": RI90, "RI-99": RI99,
+		"PCS": PCS, "pcs": PCS, " pcs ": PCS,
+	}
+	for in, want := range cases {
+		got, err := ParseTechnique(in)
+		if err != nil {
+			t.Errorf("ParseTechnique(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseTechnique(%q) = %v, want %v", in, got, want)
+		}
+	}
+	if _, err := ParseTechnique("RED-7"); err == nil {
+		t.Error("ParseTechnique accepted RED-7")
+	}
+	if _, err := ParseTechnique(""); err == nil {
+		t.Error("ParseTechnique accepted empty string")
 	}
 }
 

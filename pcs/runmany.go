@@ -24,9 +24,14 @@ type MetricSummary struct {
 // reports, summarised across n independent replications.
 type Aggregate struct {
 	Technique    string
+	Scenario     string
 	ArrivalRate  float64
 	Replications int
 	Workers      int
+
+	// Converged reports whether a RunUntil call met its CI target before
+	// hitting the replication cap; fixed-count aggregates leave it false.
+	Converged bool
 
 	// AvgOverallMs and P99ComponentMs summarise the paper's two headline
 	// metrics across replications.
@@ -70,12 +75,18 @@ func RunManyWorkers(opts Options, n, workers int) (Aggregate, error) {
 	if err != nil {
 		return Aggregate{}, err
 	}
+	return aggregateRuns(runs, pool.EffectiveWorkers(n)), nil
+}
 
+// aggregateRuns folds per-replication Results into an Aggregate. It is
+// shared by the fixed-count RunMany and the adaptive RunUntil.
+func aggregateRuns(runs []Result, workers int) Aggregate {
 	agg := Aggregate{
 		Technique:    runs[0].Technique,
+		Scenario:     runs[0].Scenario,
 		ArrivalRate:  runs[0].ArrivalRate,
-		Replications: n,
-		Workers:      pool.EffectiveWorkers(n),
+		Replications: len(runs),
+		Workers:      workers,
 		Runs:         runs,
 	}
 	pick := func(f func(Result) float64) MetricSummary {
@@ -95,7 +106,7 @@ func RunManyWorkers(opts Options, n, workers int) (Aggregate, error) {
 		agg.Completed += r.Completed
 		agg.Migrations += r.Migrations
 	}
-	return agg, nil
+	return agg
 }
 
 // summarizeMetric folds per-replication values of one metric through the

@@ -1,0 +1,264 @@
+package pcs
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/monitor"
+	"repro/internal/profiling"
+	"repro/internal/scenario"
+	"repro/internal/scheduler"
+	"repro/internal/service"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// Simulation is one fully wired simulation world that the caller drives:
+// cluster, batch interference, service, monitor and (for PCS) the
+// scheduling controller, assembled by NewSimulation but not yet run.
+// Callers advance it with RunTo or Step, observe it with Snapshot at any
+// point, and close it with Finish. Driving a Simulation step by step and
+// calling Run produce bit-identical Results for the same Options: the
+// engine's event order does not depend on where the run is sliced.
+type Simulation struct {
+	opts Options // fully resolved (defaults + scenario applied)
+	sc   scenario.Scenario
+
+	engine  *sim.Engine
+	cluster *cluster.Cluster
+	gen     *workload.Generator
+	svc     *service.Service
+	mon     *monitor.Monitor
+	ctrl    *scheduler.Controller // nil unless Technique == PCS
+
+	horizon  float64
+	finished bool
+	result   Result
+}
+
+// NewSimulation resolves opts against its scenario, builds the whole world
+// (topology placement, batch generator, monitor, and — for PCS — profiling,
+// model training and the controller), and schedules the initial events:
+// batch-job arrivals, monitor samples, scheduling intervals and the request
+// stream. No virtual time passes until the caller advances the clock.
+func NewSimulation(opts Options) (*Simulation, error) {
+	o := opts.withDefaults()
+	sc, err := scenario.Get(o.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	o = o.applyScenario(sc)
+	root := xrand.New(o.Seed ^ 0x5ca1ab1e)
+
+	engine := sim.NewEngine()
+	cl := cluster.New(o.Nodes, cluster.DefaultCapacity())
+
+	gen := workload.NewGenerator(engine, cl, root.Fork(), workload.GeneratorConfig{
+		TargetConcurrency: o.BatchConcurrency,
+		MinInputMB:        o.MinInputMB,
+		MaxInputMB:        o.MaxInputMB,
+		TwoPhase:          o.TwoPhaseJobs > 0,
+	})
+
+	policy, err := policyFor(o)
+	if err != nil {
+		return nil, err
+	}
+
+	duration := float64(o.Requests) / o.ArrivalRate
+	topo := sc.Topology(o.SearchComponents)
+	svc, err := service.New(engine, cl, root.Fork(), policy, service.Config{
+		Topology: topo,
+		Warmup:   duration * o.WarmupFraction,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	mon := monitor.New(engine, cl, root.Fork(), monitor.Config{
+		NoiseSigma: o.MonitorNoiseSigma,
+	})
+	svc.OnArrival = mon.RecordArrival
+
+	var ctrl *scheduler.Controller
+	if o.Technique == PCS {
+		queue, err := queueModelFor(o.QueueModel)
+		if err != nil {
+			return nil, err
+		}
+		// Training backgrounds mirror the paper's profiling: single
+		// co-runners swept across kinds and input sizes (strongly
+		// informative per-resource samples), plus random multi-job mixes
+		// for coverage of co-location.
+		backgrounds := workload.KindSizeGrid(workload.JobKinds(),
+			workload.LinearSizes(12, o.MinInputMB, o.MaxInputMB))
+		backgrounds = append(backgrounds,
+			workload.TrainingMixes(root.Fork(), o.TrainingMixes, 3, o.MinInputMB, o.MaxInputMB)...)
+		models, err := profiling.TrainStageModels(topo, svc.Law(), backgrounds, profiling.Config{
+			Probes:            o.ProfilingProbes,
+			MonitorNoiseSigma: o.MonitorNoiseSigma,
+			Degree:            o.RegressionDegree,
+		}, root.Fork())
+		if err != nil {
+			return nil, err
+		}
+		ctrl = scheduler.NewController(svc, mon, models, root.Fork(), scheduler.ControllerConfig{
+			Interval: o.SchedulingInterval,
+			Scheduler: scheduler.Config{
+				Epsilon:       o.EpsilonSeconds,
+				MaxMigrations: o.MaxMigrationsPerInterval,
+			},
+			Queue:          queue,
+			FallbackLambda: o.ArrivalRate,
+		})
+	}
+
+	// Start the world: batch interference, monitoring, scheduling,
+	// arrivals. These only schedule events; execution belongs to the
+	// caller.
+	gen.Start()
+	mon.Start()
+	if ctrl != nil {
+		ctrl.Start()
+	}
+	svc.StartArrivals(o.ArrivalRate, o.Requests)
+
+	return &Simulation{
+		opts:    o,
+		sc:      sc,
+		engine:  engine,
+		cluster: cl,
+		gen:     gen,
+		svc:     svc,
+		mon:     mon,
+		ctrl:    ctrl,
+		horizon: duration + o.DrainSeconds,
+	}, nil
+}
+
+// Options returns the fully resolved options the simulation runs with:
+// defaults filled and scenario defaults applied.
+func (s *Simulation) Options() Options { return s.opts }
+
+// Scenario returns the name of the scenario the simulation deploys.
+func (s *Simulation) Scenario() string { return s.sc.Name }
+
+// Now returns the current virtual time in seconds.
+func (s *Simulation) Now() float64 { return s.engine.Now() }
+
+// Horizon returns the virtual time at which Finish stops the run: the
+// arrival window plus the drain period.
+func (s *Simulation) Horizon() float64 { return s.horizon }
+
+// Service exposes the simulated service for callers embedding PCS-style
+// scheduling in their own setups (the examples drive it directly).
+func (s *Simulation) Service() *service.Service { return s.svc }
+
+// NextEventTime reports the virtual time of the next pending event, false
+// if the world has none left.
+func (s *Simulation) NextEventTime() (float64, bool) { return s.engine.PeekNextTime() }
+
+// Step executes exactly one pending event, advancing the clock to it. It
+// returns false — executing nothing — once the next event lies beyond the
+// horizon or no events remain. A loop over Step executes exactly the
+// events RunTo(Horizon()) would; the clock then rests at the last executed
+// event rather than the horizon until Finish (or RunTo) rounds it up.
+func (s *Simulation) Step() bool {
+	next, ok := s.engine.PeekNextTime()
+	if !ok || next > s.horizon {
+		return false
+	}
+	return s.engine.Step()
+}
+
+// RunTo advances the simulation to virtual time t (clamped to the horizon
+// — past it the world has no more scheduled work; shrink or grow runs via
+// Options instead). It returns the clock after the advance. RunTo is
+// idempotent for t <= Now().
+func (s *Simulation) RunTo(t float64) float64 {
+	if t > s.horizon {
+		t = s.horizon
+	}
+	if t <= s.engine.Now() {
+		return s.engine.Now()
+	}
+	return s.engine.Run(t)
+}
+
+// Snapshot is a mid-run observation of a simulation, cheap enough to take
+// every few virtual seconds. Latency metrics cover post-warmup
+// observations up to Now.
+type Snapshot struct {
+	// Now and Horizon locate the run: Progress == Now/Horizon.
+	Now, Horizon float64
+	// Arrivals and Completed count requests so far; InFlight is their
+	// difference.
+	Arrivals, Completed, InFlight int
+	// Migrations and SchedulingIntervals count PCS activity so far.
+	Migrations, SchedulingIntervals int
+	// BatchJobsStarted counts interference jobs so far.
+	BatchJobsStarted int
+	// PendingEvents and FiredEvents describe the engine queue.
+	PendingEvents int
+	FiredEvents   uint64
+	// AvgOverallMs and P99ComponentMs are the paper's two metrics over
+	// the post-warmup observations recorded so far.
+	AvgOverallMs, P99ComponentMs float64
+}
+
+// Snapshot observes the running world without perturbing it.
+func (s *Simulation) Snapshot() Snapshot {
+	rep := s.svc.Collector().Report()
+	snap := Snapshot{
+		Now:              s.engine.Now(),
+		Horizon:          s.horizon,
+		Arrivals:         s.svc.Arrivals(),
+		Completed:        s.svc.Completed(),
+		InFlight:         s.svc.Arrivals() - s.svc.Completed(),
+		Migrations:       s.svc.Migrations(),
+		BatchJobsStarted: s.gen.Started(),
+		PendingEvents:    s.engine.Pending(),
+		FiredEvents:      s.engine.Fired(),
+		AvgOverallMs:     rep.AvgOverallMs,
+		P99ComponentMs:   rep.P99ComponentMs,
+	}
+	if s.ctrl != nil {
+		snap.SchedulingIntervals = s.ctrl.Intervals
+	}
+	return snap
+}
+
+// Finish runs the remaining events up to the horizon and reports the
+// run's Result. Finishing an already finished simulation returns the same
+// Result again.
+func (s *Simulation) Finish() Result {
+	if s.finished {
+		return s.result
+	}
+	s.engine.Run(s.horizon)
+
+	rep := s.svc.Collector().Report()
+	res := Result{
+		Technique:        s.opts.Technique.String(),
+		Scenario:         s.sc.Name,
+		ArrivalRate:      s.opts.ArrivalRate,
+		AvgOverallMs:     rep.AvgOverallMs,
+		P99ComponentMs:   rep.P99ComponentMs,
+		OverallP50Ms:     rep.Overall.P50,
+		OverallP99Ms:     rep.Overall.P99,
+		OverallMaxMs:     rep.Overall.Max,
+		ComponentMeanMs:  rep.Component.Mean,
+		ComponentP50Ms:   rep.Component.P50,
+		StageMeanMs:      rep.StageMeanMs,
+		Arrivals:         s.svc.Arrivals(),
+		Completed:        s.svc.Completed(),
+		Migrations:       s.svc.Migrations(),
+		BatchJobsStarted: s.gen.Started(),
+		VirtualSeconds:   s.engine.Now(),
+	}
+	if s.ctrl != nil {
+		res.SchedulingIntervals = s.ctrl.Intervals
+	}
+	s.finished = true
+	s.result = res
+	return res
+}
