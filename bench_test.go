@@ -92,7 +92,10 @@ func BenchmarkFig7SchedulerScalability(b *testing.B) {
 	for _, p := range ladder {
 		b.Run(fmt.Sprintf("m=%d/k=%d", p.M, p.K), func(b *testing.B) {
 			src := xrand.New(1)
-			in := experiments.SyntheticMatrixInput(p.M, p.K, 10, 100, src)
+			in, err := experiments.SyntheticMatrixInput("", p.M, p.K, 10, 100, src)
+			if err != nil {
+				b.Fatal(err)
+			}
 			b.ResetTimer()
 			var analysisMs, searchMs float64
 			for i := 0; i < b.N; i++ {
@@ -189,7 +192,10 @@ func BenchmarkAblationRegressionDegree(b *testing.B) {
 // O(m·k) "analysis" of §VI-D) for profiling.
 func BenchmarkMatrixBuild(b *testing.B) {
 	src := xrand.New(1)
-	in := experiments.SyntheticMatrixInput(160, 32, 10, 100, src)
+	in, err := experiments.SyntheticMatrixInput("", 160, 32, 10, 100, src)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := scheduler.BuildAndSchedule(in, scheduler.Config{Epsilon: 1e9}); err != nil {

@@ -20,7 +20,7 @@ func main() {
 	log.SetFlags(0)
 	var (
 		seed         = flag.Int64("seed", 1, "random seed")
-		scenarioName = flag.String("scenario", "", "scenario whose dominant-stage component is profiled;\nempty selects nutch-search. Registered:\n"+pcs.DescribeScenarios())
+		scenarioName = flag.String("scenario", "", pcs.ScenarioFlagUsage())
 		hadoop       = flag.Int("hadoop-sizes", 20, "number of Hadoop input sizes (50MB..4GB)")
 		spark        = flag.Int("spark-sizes", 10, "number of Spark input sizes (200MB..7GB)")
 		probes       = flag.Int("probes", 100, "probe requests per measurement")

@@ -11,23 +11,26 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/pcs"
 )
 
 func main() {
 	log.SetFlags(0)
 	var (
-		seed    = flag.Int64("seed", 1, "random seed")
-		repeats = flag.Int("repeats", 3, "timing repetitions per point")
-		window  = flag.Int("window", 10, "monitor window length per node")
-		lambda  = flag.Float64("lambda", 100, "assumed arrival rate")
+		seed         = flag.Int64("seed", 1, "random seed")
+		scenarioName = flag.String("scenario", "", pcs.ScenarioFlagUsage())
+		repeats      = flag.Int("repeats", 3, "timing repetitions per point")
+		window       = flag.Int("window", 10, "monitor window length per node")
+		lambda       = flag.Float64("lambda", 100, "assumed arrival rate")
 	)
 	flag.Parse()
 
 	points, err := experiments.RunFig7(experiments.Fig7Config{
-		Seed:    *seed,
-		Repeats: *repeats,
-		Window:  *window,
-		Lambda:  *lambda,
+		Seed:     *seed,
+		Scenario: *scenarioName,
+		Repeats:  *repeats,
+		Window:   *window,
+		Lambda:   *lambda,
 	})
 	if err != nil {
 		log.Fatal(err)

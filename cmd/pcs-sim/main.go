@@ -7,13 +7,19 @@
 //	pcs-sim -scenario ecommerce -technique PCS
 //	pcs-sim -technique Basic -replications 16
 //	pcs-sim -technique Basic -ci-target 0.05
+//	pcs-sim -technique Basic -sample-interval 1              # print the run's time-series
+//	pcs-sim -replications 32 -stream runs.ndjson             # per-replication NDJSON to disk
+//	pcs-sim -merge runs.ndjson                               # re-aggregate a stored stream
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"text/tabwriter"
 
+	"repro/internal/metrics"
 	"repro/pcs"
 )
 
@@ -21,7 +27,7 @@ func main() {
 	log.SetFlags(0)
 	var (
 		technique    = flag.String("technique", "PCS", "execution technique: Basic, RED-3, RED-5, RI-90, RI-99 or PCS")
-		scenarioName = flag.String("scenario", "", "deployment scenario; empty selects nutch-search.\nRegistered:\n"+pcs.DescribeScenarios())
+		scenarioName = flag.String("scenario", "", pcs.ScenarioFlagUsage())
 		rate         = flag.Float64("rate", 100, "request arrival rate (requests/second)")
 		requests     = flag.Int("requests", 20000, "number of requests to simulate")
 		nodes        = flag.Int("nodes", 0, "cluster size (0 = scenario default)")
@@ -34,8 +40,26 @@ func main() {
 		ciTarget     = flag.Float64("ci-target", 0, "adaptive replications: replicate until the relative CI95 half-width\nof both headline metrics falls below this (e.g. 0.05 for ±5%); 0 disables")
 		maxReps      = flag.Int("max-replications", 64, "hard replication cap for -ci-target")
 		workers      = flag.Int("workers", 0, "parallel simulation workers (0 = all cores); never affects the results")
+		sampleEvery  = flag.Float64("sample-interval", 0, "sample a Snapshot every this many virtual seconds during a single run\nand print the time-series after the report; 0 disables. Sampling never\nchanges the results")
+		streamPath   = flag.String("stream", "", "with -replications or -ci-target: write each replication's result to this\nfile as NDJSON instead of holding all of them in memory")
+		mergePath    = flag.String("merge", "", "aggregate an NDJSON file written by pcs-sim -stream and exit (no simulation).\npcs-sweep -stream files are per-cell records with repeating replication\nindices and are not mergeable here")
 	)
 	flag.Parse()
+
+	if *mergePath != "" {
+		f, err := os.Open(*mergePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		agg, err := pcs.MergeStream(f)
+		if err != nil {
+			log.Fatal(err, "\n(only pcs-sim -stream files are mergeable; pcs-sweep -stream files are "+
+				"per-cell records with repeating replication indices)")
+		}
+		printAggregate(agg)
+		return
+	}
 
 	tech, err := pcs.ParseTechnique(*technique)
 	if err != nil {
@@ -53,16 +77,38 @@ func main() {
 		EpsilonSeconds:     *epsilon,
 		QueueModel:         *queue,
 	}
+	if *sampleEvery > 0 && (*replications > 1 || *ciTarget > 0) {
+		log.Fatal("-sample-interval applies to a single run: drop -replications/-ci-target " +
+			"(or watch a replication live with pcs-live)")
+	}
+
+	var sink *os.File
+	if *streamPath != "" {
+		if *replications <= 1 && *ciTarget <= 0 {
+			log.Fatal("-stream needs -replications or -ci-target: a single run has nothing to stream")
+		}
+		var err error
+		sink, err = os.Create(*streamPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer sink.Close()
+	}
+
 	if *ciTarget > 0 {
 		if *replications > 1 {
 			log.Fatal("-replications and -ci-target are mutually exclusive: " +
 				"use -replications for a fixed count or -ci-target to stop on CI width")
 		}
-		agg, err := pcs.RunUntil(opts, pcs.CITarget{
+		target := pcs.CITarget{
 			RelHalfWidth:    *ciTarget,
 			MaxReplications: *maxReps,
 			Workers:         *workers,
-		})
+		}
+		if sink != nil {
+			target.Sink = sink
+		}
+		agg, err := pcs.RunUntil(opts, target)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -74,41 +120,74 @@ func main() {
 			fmt.Printf("\nNOT converged: CI target %.1f%% missed at the %d-replication cap\n",
 				100**ciTarget, agg.Replications)
 		}
+		if sink != nil {
+			fmt.Printf("\nper-replication results streamed to %s (merge with -merge)\n", *streamPath)
+		}
 		return
 	}
 	if *replications > 1 {
-		agg, err := pcs.RunManyWorkers(opts, *replications, *workers)
+		var agg pcs.Aggregate
+		var err error
+		if sink != nil {
+			agg, err = pcs.RunManyStream(opts, *replications, *workers, sink)
+		} else {
+			agg, err = pcs.RunManyWorkers(opts, *replications, *workers)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
 		printAggregate(agg)
+		if sink != nil {
+			fmt.Printf("\nper-replication results streamed to %s (merge with -merge)\n", *streamPath)
+		}
 		return
 	}
-	res, err := pcs.Run(opts)
+
+	sim, err := pcs.NewSimulation(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
+	series := metrics.NewSeries[pcs.Snapshot](512)
+	if *sampleEvery > 0 {
+		if err := sim.SampleEvery(*sampleEvery, func(sn pcs.Snapshot) {
+			series.Observe(sn.Now, sn)
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	res := sim.Finish()
+	res.WriteReport(os.Stdout)
+	if *sampleEvery > 0 {
+		printSeries(series)
+	}
+}
 
-	fmt.Printf("technique           %s\n", res.Technique)
-	fmt.Printf("scenario            %s\n", res.Scenario)
-	fmt.Printf("arrival rate        %.0f req/s\n", res.ArrivalRate)
-	fmt.Printf("requests            %d arrived, %d completed\n", res.Arrivals, res.Completed)
-	fmt.Printf("virtual time        %.1f s\n", res.VirtualSeconds)
-	fmt.Printf("batch jobs          %d started\n", res.BatchJobsStarted)
-	fmt.Println()
-	fmt.Printf("avg overall latency       %10.3f ms   (paper metric 2)\n", res.AvgOverallMs)
-	fmt.Printf("p99 component latency     %10.3f ms   (paper metric 1)\n", res.P99ComponentMs)
-	fmt.Printf("overall p50 / p99 / max   %10.3f / %.3f / %.3f ms\n",
-		res.OverallP50Ms, res.OverallP99Ms, res.OverallMaxMs)
-	fmt.Printf("component mean / p50      %10.3f / %.3f ms\n", res.ComponentMeanMs, res.ComponentP50Ms)
-	for s, m := range res.StageMeanMs {
-		fmt.Printf("stage %d mean              %10.3f ms\n", s, m)
+// printSeries renders the sampled time-series as a compact table: at most
+// 16 evenly spaced rows of the retained (already decimated) samples.
+func printSeries(series *metrics.Series[pcs.Snapshot]) {
+	samples := series.Samples()
+	if len(samples) == 0 {
+		return
 	}
-	if tech == pcs.PCS {
-		fmt.Println()
-		fmt.Printf("scheduling intervals      %d\n", res.SchedulingIntervals)
-		fmt.Printf("migrations enforced       %d\n", res.Migrations)
+	fmt.Printf("\ntime-series (%d samples retained of %d taken)\n", series.Len(), series.Offered())
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "t(s)\tλ\tarrived\tdone\tin-flight\tqueued\tutil µ/max\tavg ms\tp99 comp ms")
+	step := 1
+	if len(samples) > 16 {
+		step = (len(samples) + 15) / 16
 	}
+	row := func(sn pcs.Snapshot) {
+		fmt.Fprintf(tw, "%.1f\t%.0f\t%d\t%d\t%d\t%d\t%.2f/%.2f\t%.3f\t%.3f\n",
+			sn.Now, sn.ArrivalRate, sn.Arrivals, sn.Completed, sn.InFlight,
+			sn.QueuedExecutions, sn.MeanCoreUtilization, sn.MaxCoreUtilization,
+			sn.AvgOverallMs, sn.P99ComponentMs)
+	}
+	last := len(samples) - 1
+	for i := 0; i < last; i += step {
+		row(samples[i].Value)
+	}
+	row(samples[last].Value) // end-of-run state always shown
+	tw.Flush()
 }
 
 // printAggregate renders a multi-replication run: across-replication means

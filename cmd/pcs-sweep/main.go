@@ -6,10 +6,14 @@
 //
 // The sweep runs any registered scenario (-scenario) and any technique
 // subset (-techniques); the defaults reproduce the paper's figure.
+// With -stream, every individual run of the sweep is additionally written
+// to a file as one NDJSON line (technique, rate, replication, seed, full
+// result) so huge sweeps leave a per-run record on disk.
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"strconv"
@@ -23,7 +27,7 @@ func main() {
 	log.SetFlags(0)
 	var (
 		seed         = flag.Int64("seed", 1, "random seed")
-		scenarioName = flag.String("scenario", "", "deployment scenario; empty selects nutch-search.\nRegistered:\n"+pcs.DescribeScenarios())
+		scenarioName = flag.String("scenario", "", pcs.ScenarioFlagUsage())
 		requests     = flag.Int("requests", 20000, "requests per run (runs last ≥90 virtual seconds regardless)")
 		nodes        = flag.Int("nodes", 0, "cluster size (0 = scenario default)")
 		fanOut       = flag.Int("search-components", 0, "dominant-stage fan-out (0 = scenario default)")
@@ -31,6 +35,7 @@ func main() {
 		techniques   = flag.String("techniques", "", "comma-separated technique subset (empty = all six)")
 		replications = flag.Int("replications", 1, "independent replications per (technique, rate) cell; >1 reports mean±CI95")
 		workers      = flag.Int("workers", 0, "parallel simulation workers (0 = all cores); never affects the results")
+		streamPath   = flag.String("stream", "", "write every run of the sweep (cell coordinates, seed, full result) to this\nfile as NDJSON, alongside the aggregated tables")
 	)
 	flag.Parse()
 
@@ -64,9 +69,20 @@ func main() {
 		Replications:     *replications,
 		Workers:          *workers,
 	}
+	if *streamPath != "" {
+		f, err := os.Create(*streamPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		cfg.Stream = f
+	}
 	res, err := experiments.RunFig6(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	res.WriteTable(os.Stdout, cfg)
+	if *streamPath != "" {
+		fmt.Printf("per-run results streamed to %s\n", *streamPath)
+	}
 }

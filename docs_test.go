@@ -1,0 +1,173 @@
+package repro
+
+// Documentation gates, run by the CI docs job:
+//
+//   - TestDocsLinks: every markdown link in README.md, DESIGN.md and
+//     docs/*.md that points inside the repository must resolve — to an
+//     existing file, and (for markdown targets with a fragment) to a real
+//     heading anchor.
+//   - TestDocsExportedIdentifiersDocumented: every exported identifier in
+//     the public pcs package carries a doc comment.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles returns the markdown files the link check covers.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md", "DESIGN.md"}
+	extra, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(files, extra...)
+}
+
+// mdLink matches inline markdown links: [text](target). Images and badges
+// share the syntax and are checked the same way.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// proseLines returns a markdown file's lines with fenced code blocks
+// blanked out, so neither the link scan nor the heading scan is fooled by
+// shell comments or example snippets inside ``` fences.
+func proseLines(t *testing.T, file string) []string {
+	t.Helper()
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatalf("%s: %v", file, err)
+	}
+	lines := strings.Split(string(data), "\n")
+	fenced := false
+	for i, line := range lines {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			fenced = !fenced
+			lines[i] = ""
+			continue
+		}
+		if fenced {
+			lines[i] = ""
+		}
+	}
+	return lines
+}
+
+func TestDocsLinks(t *testing.T) {
+	for _, file := range docFiles(t) {
+		prose := strings.Join(proseLines(t, file), "\n")
+		for _, m := range mdLink.FindAllStringSubmatch(prose, -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"):
+				continue // external: not checkable offline
+			}
+			path, frag, _ := strings.Cut(target, "#")
+			if path == "" {
+				// Intra-document anchor.
+				if !anchorExists(t, file, frag) {
+					t.Errorf("%s: anchor #%s not found in this file", file, frag)
+				}
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), path)
+			if !strings.HasPrefix(filepath.Clean(resolved), "..") {
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s: link target %q does not exist", file, target)
+					continue
+				}
+				if frag != "" && strings.HasSuffix(resolved, ".md") && !anchorExists(t, resolved, frag) {
+					t.Errorf("%s: anchor %q not found in %s", file, frag, resolved)
+				}
+			} else {
+				// Targets escaping the repo (e.g. the CI badge's
+				// ../../actions/... GitHub path) are host-side URLs.
+				continue
+			}
+		}
+	}
+}
+
+// anchorExists reports whether a markdown file contains a heading (outside
+// code fences) whose GitHub-style slug equals frag.
+func anchorExists(t *testing.T, file, frag string) bool {
+	t.Helper()
+	for _, line := range proseLines(t, file) {
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		if slugify(strings.TrimLeft(line, "# ")) == strings.ToLower(frag) {
+			return true
+		}
+	}
+	return false
+}
+
+// slugify approximates GitHub's heading-anchor algorithm: lowercase, drop
+// everything but letters/digits/spaces/hyphens, spaces to hyphens.
+func slugify(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteRune('-')
+		}
+	}
+	return b.String()
+}
+
+func TestDocsExportedIdentifiersDocumented(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, "pcs", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var missing []string
+	report := func(pos token.Pos, kind, name string) {
+		missing = append(missing, fmt.Sprintf("%s: %s %s", fset.Position(pos), kind, name))
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && d.Doc == nil {
+						report(d.Pos(), "func", d.Name.Name)
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+								report(s.Pos(), "type", s.Name.Name)
+							}
+						case *ast.ValueSpec:
+							for _, name := range s.Names {
+								if name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+									report(s.Pos(), "value", name.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(missing) > 0 {
+		t.Errorf("exported identifiers in pcs without doc comments:\n  %s",
+			strings.Join(missing, "\n  "))
+	}
+}

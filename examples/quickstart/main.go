@@ -15,7 +15,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	scenarioName := flag.String("scenario", "", "deployment scenario; empty selects nutch-search.\nRegistered:\n"+pcs.DescribeScenarios())
+	scenarioName := flag.String("scenario", "", pcs.ScenarioFlagUsage())
 	rate := flag.Float64("rate", 100, "request arrival rate (requests/second)")
 	requests := flag.Int("requests", 8000, "number of requests to simulate")
 	seed := flag.Int64("seed", 1, "random seed")

@@ -19,7 +19,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	scenarioName := flag.String("scenario", "", "deployment scenario; empty selects nutch-search.\nRegistered:\n"+pcs.DescribeScenarios())
+	scenarioName := flag.String("scenario", "", pcs.ScenarioFlagUsage())
 	rate := flag.Float64("rate", 200, "request arrival rate (requests/second)")
 	requests := flag.Int("requests", 12000, "requests per technique run")
 	seed := flag.Int64("seed", 1, "random seed")

@@ -56,6 +56,17 @@ func (c *Cluster) Contentions() []Vector {
 	return out
 }
 
+// FailedNodes reports how many nodes are currently failed.
+func (c *Cluster) FailedNodes() int {
+	n := 0
+	for _, node := range c.nodes {
+		if node.Failed() {
+			n++
+		}
+	}
+	return n
+}
+
 // Move relocates a hosted program from one node to another. It panics if
 // the program is not hosted on `from` or already hosted on `to`; migrations
 // are driven by the scheduler, which must keep its allocation array

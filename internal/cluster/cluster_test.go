@@ -358,3 +358,49 @@ func TestRefreshSumsInHostingOrder(t *testing.T) {
 		t.Fatalf("post-evict Refresh sum = %.20g, want %.20g", got, want[Core])
 	}
 }
+
+func TestNodeFailRestore(t *testing.T) {
+	cap := DefaultCapacity()
+	n := NewNode(0, cap)
+	n.Host(&fakeProgram{id: "p", demand: Vector{Core: 1}})
+	if n.Failed() {
+		t.Fatal("fresh node reports failed")
+	}
+	healthy := n.Contention()
+	n.Fail()
+	if !n.Failed() {
+		t.Fatal("Fail did not mark the node")
+	}
+	if got := n.Contention(); got != cap {
+		t.Fatalf("failed node contention = %v, want full capacity %v", got, cap)
+	}
+	if got := n.ContentionExcluding("p"); got != cap {
+		t.Fatalf("failed node background = %v, want full capacity %v", got, cap)
+	}
+	if u := n.Utilization(Core); u != 1 {
+		t.Fatalf("failed node core utilization = %v, want 1", u)
+	}
+	n.Restore()
+	if n.Failed() {
+		t.Fatal("Restore did not clear the failure")
+	}
+	if got := n.Contention(); got != healthy {
+		t.Fatalf("restored contention = %v, want pre-failure %v", got, healthy)
+	}
+}
+
+func TestClusterFailedNodes(t *testing.T) {
+	c := New(4, DefaultCapacity())
+	if c.FailedNodes() != 0 {
+		t.Fatalf("fresh cluster failed nodes = %d", c.FailedNodes())
+	}
+	c.Node(1).Fail()
+	c.Node(3).Fail()
+	if c.FailedNodes() != 2 {
+		t.Fatalf("failed nodes = %d, want 2", c.FailedNodes())
+	}
+	c.Node(1).Restore()
+	if c.FailedNodes() != 1 {
+		t.Fatalf("after restore failed nodes = %d, want 1", c.FailedNodes())
+	}
+}

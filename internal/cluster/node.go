@@ -22,6 +22,13 @@ type Node struct {
 	Capacity Vector // saturation point per resource; zero entries = unlimited
 
 	programs map[string]Program
+	// failed marks a node that has gone dark: its observable contention
+	// pins to full capacity, so everything hosted there runs at the
+	// interference law's saturation multiplier until Restore. This is a
+	// fail-slow model — requests on a failed node crawl rather than
+	// vanish — which keeps failures inside the contention framework the
+	// monitor, predictor and scheduler already understand.
+	failed bool
 	// order keeps hosted programs in arrival order. Refresh must sum
 	// demands in a deterministic order: float addition is not
 	// associative, so iterating the map directly would let Go's random
@@ -105,10 +112,28 @@ func (n *Node) Refresh() {
 	n.aggregate = agg
 }
 
+// Fail marks the node failed: Contention, ContentionExcluding and
+// Utilization report full saturation until Restore, so hosted programs
+// experience the worst-case interference and the monitor sees a node it
+// should route and migrate away from. Failing an already failed node is a
+// no-op.
+func (n *Node) Fail() { n.failed = true }
+
+// Restore clears a failure; observable contention reverts to the hosted
+// programs' aggregate demand.
+func (n *Node) Restore() { n.failed = false }
+
+// Failed reports whether the node is currently failed.
+func (n *Node) Failed() bool { return n.failed }
+
 // Contention returns the node's current aggregate contention vector,
 // saturated at the node's capacity. This is what the paper's monitors
-// observe via /proc and hardware counters.
+// observe via /proc and hardware counters. A failed node reports full
+// capacity on every bounded resource.
 func (n *Node) Contention() Vector {
+	if n.failed {
+		return n.Capacity
+	}
 	return n.aggregate.Clamp(n.Capacity)
 }
 
@@ -118,7 +143,11 @@ func (n *Node) RawDemand() Vector { return n.aggregate }
 
 // ContentionExcluding returns the node's contention with one program's
 // demand removed — the "background" a component would see around itself.
+// On a failed node the background is saturation regardless of who asks.
 func (n *Node) ContentionExcluding(id string) Vector {
+	if n.failed {
+		return n.Capacity
+	}
 	agg := n.aggregate
 	if p, ok := n.programs[id]; ok {
 		agg = agg.Sub(p.Demand())

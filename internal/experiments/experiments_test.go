@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 
@@ -215,7 +218,10 @@ func TestFig7SmallLadder(t *testing.T) {
 }
 
 func TestSyntheticMatrixInputIsSchedulable(t *testing.T) {
-	in := SyntheticMatrixInput(12, 4, 5, 100, xrand.New(7))
+	in, err := SyntheticMatrixInput("", 12, 4, 5, 100, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(in.Components) != 12 || in.NumNodes != 4 {
 		t.Fatal("dimensions wrong")
 	}
@@ -357,5 +363,80 @@ func TestFig7ParallelConstruction(t *testing.T) {
 	}
 	if len(points) != 1 || points[0].AnalysisMs <= 0 {
 		t.Fatalf("bad points: %+v", points)
+	}
+}
+
+func TestFig6StreamWritesEveryRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig6 sweep is expensive")
+	}
+	var buf bytes.Buffer
+	cfg := Fig6Config{
+		Seed:             9,
+		Rates:            []float64{40, 80},
+		Techniques:       []pcs.Technique{pcs.Basic, pcs.RED3},
+		Requests:         600,
+		Nodes:            8,
+		SearchComponents: 12,
+		Replications:     2,
+		Stream:           &buf,
+	}
+	res, err := RunFig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(&buf)
+	var recs []Fig6StreamedRun
+	for dec.More() {
+		var rec Fig6StreamedRun
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+	want := len(cfg.Rates) * len(cfg.Techniques) * cfg.Replications
+	if len(recs) != want {
+		t.Fatalf("streamed %d runs, want %d", len(recs), want)
+	}
+	// Cell order deterministic: rate-major, technique, then replication;
+	// each line reproducible and consistent with its cell aggregate.
+	if recs[0].Technique != "Basic" || recs[0].Rate != 40 || recs[0].Rep != 0 {
+		t.Fatalf("first record %+v not (Basic, 40, rep 0)", recs[0])
+	}
+	cell := res.Cell("Basic", 40)
+	if cell == nil {
+		t.Fatal("missing cell")
+	}
+	mean := (recs[0].Result.AvgOverallMs + recs[1].Result.AvgOverallMs) / 2
+	if math.Abs(mean-cell.Result.AvgOverallMs) > 1e-12 {
+		t.Fatalf("streamed runs' mean %v disagrees with cell %v", mean, cell.Result.AvgOverallMs)
+	}
+}
+
+func TestFig7ScenarioShapedInputs(t *testing.T) {
+	// Each scenario's topology shapes the synthetic components: stage
+	// count must match and every stage must be populated.
+	for _, name := range []string{"", "microservice-chain", "social-feed"} {
+		in, err := SyntheticMatrixInput(name, 40, 8, 5, 100, xrand.New(11))
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		if len(in.Components) != 40 {
+			t.Fatalf("%q: %d components, want 40", name, len(in.Components))
+		}
+		seen := make(map[int]int)
+		for _, c := range in.Components {
+			seen[c.Stage]++
+		}
+		if len(seen) != in.NumStages {
+			t.Fatalf("%q: %d of %d stages populated", name, len(seen), in.NumStages)
+		}
+	}
+	if _, err := SyntheticMatrixInput("no-such", 40, 8, 5, 100, xrand.New(11)); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	// Too few components to cover a deep topology must error, not panic.
+	if _, err := SyntheticMatrixInput("microservice-chain", 2, 4, 5, 100, xrand.New(11)); err == nil {
+		t.Fatal("2 components across 8 stages accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -36,6 +37,22 @@ type Fig6Config struct {
 	// Workers bounds the worker pool that the cells × replications jobs
 	// fan out on; 0 selects GOMAXPROCS.
 	Workers int
+	// Stream, when non-nil, receives every run of the sweep as one NDJSON
+	// line (Fig6StreamedRun) in deterministic (cell, replication) order,
+	// so huge sweeps leave a per-run record on disk alongside the
+	// aggregated tables. Streaming never changes the computed cells.
+	Stream io.Writer
+}
+
+// Fig6StreamedRun is one NDJSON line of a streamed sweep: the cell
+// coordinates, the replication index within the cell, the derived seed that
+// reproduces the run, and its Result.
+type Fig6StreamedRun struct {
+	Technique string     `json:"technique"`
+	Rate      float64    `json:"rate"`
+	Rep       int        `json:"rep"`
+	Seed      int64      `json:"seed"`
+	Result    pcs.Result `json:"result"`
 }
 
 func (c Fig6Config) withDefaults() Fig6Config {
@@ -126,9 +143,18 @@ func RunFig6(cfg Fig6Config) (Fig6Result, error) {
 
 	reps := c.Replications
 	jobs := len(specs) * reps
-	// The runner's own root-seed stream is unused: every job derives its
-	// seed from its cell's root so cells stay independent of each other.
-	results, err := runner.Run(c.Seed, jobs, runner.Options{Workers: c.Workers},
+	// The runs fan out on the streaming runner so NDJSON lines land on the
+	// sink as their replications complete (in deterministic order), not in
+	// a post-hoc pass; the cell tables still need every Result, so those
+	// are collected alongside. The runner's own root-seed stream is
+	// unused: every job derives its seed from its cell's root so cells
+	// stay independent of each other.
+	var enc *json.Encoder
+	if c.Stream != nil {
+		enc = json.NewEncoder(c.Stream)
+	}
+	results := make([]pcs.Result, jobs)
+	err := runner.Stream(c.Seed, jobs, runner.Options{Workers: c.Workers},
 		func(idx int, _ int64) (pcs.Result, error) {
 			spec := specs[idx/reps]
 			o := spec.opts
@@ -139,6 +165,24 @@ func RunFig6(cfg Fig6Config) (Fig6Result, error) {
 					spec.tech, o.ArrivalRate, runErr)
 			}
 			return res, nil
+		},
+		func(idx int, res pcs.Result) error {
+			results[idx] = res
+			if enc == nil {
+				return nil
+			}
+			spec := specs[idx/reps]
+			rec := Fig6StreamedRun{
+				Technique: spec.tech.String(),
+				Rate:      spec.opts.ArrivalRate,
+				Rep:       idx % reps,
+				Seed:      xrand.StreamSeed(spec.opts.Seed, idx%reps),
+				Result:    res,
+			}
+			if err := enc.Encode(rec); err != nil {
+				return fmt.Errorf("experiments: streaming fig6 run %d: %w", idx, err)
+			}
+			return nil
 		})
 	if err != nil {
 		return Fig6Result{}, err

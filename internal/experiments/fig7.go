@@ -21,6 +21,10 @@ import (
 // and run the greedy search, for growing numbers of components and nodes.
 type Fig7Config struct {
 	Seed int64
+	// Scenario names the deployment whose topology shapes the synthetic
+	// components (stage mix and demand vectors); empty selects
+	// nutch-search, the paper's own.
+	Scenario string
 	// Points are the (m, k) sizes to measure; nil selects the paper's
 	// ladder up to m=640 components on k=128 nodes.
 	Points []Fig7Point
@@ -72,14 +76,20 @@ func (c Fig7Config) withDefaults() Fig7Config {
 }
 
 // SyntheticMatrixInput builds a randomised but deterministic MatrixInput of
-// the given size: m components (92 % searching-like, flanked by small
-// first/last stages, mirroring the Nutch shape), k nodes with random batch
-// mixes in their sample windows, and a model trained from a short
-// profiling pass.
-func SyntheticMatrixInput(m, k, window int, lambda float64, src *xrand.Source) predictor.MatrixInput {
+// the given size from the named scenario's topology: m components spread
+// across the topology's stages in proportion to their real widths (the
+// dominant stage absorbs the remainder — 92 %+ searching-like for the
+// Nutch shape), k nodes with random batch mixes in their sample windows,
+// and a model trained from a short profiling pass. An empty scenario name
+// selects the default.
+func SyntheticMatrixInput(scenarioName string, m, k, window int, lambda float64, src *xrand.Source) (predictor.MatrixInput, error) {
 	capacity := cluster.DefaultCapacity()
 	law := service.DefaultLaw(capacity)
-	topo := scenario.MustGet(scenario.Default).Topology(0)
+	sc, err := scenario.Get(scenarioName)
+	if err != nil {
+		return predictor.MatrixInput{}, err
+	}
+	topo := sc.Topology(0)
 
 	// One model per stage from a compact profiling pass.
 	backgrounds := workload.TrainingMixes(src.Fork(), 60, 3, 1, 8192)
@@ -94,24 +104,39 @@ func SyntheticMatrixInput(m, k, window int, lambda float64, src *xrand.Source) p
 		models[i] = model
 	}
 
-	// Stage membership: first and last stages take ~4 % each, the middle
-	// stage the rest.
-	edge := m / 25
-	if edge < 1 {
-		edge = 1
+	// Stage membership scales the topology's real stage widths to m
+	// components, at least one per stage, with the dominant stage
+	// absorbing the rounding remainder.
+	widths := make([]int, len(topo.Stages))
+	total := 0
+	for si, spec := range topo.Stages {
+		widths[si] = spec.Components
+		total += spec.Components
 	}
-	comps := make([]predictor.ComponentState, m)
-	for i := range comps {
-		stage := 1
-		if i < edge {
-			stage = 0
-		} else if i >= m-edge {
-			stage = 2
+	perStage := make([]int, len(widths))
+	assigned := 0
+	for si, w := range widths {
+		n := m * w / total
+		if n < 1 {
+			n = 1
 		}
-		comps[i] = predictor.ComponentState{
-			Stage:  stage,
-			Node:   src.Intn(k),
-			Demand: topo.Stages[stage].Demand,
+		perStage[si] = n
+		assigned += n
+	}
+	perStage[sc.DominantStage] += m - assigned
+	if perStage[sc.DominantStage] < 1 {
+		return predictor.MatrixInput{}, fmt.Errorf(
+			"experiments: %d components cannot cover the %d stages of scenario %q",
+			m, len(topo.Stages), sc.Name)
+	}
+	comps := make([]predictor.ComponentState, 0, m)
+	for si := range topo.Stages {
+		for i := 0; i < perStage[si]; i++ {
+			comps = append(comps, predictor.ComponentState{
+				Stage:  si,
+				Node:   src.Intn(k),
+				Demand: topo.Stages[si].Demand,
+			})
 		}
 	}
 
@@ -146,7 +171,7 @@ func SyntheticMatrixInput(m, k, window int, lambda float64, src *xrand.Source) p
 		Models:      models,
 		Queue:       predictor.MG1,
 		Params:      predictor.DefaultLatencyParams(),
-	}
+	}, nil
 }
 
 // RunFig7 measures analysis and search times across the configured sizes.
@@ -160,7 +185,7 @@ func RunFig7(cfg Fig7Config) ([]Fig7Point, error) {
 	inputs, err := runner.Run(c.Seed^0xf167, jobs, runner.Options{Workers: c.Workers},
 		func(idx int, seed int64) (predictor.MatrixInput, error) {
 			p := c.Points[idx/c.Repeats]
-			return SyntheticMatrixInput(p.M, p.K, c.Window, c.Lambda, xrand.New(seed)), nil
+			return SyntheticMatrixInput(c.Scenario, p.M, p.K, c.Window, c.Lambda, xrand.New(seed))
 		})
 	if err != nil {
 		return nil, err

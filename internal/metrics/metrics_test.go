@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestSeriesKeepsEverythingUnderCapacity(t *testing.T) {
+	s := NewSeries[int](16)
+	for i := 0; i < 10; i++ {
+		s.Observe(float64(i), i)
+	}
+	if s.Len() != 10 || s.Stride() != 1 {
+		t.Fatalf("len=%d stride=%d, want 10/1", s.Len(), s.Stride())
+	}
+	for i, smp := range s.Samples() {
+		if smp.Value != i || smp.Time != float64(i) {
+			t.Fatalf("sample %d = %+v", i, smp)
+		}
+	}
+}
+
+func TestSeriesDecimatesAtCapacity(t *testing.T) {
+	const cap = 8
+	s := NewSeries[int](cap)
+	n := 1000
+	for i := 0; i < n; i++ {
+		s.Observe(float64(i), i)
+	}
+	if s.Len() > cap {
+		t.Fatalf("series grew past capacity: %d > %d", s.Len(), cap)
+	}
+	if s.Offered() != n {
+		t.Fatalf("offered %d, want %d", s.Offered(), n)
+	}
+	// Retained samples are evenly spaced at the final stride and span the
+	// run from its very first observation.
+	samples := s.Samples()
+	if samples[0].Value != 0 {
+		t.Fatalf("first sample lost: %+v", samples[0])
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Value-samples[i-1].Value != s.Stride() {
+			t.Fatalf("uneven spacing at %d: %d → %d with stride %d",
+				i, samples[i-1].Value, samples[i].Value, s.Stride())
+		}
+	}
+	// The stride must be exactly the doubling count: 2^k where k is the
+	// number of decimations.
+	if s.Stride()&(s.Stride()-1) != 0 {
+		t.Fatalf("stride %d is not a power of two", s.Stride())
+	}
+	// The newest retained sample is within one stride of the newest offered.
+	last, _ := s.Last()
+	if n-1-last.Value >= s.Stride() {
+		t.Fatalf("tail too stale: last value %d of %d at stride %d", last.Value, n, s.Stride())
+	}
+}
+
+func TestSeriesOddCapacityRoundsUp(t *testing.T) {
+	s := NewSeries[int](7)
+	for i := 0; i < 100; i++ {
+		s.Observe(float64(i), i)
+	}
+	if s.Len() > 8 {
+		t.Fatalf("len %d exceeds rounded capacity 8", s.Len())
+	}
+}
+
+func TestSeriesTinyCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSeries(1) did not panic")
+		}
+	}()
+	NewSeries[int](1)
+}
+
+func TestValuesAndRates(t *testing.T) {
+	type point struct{ completed float64 }
+	s := NewSeries[point](8)
+	// Cumulative counter growing 10/s.
+	for i := 1; i <= 4; i++ {
+		s.Observe(float64(i), point{completed: float64(10 * i)})
+	}
+	vals := Values(s.Samples(), func(p point) float64 { return p.completed })
+	if len(vals) != 4 || vals[3] != 40 {
+		t.Fatalf("values = %v", vals)
+	}
+	rates := Rates(s.Samples(), func(p point) float64 { return p.completed })
+	for i, r := range rates {
+		if math.Abs(r-10) > 1e-9 {
+			t.Fatalf("rate[%d] = %v, want 10", i, r)
+		}
+	}
+}
+
+func TestSparklineWidthAndLevels(t *testing.T) {
+	vals := []float64{0, 1, 2, 3, 4, 5, 6, 7}
+	sp := Sparkline(vals, 8)
+	if utf8.RuneCountInString(sp) != 8 {
+		t.Fatalf("sparkline %q has %d runes, want 8", sp, utf8.RuneCountInString(sp))
+	}
+	if !strings.HasPrefix(sp, "▁") || !strings.HasSuffix(sp, "█") {
+		t.Fatalf("sparkline %q does not span min→max", sp)
+	}
+	// Flat series renders at the lowest level, not blank.
+	flat := Sparkline([]float64{5, 5, 5}, 3)
+	if flat != "▁▁▁" {
+		t.Fatalf("flat sparkline = %q", flat)
+	}
+	// Short series grows from the left: leading columns blank.
+	short := Sparkline([]float64{1, 2}, 4)
+	if utf8.RuneCountInString(short) != 4 || !strings.HasPrefix(short, "  ") {
+		t.Fatalf("short sparkline = %q", short)
+	}
+	// Empty and zero-width are safe.
+	if got := Sparkline(nil, 3); got != "   " {
+		t.Fatalf("empty sparkline = %q", got)
+	}
+	if Sparkline(vals, 0) != "" {
+		t.Fatal("zero-width sparkline not empty")
+	}
+	// Downsampling: more values than columns still yields width runes.
+	long := make([]float64, 1000)
+	for i := range long {
+		long[i] = math.Sin(float64(i) / 50)
+	}
+	if got := Sparkline(long, 12); utf8.RuneCountInString(got) != 12 {
+		t.Fatalf("downsampled sparkline %q wrong width", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	if g := Gauge(0.5, 10); utf8.RuneCountInString(g) != 10 {
+		t.Fatalf("gauge %q wrong width", g)
+	}
+	if g := Gauge(0, 4); g != "░░░░" {
+		t.Fatalf("empty gauge = %q", g)
+	}
+	if g := Gauge(1, 4); g != "████" {
+		t.Fatalf("full gauge = %q", g)
+	}
+	if g := Gauge(2, 4); g != "████" { // clamped
+		t.Fatalf("overfull gauge = %q", g)
+	}
+	if g := Gauge(math.NaN(), 4); g != "░░░░" {
+		t.Fatalf("NaN gauge = %q", g)
+	}
+}

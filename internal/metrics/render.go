@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+)
+
+// sparkLevels are the eight block glyphs a sparkline quantises into.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders vals as a fixed-width unicode sparkline. Values are
+// bucketed to width columns (averaging within a bucket) and scaled to the
+// series' own min–max range; a flat series renders at the lowest level.
+// Non-finite values render as spaces. An empty series renders all spaces.
+func Sparkline(vals []float64, width int) string {
+	if width <= 0 {
+		return ""
+	}
+	cols := bucket(vals, width)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range cols {
+		if math.IsNaN(v) {
+			continue
+		}
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	var b strings.Builder
+	for _, v := range cols {
+		switch {
+		case math.IsNaN(v):
+			b.WriteRune(' ')
+		case hi <= lo:
+			b.WriteRune(sparkLevels[0])
+		default:
+			lvl := int((v - lo) / (hi - lo) * float64(len(sparkLevels)-1))
+			if lvl < 0 {
+				lvl = 0
+			}
+			if lvl >= len(sparkLevels) {
+				lvl = len(sparkLevels) - 1
+			}
+			b.WriteRune(sparkLevels[lvl])
+		}
+	}
+	return b.String()
+}
+
+// bucket resamples vals to exactly width columns. With fewer values than
+// columns the leading columns are NaN-padded so the sparkline grows from
+// the left edge as a run progresses; with more, each column averages its
+// share of the finite values.
+func bucket(vals []float64, width int) []float64 {
+	cols := make([]float64, width)
+	for i := range cols {
+		cols[i] = math.NaN()
+	}
+	n := len(vals)
+	if n == 0 {
+		return cols
+	}
+	if n <= width {
+		for i, v := range vals {
+			if math.IsInf(v, 0) {
+				v = math.NaN() // render as the documented blank column
+			}
+			cols[width-n+i] = v
+		}
+		return cols
+	}
+	for c := 0; c < width; c++ {
+		lo := c * n / width
+		hi := (c + 1) * n / width
+		sum, cnt := 0.0, 0
+		for _, v := range vals[lo:hi] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			sum += v
+			cnt++
+		}
+		if cnt > 0 {
+			cols[c] = sum / float64(cnt)
+		}
+	}
+	return cols
+}
+
+// Gauge renders v in [0, 1] as a width-column horizontal bar, e.g.
+// "███████░░░" — the progress and utilization meters of the live dashboard.
+func Gauge(v float64, width int) string {
+	if width <= 0 {
+		return ""
+	}
+	if math.IsNaN(v) || v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	filled := int(v*float64(width) + 0.5)
+	return strings.Repeat("█", filled) + strings.Repeat("░", width-filled)
+}

@@ -1,0 +1,126 @@
+// Package metrics provides bounded time-series collection and terminal
+// rendering for live observability of simulation runs. A Series records
+// timestamped samples (typically pcs.Snapshot values taken on a fixed
+// virtual-time cadence) in O(capacity) memory: when the buffer fills, every
+// other retained sample is dropped and the recording stride doubles, so the
+// series always spans the whole run at progressively coarser resolution
+// instead of truncating its head or tail.
+//
+// Collection is pure observation — a Series never touches the simulation it
+// describes, which is what keeps sampled runs bit-identical to unsampled
+// ones (see docs/architecture.md, "Determinism invariants").
+package metrics
+
+// Sample is one timestamped observation.
+type Sample[T any] struct {
+	// Time is the virtual time of the observation in seconds.
+	Time float64
+	// Value is the observed state.
+	Value T
+}
+
+// Series is a bounded time-series of samples. Observations are offered on a
+// fixed cadence; the Series keeps every stride-th one, and doubles the
+// stride (dropping every other retained sample) whenever the buffer reaches
+// capacity. Retained samples are therefore always evenly spaced at
+// stride × the offering cadence, covering the full observed range.
+//
+// The zero value is not usable; call NewSeries.
+type Series[T any] struct {
+	capacity int
+	stride   int
+	offered  int
+	samples  []Sample[T]
+}
+
+// NewSeries returns a Series holding at most capacity samples. Capacities
+// below 2 panic (decimation needs at least two slots); odd capacities are
+// rounded up so halving keeps retained samples aligned to the doubled
+// stride.
+func NewSeries[T any](capacity int) *Series[T] {
+	if capacity < 2 {
+		panic("metrics: series capacity must be at least 2")
+	}
+	if capacity%2 != 0 {
+		capacity++
+	}
+	return &Series[T]{
+		capacity: capacity,
+		stride:   1,
+		samples:  make([]Sample[T], 0, capacity),
+	}
+}
+
+// Observe offers one observation at virtual time t. The Series records it
+// if it falls on the current stride, decimating first if the buffer is
+// full. Offerings must be made in nondecreasing time order; the Series does
+// not check, it simply stores what it is given.
+func (s *Series[T]) Observe(t float64, v T) {
+	keep := s.offered%s.stride == 0
+	s.offered++
+	if !keep {
+		return
+	}
+	if len(s.samples) == s.capacity {
+		// Halve: keep even positions. The incoming observation's index is
+		// capacity × stride, which is a multiple of the doubled stride
+		// because capacity is even — retained samples stay evenly spaced.
+		kept := s.samples[:0]
+		for i := 0; i < len(s.samples); i += 2 {
+			kept = append(kept, s.samples[i])
+		}
+		s.samples = kept
+		s.stride *= 2
+	}
+	s.samples = append(s.samples, Sample[T]{Time: t, Value: v})
+}
+
+// Len reports the number of retained samples.
+func (s *Series[T]) Len() int { return len(s.samples) }
+
+// Offered reports how many observations were offered in total.
+func (s *Series[T]) Offered() int { return s.offered }
+
+// Stride reports how many offered observations one retained sample
+// currently stands for (1 until the first decimation, then doubling).
+func (s *Series[T]) Stride() int { return s.stride }
+
+// Samples returns the retained samples in time order. Callers must not
+// mutate the returned slice; it is invalidated by the next Observe.
+func (s *Series[T]) Samples() []Sample[T] { return s.samples }
+
+// Last returns the most recent retained sample, false if none.
+func (s *Series[T]) Last() (Sample[T], bool) {
+	if len(s.samples) == 0 {
+		return Sample[T]{}, false
+	}
+	return s.samples[len(s.samples)-1], true
+}
+
+// Values extracts one numeric field from every retained sample, in time
+// order — the shape the render helpers consume.
+func Values[T any](samples []Sample[T], pick func(T) float64) []float64 {
+	out := make([]float64, len(samples))
+	for i, s := range samples {
+		out[i] = pick(s.Value)
+	}
+	return out
+}
+
+// Rates turns a cumulative counter into a per-second rate between
+// consecutive retained samples: out[i] = (c[i]-c[i-1])/(t[i]-t[i-1]), with
+// out[0] measured from the origin (0 at time 0). Decimation preserves
+// correctness because the counters are cumulative — dropping intermediate
+// samples only widens the averaging window.
+func Rates[T any](samples []Sample[T], pick func(T) float64) []float64 {
+	out := make([]float64, len(samples))
+	prevT, prevC := 0.0, 0.0
+	for i, s := range samples {
+		dt := s.Time - prevT
+		if dt > 0 {
+			out[i] = (pick(s.Value) - prevC) / dt
+		}
+		prevT, prevC = s.Time, pick(s.Value)
+	}
+	return out
+}

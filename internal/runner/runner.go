@@ -115,3 +115,131 @@ func Run[T any](root int64, n int, opts Options, job Job[T]) ([]T, error) {
 	}
 	return results, nil
 }
+
+// Stream executes n replications of job across the pool and hands each
+// result to emit in replication-index order, without collecting them into a
+// slice — the memory contract behind streaming sinks for huge sweeps. The
+// seeds and therefore the results are exactly Run's; only the delivery
+// differs. emit runs on the coordinating goroutine, serially and in order;
+// out-of-order completions wait in a reorder buffer. A claim window
+// (2 × workers) gates how far the pool may run ahead of the oldest
+// unemitted replication, so the buffer holds O(workers) results even when
+// one replication is much slower than its peers — never O(n).
+//
+// An emit error stops the pool and is returned as-is. A job error is
+// reported like Run's: the lowest-indexed failure observed, wrapped with
+// its replication index; which later replications were still attempted
+// depends on scheduling.
+func Stream[T any](root int64, n int, opts Options, job Job[T], emit func(rep int, result T) error) error {
+	if n <= 0 {
+		return fmt.Errorf("runner: need at least one replication, got %d", n)
+	}
+	workers := opts.workers(n)
+	if workers == 1 {
+		// Serial fast path: already ordered.
+		for rep := 0; rep < n; rep++ {
+			res, err := job(rep, xrand.StreamSeed(root, rep))
+			if err != nil {
+				return fmt.Errorf("runner: replication %d: %w", rep, err)
+			}
+			if err := emit(rep, res); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	type item struct {
+		rep int
+		res T
+		err error
+	}
+	ch := make(chan item, workers)
+	// window tokens bound in-flight + buffered replications: a worker takes
+	// a token to claim a replication, the coordinator returns it when the
+	// replication is emitted. window ≥ workers is required so the final
+	// "discover rep >= n" claims cannot starve; 2× keeps the pool busy
+	// while the oldest replication straggles.
+	window := 2 * workers
+	tokens := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		tokens <- struct{}{}
+	}
+	stopped := make(chan struct{})
+	var stopOnce sync.Once
+	stop := func() { stopOnce.Do(func() { close(stopped) }) }
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-tokens:
+				case <-stopped:
+					return
+				}
+				rep := int(next.Add(1)) - 1
+				if rep >= n {
+					return
+				}
+				select {
+				case <-stopped:
+					return
+				default:
+				}
+				res, err := job(rep, xrand.StreamSeed(root, rep))
+				ch <- item{rep: rep, res: res, err: err}
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+
+	pending := make(map[int]T)
+	nextEmit := 0
+	var jobErr error
+	jobErrRep := n
+	var emitErr error
+	for it := range ch {
+		if it.err != nil {
+			stop()
+			if it.rep < jobErrRep {
+				jobErr, jobErrRep = it.err, it.rep
+			}
+			continue
+		}
+		if emitErr != nil || jobErr != nil {
+			continue // draining
+		}
+		pending[it.rep] = it.res
+		for {
+			res, ok := pending[nextEmit]
+			if !ok {
+				break
+			}
+			delete(pending, nextEmit)
+			if err := emit(nextEmit, res); err != nil {
+				emitErr = err
+				stop()
+				break
+			}
+			nextEmit++
+			tokens <- struct{}{} // capacity == window ≥ outstanding: never blocks
+		}
+	}
+	if emitErr != nil {
+		return emitErr
+	}
+	if jobErr != nil {
+		return fmt.Errorf("runner: replication %d: %w", jobErrRep, jobErr)
+	}
+	return nil
+}

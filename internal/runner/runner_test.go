@@ -3,8 +3,11 @@ package runner
 import (
 	"errors"
 	"fmt"
+	"reflect"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/stats"
 	"repro/internal/xrand"
@@ -134,5 +137,135 @@ func TestRunActuallyRunsConcurrently(t *testing.T) {
 		if v != i {
 			t.Fatalf("result[%d] = %d", i, v)
 		}
+	}
+}
+
+func TestStreamDeliversInOrder(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		var got []int
+		err := Stream(42, 50, Options{Workers: workers},
+			func(rep int, seed int64) (int, error) {
+				// Finish in scrambled order: later replications sleep less.
+				time.Sleep(time.Duration((rep%7)*100) * time.Microsecond)
+				return rep * 10, nil
+			},
+			func(rep int, res int) error {
+				got = append(got, res)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 50 {
+			t.Fatalf("workers=%d: emitted %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*10 {
+				t.Fatalf("workers=%d: out of order at %d: %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestStreamMatchesRunSeeds(t *testing.T) {
+	runRes, err := Run(7, 12, Options{Workers: 4}, func(rep int, seed int64) (int64, error) {
+		return seed, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamRes []int64
+	if err := Stream(7, 12, Options{Workers: 4}, func(rep int, seed int64) (int64, error) {
+		return seed, nil
+	}, func(rep int, seed int64) error {
+		streamRes = append(streamRes, seed)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(runRes, streamRes) {
+		t.Fatalf("Stream seeds differ from Run:\n%v\n%v", runRes, streamRes)
+	}
+}
+
+func TestStreamJobError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		emitted := 0
+		err := Stream(1, 20, Options{Workers: workers},
+			func(rep int, seed int64) (int, error) {
+				if rep == 5 {
+					return 0, boom
+				}
+				return rep, nil
+			},
+			func(rep int, res int) error {
+				emitted++
+				return nil
+			})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want wrapped boom", workers, err)
+		}
+		if emitted > 20 {
+			t.Fatalf("workers=%d: emitted %d", workers, emitted)
+		}
+	}
+}
+
+func TestStreamEmitError(t *testing.T) {
+	stopErr := errors.New("sink full")
+	err := Stream(1, 30, Options{Workers: 4},
+		func(rep int, seed int64) (int, error) { return rep, nil },
+		func(rep int, res int) error {
+			if rep == 3 {
+				return stopErr
+			}
+			return nil
+		})
+	if !errors.Is(err, stopErr) {
+		t.Fatalf("err = %v, want sink error unwrapped", err)
+	}
+}
+
+func TestStreamRejectsZeroReplications(t *testing.T) {
+	err := Stream(1, 0, Options{}, func(int, int64) (int, error) { return 0, nil },
+		func(int, int) error { return nil })
+	if err == nil {
+		t.Fatal("Stream accepted n=0")
+	}
+}
+
+func TestStreamClaimWindowBounded(t *testing.T) {
+	// Replication 0 is much slower than its peers: the pool must not run
+	// arbitrarily far ahead of the oldest unemitted replication, or the
+	// reorder buffer grows O(n) and the streaming memory contract is void.
+	const workers = 4
+	var emitted atomic.Int64
+	maxAhead := int64(0)
+	var mu sync.Mutex
+	err := Stream(3, 200, Options{Workers: workers},
+		func(rep int, seed int64) (int, error) {
+			ahead := int64(rep) - emitted.Load()
+			mu.Lock()
+			if ahead > maxAhead {
+				maxAhead = ahead
+			}
+			mu.Unlock()
+			if rep == 0 {
+				time.Sleep(30 * time.Millisecond)
+			}
+			return rep, nil
+		},
+		func(rep int, res int) error {
+			emitted.Add(1)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The claim window is 2×workers; allow slack for claims racing emits.
+	if limit := int64(3 * workers); maxAhead > limit {
+		t.Fatalf("pool ran %d replications ahead of the emitter (window should cap near %d)",
+			maxAhead, 2*workers)
 	}
 }

@@ -56,6 +56,46 @@ func init() {
 			TwoPhaseJobs:     true,
 		},
 	})
+	// The two steered scenarios exercise the Controller path: identical
+	// topology and workload to nutch-search, plus a deterministic
+	// mid-run script. Fault nodes use low indices so the script survives
+	// aggressive -nodes overrides.
+	mustRegister(Scenario{
+		Name: "node-failure",
+		Description: "nutch-search deployment where two nodes fail to saturation mid-run " +
+			"and later recover — stresses straggler queues, drain after recovery and " +
+			"(for PCS) migration away from dark nodes",
+		Topology:      service.NutchTopology,
+		DominantStage: 1,
+		Nodes:         30,
+		Workload: WorkloadDefaults{
+			BatchConcurrency: 2,
+			MinInputMB:       1,
+			MaxInputMB:       10 * 1024,
+		},
+		Steering: &Steering{
+			Faults: []Fault{
+				{Node: 1, FailAt: 0.25, RestoreAt: 0.60},
+				{Node: 2, FailAt: 0.40, RestoreAt: 0.75},
+			},
+		},
+	})
+	mustRegister(Scenario{
+		Name: "diurnal-load",
+		Description: "nutch-search under a sinusoidal arrival rate (two cycles, ±60%) — " +
+			"stresses queue build-up at the peaks and whether techniques recover in the troughs",
+		Topology:      service.NutchTopology,
+		DominantStage: 1,
+		Nodes:         30,
+		Workload: WorkloadDefaults{
+			BatchConcurrency: 2,
+			MinInputMB:       1,
+			MaxInputMB:       10 * 1024,
+		},
+		Steering: &Steering{
+			Diurnal: &Diurnal{Cycles: 2, Amplitude: 0.6},
+		},
+	})
 	mustRegister(Scenario{
 		Name: "social-feed",
 		Description: "wide fan-out social-feed read path: gateway → timeline ×160 → " +

@@ -35,6 +35,74 @@ type WorkloadDefaults struct {
 	TwoPhaseJobs bool
 }
 
+// Steering scripts deterministic mid-run interventions for a scenario. The
+// simulation layer (pcs) translates it into Controller actions scheduled at
+// fixed virtual times when the world is built, so steered runs stay exactly
+// as reproducible as unsteered ones: the script is data, all randomness
+// still flows from the run's seed.
+type Steering struct {
+	// Faults fail (and optionally restore) nodes mid-run.
+	Faults []Fault
+	// Diurnal, if set, modulates the arrival rate sinusoidally.
+	Diurnal *Diurnal
+}
+
+// Fault fails one node partway through the run. Times are fractions of the
+// arrival window so the script scales with any -rate/-requests choice.
+type Fault struct {
+	// Node is the node index to fail. Scenarios should use low indices so
+	// the script survives cluster-size overrides; the simulation rejects a
+	// fault aimed past the actual cluster.
+	Node int
+	// FailAt is when the node fails, as a fraction of the arrival window
+	// in [0, 1).
+	FailAt float64
+	// RestoreAt is when it recovers, as a fraction of the arrival window.
+	// A value ≤ FailAt means the node never recovers.
+	RestoreAt float64
+}
+
+// Diurnal modulates the arrival rate as
+//
+//	λ(t) = base · (1 + Amplitude · sin(2π · t · Cycles / window))
+//
+// updated in discrete steps so the modulation is identical on every run.
+type Diurnal struct {
+	// Cycles is how many full sinusoid periods fit in the arrival window.
+	Cycles float64
+	// Amplitude is the relative swing, in (0, 1) so λ stays positive.
+	Amplitude float64
+	// StepsPerCycle is how many rate updates approximate each cycle
+	// (0 selects 32).
+	StepsPerCycle int
+}
+
+func (st *Steering) validate(name string) error {
+	for i, f := range st.Faults {
+		if f.Node < 0 {
+			return fmt.Errorf("scenario %q: fault %d on negative node %d", name, i, f.Node)
+		}
+		if f.FailAt < 0 || f.FailAt >= 1 {
+			return fmt.Errorf("scenario %q: fault %d FailAt %g outside [0,1)", name, i, f.FailAt)
+		}
+		if f.RestoreAt < 0 || f.RestoreAt > 1 {
+			return fmt.Errorf("scenario %q: fault %d RestoreAt %g outside [0,1]", name, i, f.RestoreAt)
+		}
+	}
+	if d := st.Diurnal; d != nil {
+		if d.Cycles <= 0 {
+			return fmt.Errorf("scenario %q: diurnal cycles must be positive, got %g", name, d.Cycles)
+		}
+		if d.Amplitude <= 0 || d.Amplitude >= 1 {
+			return fmt.Errorf("scenario %q: diurnal amplitude %g outside (0,1)", name, d.Amplitude)
+		}
+		if d.StepsPerCycle < 0 {
+			return fmt.Errorf("scenario %q: negative diurnal steps", name)
+		}
+	}
+	return nil
+}
+
 // Scenario is one named, self-describing deployment.
 type Scenario struct {
 	// Name is the registry key (e.g. "nutch-search").
@@ -52,6 +120,9 @@ type Scenario struct {
 	Nodes int
 	// Workload carries the scenario's batch-interference defaults.
 	Workload WorkloadDefaults
+	// Steering, if non-nil, scripts mid-run interventions (node faults,
+	// diurnal load) applied deterministically by the simulation layer.
+	Steering *Steering
 }
 
 func (s Scenario) validate() error {
@@ -75,6 +146,11 @@ func (s Scenario) validate() error {
 	w := s.Workload
 	if w.BatchConcurrency <= 0 || w.MinInputMB <= 0 || w.MaxInputMB <= w.MinInputMB {
 		return fmt.Errorf("scenario %q: incomplete workload defaults %+v", s.Name, w)
+	}
+	if s.Steering != nil {
+		if err := s.Steering.validate(s.Name); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -139,3 +139,56 @@ func TestDescribeListsEveryScenario(t *testing.T) {
 		}
 	}
 }
+
+func TestSteeringValidation(t *testing.T) {
+	base := func() Scenario {
+		return Scenario{
+			Name:        "steer-test",
+			Description: "x",
+			Topology:    service.NutchTopology,
+			Nodes:       4,
+			Workload:    WorkloadDefaults{BatchConcurrency: 1, MinInputMB: 1, MaxInputMB: 10},
+		}
+	}
+	bad := []Steering{
+		{Faults: []Fault{{Node: -1, FailAt: 0.2}}},
+		{Faults: []Fault{{Node: 0, FailAt: 1.0}}},
+		{Faults: []Fault{{Node: 0, FailAt: 0.2, RestoreAt: 1.5}}},
+		{Diurnal: &Diurnal{Cycles: 0, Amplitude: 0.5}},
+		{Diurnal: &Diurnal{Cycles: 2, Amplitude: 1.0}},
+		{Diurnal: &Diurnal{Cycles: 2, Amplitude: 0.5, StepsPerCycle: -1}},
+	}
+	for i := range bad {
+		s := base()
+		s.Steering = &bad[i]
+		if err := Register(s); err == nil {
+			t.Fatalf("bad steering %d accepted: %+v", i, bad[i])
+		}
+	}
+	s := base()
+	s.Steering = &Steering{
+		Faults:  []Fault{{Node: 0, FailAt: 0.2, RestoreAt: 0.6}},
+		Diurnal: &Diurnal{Cycles: 2, Amplitude: 0.5},
+	}
+	if err := s.validate(); err != nil {
+		t.Fatalf("valid steering rejected: %v", err)
+	}
+}
+
+func TestBuiltinSteeredScenariosPresent(t *testing.T) {
+	for _, name := range []string{"node-failure", "diurnal-load"} {
+		sc, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Steering == nil {
+			t.Fatalf("%s has no steering script", name)
+		}
+	}
+	if MustGet("node-failure").Steering.Faults == nil {
+		t.Fatal("node-failure script has no faults")
+	}
+	if MustGet("diurnal-load").Steering.Diurnal == nil {
+		t.Fatal("diurnal-load script has no diurnal modulation")
+	}
+}

@@ -58,6 +58,13 @@ type Service struct {
 	components      []*Component // dense, Global index order
 	stageComponents [][]*Component
 
+	// deployedReplicas is the replica count the topology was placed with;
+	// mid-run policy swaps may not demand more instances than exist.
+	deployedReplicas int
+	// arrivalProc is the open-loop arrival process once StartArrivals has
+	// run; steering adjusts its rate mid-run.
+	arrivalProc *xrand.ArrivalProcess
+
 	collector *trace.Collector
 
 	arrivals   int
@@ -105,12 +112,13 @@ func New(e *sim.Engine, cl *cluster.Cluster, src *xrand.Source, policy Policy, c
 	}
 
 	svc := &Service{
-		cfg:     cfg,
-		engine:  e,
-		cluster: cl,
-		law:     law,
-		rng:     src.Fork(),
-		policy:  policy,
+		cfg:              cfg,
+		engine:           e,
+		cluster:          cl,
+		law:              law,
+		rng:              src.Fork(),
+		policy:           policy,
+		deployedReplicas: replicas,
 	}
 	svc.collector = trace.NewCollector(len(cfg.Topology.Stages), cfg.ComponentLatencyReservoir, src.Fork())
 	svc.collector.WarmupUntil = cfg.Warmup
@@ -181,6 +189,26 @@ func (s *Service) Collector() *trace.Collector { return s.collector }
 // Policy returns the active execution policy.
 func (s *Service) Policy() Policy { return s.policy }
 
+// SetPolicy swaps the dispatch policy mid-run. Sub-requests already in
+// flight finish under the policy that dispatched them; new dispatches use
+// the new policy. The new policy may not demand more replicas than the
+// topology was deployed with (instances cannot be conjured mid-run);
+// demanding fewer is fine — surplus replicas idle.
+func (s *Service) SetPolicy(p Policy) error {
+	if p == nil {
+		return fmt.Errorf("service: nil policy")
+	}
+	if r := p.Replicas(); r > s.deployedReplicas {
+		return fmt.Errorf("service: policy %s needs %d replicas, deployment has %d",
+			p.Name(), r, s.deployedReplicas)
+	}
+	s.policy = p
+	return nil
+}
+
+// DeployedReplicas reports the replica count the topology was placed with.
+func (s *Service) DeployedReplicas() int { return s.deployedReplicas }
+
 // Engine returns the simulation engine the service runs on.
 func (s *Service) Engine() *sim.Engine { return s.engine }
 
@@ -222,6 +250,7 @@ func (s *Service) InjectRequest() *Request {
 // engine's horizon ends the run.
 func (s *Service) StartArrivals(rate float64, maxRequests int) {
 	proc := xrand.NewArrivalProcess(s.rng.Fork(), rate)
+	s.arrivalProc = proc
 	var schedule func()
 	count := 0
 	schedule = func() {
@@ -235,6 +264,57 @@ func (s *Service) StartArrivals(rate float64, maxRequests int) {
 		})
 	}
 	schedule()
+}
+
+// ArrivalRate reports the arrival process's current rate λ in
+// requests/second, 0 before StartArrivals.
+func (s *Service) ArrivalRate() float64 {
+	if s.arrivalProc == nil {
+		return 0
+	}
+	return s.arrivalProc.Rate()
+}
+
+// SetArrivalRate changes λ for interarrival draws made after the next
+// already-scheduled arrival (one arrival is always in flight). The rate
+// must be positive; steering that wants "off" should instead let the
+// request budget run out.
+func (s *Service) SetArrivalRate(rate float64) error {
+	if s.arrivalProc == nil {
+		return fmt.Errorf("service: arrivals not started")
+	}
+	if rate <= 0 {
+		return fmt.Errorf("service: arrival rate must be positive, got %g", rate)
+	}
+	s.arrivalProc.SetRate(rate)
+	return nil
+}
+
+// QueuedExecutions reports the number of executions waiting in instance
+// queues across the whole deployment (excluding the ones in service,
+// including cancelled-but-unswept entries) — the live dashboard's pressure
+// gauge.
+func (s *Service) QueuedExecutions() int {
+	q := 0
+	for _, c := range s.components {
+		for _, in := range c.Instances {
+			q += in.QueueLen()
+		}
+	}
+	return q
+}
+
+// BusyInstances reports how many instance servers are currently occupied.
+func (s *Service) BusyInstances() int {
+	b := 0
+	for _, c := range s.components {
+		for _, in := range c.Instances {
+			if in.Busy() {
+				b++
+			}
+		}
+	}
+	return b
 }
 
 // completeRequest records a finished request.

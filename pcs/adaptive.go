@@ -2,6 +2,7 @@ package pcs
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"repro/internal/runner"
@@ -30,6 +31,12 @@ type CITarget struct {
 	// Workers bounds each batch's worker pool (0 = all cores). It affects
 	// wall-clock time only, never the aggregate.
 	Workers int
+	// Sink, when non-nil, receives every replication's Result as one
+	// NDJSON line (the StreamedRun format, in replication order) as
+	// batches complete, so an adaptive run leaves the same on-disk trail
+	// as RunManyStream. Writing is observationally free: it changes
+	// neither the stopping point nor the aggregate.
+	Sink io.Writer
 }
 
 func (t CITarget) withDefaults() CITarget {
@@ -83,6 +90,10 @@ func RunUntil(opts Options, target CITarget) (Aggregate, error) {
 	}
 
 	pool := runner.Options{Workers: t.Workers}
+	var enc *streamEncoder
+	if t.Sink != nil {
+		enc = newStreamEncoder(t.Sink, opts.Seed)
+	}
 	var runs []Result
 	for len(runs) < t.MaxReplications {
 		batch := t.BatchSize
@@ -103,6 +114,13 @@ func RunUntil(opts Options, target CITarget) (Aggregate, error) {
 			})
 		if err != nil {
 			return Aggregate{}, err
+		}
+		if enc != nil {
+			for i, r := range batchRuns {
+				if err := enc.write(base+i, r); err != nil {
+					return Aggregate{}, err
+				}
+			}
 		}
 		runs = append(runs, batchRuns...)
 		agg := aggregateRuns(runs, pool.EffectiveWorkers(len(runs)))

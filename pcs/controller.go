@@ -1,0 +1,155 @@
+package pcs
+
+import (
+	"fmt"
+	"math"
+)
+
+// Controller steers a running Simulation at scheduled virtual times: change
+// the arrival rate, fail and restore nodes, swap the execution technique.
+// Every method schedules a deterministic action on the simulation's own
+// event queue, so a steered run is exactly as reproducible as an unsteered
+// one — same Options, same schedule, same seed ⇒ bit-identical Result, for
+// any way of slicing the run.
+//
+// Actions registered at the same virtual time fire in registration order
+// (the engine's FIFO tie-break). Scheduling into the past is an error:
+// steering cannot rewrite history.
+//
+// Scenario-scripted steering (scenario.Steering — the node-failure and
+// diurnal-load scenarios) goes through this same API when the world is
+// built; Controller simply exposes it to callers who want to write their
+// own schedules.
+type Controller struct {
+	sim *Simulation
+}
+
+// Controller returns the simulation's steering interface.
+func (s *Simulation) Controller() *Controller { return &Controller{sim: s} }
+
+// at validates an absolute virtual action time.
+func (c *Controller) at(t float64) error {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return fmt.Errorf("pcs: steering time must be finite")
+	}
+	if now := c.sim.engine.Now(); t < now {
+		return fmt.Errorf("pcs: steering time %.3f is before now %.3f", t, now)
+	}
+	return nil
+}
+
+// node validates a node index against the simulation's cluster.
+func (c *Controller) node(id int) error {
+	if id < 0 || id >= c.sim.cluster.NumNodes() {
+		return fmt.Errorf("pcs: node %d out of range [0, %d)", id, c.sim.cluster.NumNodes())
+	}
+	return nil
+}
+
+// FailNodeAt fails a node at virtual time t. The failure model is
+// fail-slow: the node's observable contention pins to full capacity, so
+// every component instance and batch job hosted there runs at the
+// interference law's saturation multiplier, queues grow, and the monitor
+// sees a node worth migrating away from. Requests are not dropped.
+func (c *Controller) FailNodeAt(t float64, node int) error {
+	if err := c.at(t); err != nil {
+		return err
+	}
+	if err := c.node(node); err != nil {
+		return err
+	}
+	cl := c.sim.cluster
+	c.sim.engine.At(t, func(float64) { cl.Node(node).Fail() })
+	return nil
+}
+
+// RestoreNodeAt restores a failed node at virtual time t. Restoring a
+// healthy node is a no-op.
+func (c *Controller) RestoreNodeAt(t float64, node int) error {
+	if err := c.at(t); err != nil {
+		return err
+	}
+	if err := c.node(node); err != nil {
+		return err
+	}
+	cl := c.sim.cluster
+	c.sim.engine.At(t, func(float64) { cl.Node(node).Restore() })
+	return nil
+}
+
+// SetArrivalRateAt changes the arrival rate λ at virtual time t. The change
+// takes effect after the next already-scheduled arrival (one interarrival
+// draw is always in flight).
+func (c *Controller) SetArrivalRateAt(t, rate float64) error {
+	if err := c.at(t); err != nil {
+		return err
+	}
+	if rate <= 0 {
+		return fmt.Errorf("pcs: arrival rate must be positive, got %g", rate)
+	}
+	svc := c.sim.svc
+	c.sim.engine.At(t, func(float64) { svc.SetArrivalRate(rate) })
+	return nil
+}
+
+// ModulateArrivalRate modulates λ sinusoidally around the configured base
+// rate from now on: λ(t) = base·(1 + amplitude·sin(2πt/period)), applied as
+// steps discrete rate updates per period (steps == 0 selects 32). Amplitude
+// must be in (0, 1) so λ stays positive. The modulation runs for the rest
+// of the simulation; it is what the diurnal-load scenario registers.
+func (c *Controller) ModulateArrivalRate(period, amplitude float64, steps int) error {
+	if period <= 0 {
+		return fmt.Errorf("pcs: modulation period must be positive, got %g", period)
+	}
+	if amplitude <= 0 || amplitude >= 1 {
+		return fmt.Errorf("pcs: modulation amplitude %g outside (0, 1)", amplitude)
+	}
+	if steps < 0 {
+		return fmt.Errorf("pcs: negative modulation steps")
+	}
+	if steps == 0 {
+		steps = 32
+	}
+	base := c.sim.opts.ArrivalRate
+	svc := c.sim.svc
+	c.sim.engine.Every(period/float64(steps), func(now float64) {
+		svc.SetArrivalRate(base * (1 + amplitude*math.Sin(2*math.Pi*now/period)))
+	})
+	return nil
+}
+
+// SetTechniqueAt swaps the execution technique's dispatch policy at virtual
+// time t. Sub-requests already in flight finish under the old policy; new
+// dispatches use the new one. The swap is validated now, not at fire time:
+// the new technique may not need more replicas than the simulation was
+// deployed with (RED-3 needs 3, reissue 2, Basic/PCS 1 — a Basic world
+// cannot become RED-3 mid-run, but a RED-3 world can fall back to Basic).
+//
+// Swapping to PCS selects the Basic dispatch policy, exactly as a PCS run
+// does; it does not conjure a trained scheduler — only a simulation built
+// with Options.Technique == PCS has one, and that scheduler keeps running
+// across swaps. Result.Technique continues to report the configured
+// technique, not the swap history.
+func (c *Controller) SetTechniqueAt(t float64, tech Technique) error {
+	if err := c.at(t); err != nil {
+		return err
+	}
+	policy, err := policyFor(optionsForTechnique(c.sim.opts, tech))
+	if err != nil {
+		return err
+	}
+	if r := policy.Replicas(); r > c.sim.svc.DeployedReplicas() {
+		return fmt.Errorf("pcs: cannot swap to %s at t=%.3f: needs %d replicas, deployment has %d",
+			tech, t, r, c.sim.svc.DeployedReplicas())
+	}
+	svc := c.sim.svc
+	c.sim.engine.At(t, func(float64) { svc.SetPolicy(policy) })
+	return nil
+}
+
+// optionsForTechnique returns opts with the technique replaced — the shape
+// policyFor consumes.
+func optionsForTechnique(o Options, tech Technique) Options {
+	o.Technique = tech
+	return o
+}

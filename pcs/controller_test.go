@@ -1,0 +1,196 @@
+package pcs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSteeredScenariosRegistered pins the two Controller-driven scenarios:
+// selectable by name, and their steering actually changes the run relative
+// to the identical unsteered deployment (nutch-search shares topology,
+// nodes and workload defaults with both).
+func TestSteeredScenariosRegistered(t *testing.T) {
+	base, err := Run(equivOpts(Basic, "nutch-search", 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"node-failure", "diurnal-load"} {
+		res, err := Run(equivOpts(Basic, name, 21))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Scenario != name {
+			t.Fatalf("%s: Result.Scenario = %q", name, res.Scenario)
+		}
+		if res.Completed == 0 {
+			t.Fatalf("%s: nothing completed", name)
+		}
+		if res.AvgOverallMs == base.AvgOverallMs && res.P99ComponentMs == base.P99ComponentMs {
+			t.Fatalf("%s: steering changed nothing versus nutch-search (suspicious)", name)
+		}
+	}
+}
+
+// TestSteeredRunsDeterministic: same options ⇒ bit-identical results, with
+// steering in play.
+func TestSteeredRunsDeterministic(t *testing.T) {
+	for _, name := range []string{"node-failure", "diurnal-load"} {
+		a, err := Run(equivOpts(Basic, name, 23))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(equivOpts(Basic, name, 23))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: two identical steered runs diverged\n%+v\n%+v", name, a, b)
+		}
+	}
+}
+
+// TestControllerFailRestore drives a manual fault schedule and checks the
+// Snapshot surfaces it: FailedNodes and MaxCoreUtilization spike during the
+// outage and recover after.
+func TestControllerFailRestore(t *testing.T) {
+	s, err := NewSimulation(equivOpts(Basic, "", 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Horizon()
+	ctrl := s.Controller()
+	if err := ctrl.FailNodeAt(0.3*h, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.RestoreNodeAt(0.6*h, 0); err != nil {
+		t.Fatal(err)
+	}
+	s.RunTo(0.45 * h)
+	during := s.Snapshot()
+	if during.FailedNodes != 1 {
+		t.Fatalf("mid-outage FailedNodes = %d, want 1", during.FailedNodes)
+	}
+	if during.MaxCoreUtilization != 1 {
+		t.Fatalf("failed node not saturated: max core utilization %v", during.MaxCoreUtilization)
+	}
+	s.RunTo(0.8 * h)
+	after := s.Snapshot()
+	if after.FailedNodes != 0 {
+		t.Fatalf("post-restore FailedNodes = %d, want 0", after.FailedNodes)
+	}
+	if s.Finish().Completed == 0 {
+		t.Fatal("nothing completed across the outage")
+	}
+}
+
+// TestControllerArrivalRateSteering checks SetArrivalRateAt lands and is
+// visible in snapshots, and that diurnal modulation moves λ both ways.
+func TestControllerArrivalRateSteering(t *testing.T) {
+	opts := equivOpts(Basic, "", 27)
+	s, err := NewSimulation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Horizon()
+	if err := s.Controller().SetArrivalRateAt(0.5*h, 2*opts.ArrivalRate); err != nil {
+		t.Fatal(err)
+	}
+	s.RunTo(0.25 * h)
+	if got := s.Snapshot().ArrivalRate; got != opts.ArrivalRate {
+		t.Fatalf("pre-steering λ = %v, want %v", got, opts.ArrivalRate)
+	}
+	s.RunTo(0.75 * h)
+	if got := s.Snapshot().ArrivalRate; got != 2*opts.ArrivalRate {
+		t.Fatalf("post-steering λ = %v, want %v", got, 2*opts.ArrivalRate)
+	}
+
+	// Diurnal: λ must visit both sides of the base rate.
+	d, err := NewSimulation(equivOpts(Basic, "diurnal-load", 27))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var above, below bool
+	if err := d.SampleEvery(d.Horizon()/40, func(sn Snapshot) {
+		if sn.ArrivalRate > equivOpts(Basic, "", 0).ArrivalRate {
+			above = true
+		}
+		if sn.ArrivalRate > 0 && sn.ArrivalRate < equivOpts(Basic, "", 0).ArrivalRate {
+			below = true
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d.Finish()
+	if !above || !below {
+		t.Fatalf("diurnal λ never crossed base rate (above=%v below=%v)", above, below)
+	}
+}
+
+// TestControllerTechniqueSwap: swapping down in replica count works and
+// changes the outcome; swapping up is rejected synchronously.
+func TestControllerTechniqueSwap(t *testing.T) {
+	opts := equivOpts(RED3, "", 29)
+	plain, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSimulation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap a quarter of the way in: the horizon includes the drain window,
+	// so the midpoint would land after the last arrival was dispatched.
+	if err := s.Controller().SetTechniqueAt(s.Horizon()/4, Basic); err != nil {
+		t.Fatal(err)
+	}
+	swapped := s.Finish()
+	if swapped.Technique != "RED-3" {
+		t.Fatalf("Result.Technique = %q, want configured RED-3", swapped.Technique)
+	}
+	if swapped.AvgOverallMs == plain.AvgOverallMs {
+		t.Fatal("mid-run swap to Basic changed nothing (suspicious)")
+	}
+
+	// A Basic deployment has one replica per component: RED-3 and reissue
+	// cannot be swapped in.
+	b, err := NewSimulation(equivOpts(Basic, "", 29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Controller().SetTechniqueAt(b.Horizon()/2, RED3); err == nil {
+		t.Fatal("swap to RED-3 on a 1-replica deployment accepted")
+	}
+	if err := b.Controller().SetTechniqueAt(b.Horizon()/2, RI90); err == nil {
+		t.Fatal("swap to RI-90 on a 1-replica deployment accepted")
+	}
+	// PCS's dispatch policy is Basic — swapping a Basic world "to PCS" is
+	// allowed (and is a dispatch no-op; no scheduler appears).
+	if err := b.Controller().SetTechniqueAt(b.Horizon()/2, PCS); err != nil {
+		t.Fatalf("swap to PCS dispatch rejected: %v", err)
+	}
+}
+
+// TestControllerValidation: steering into the past, bad nodes, bad rates.
+func TestControllerValidation(t *testing.T) {
+	s, err := NewSimulation(equivOpts(Basic, "", 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunTo(s.Horizon() / 2)
+	ctrl := s.Controller()
+	if err := ctrl.FailNodeAt(s.Now()-1, 0); err == nil {
+		t.Fatal("steering into the past accepted")
+	}
+	if err := ctrl.FailNodeAt(s.Now()+1, 999); err == nil {
+		t.Fatal("fault on out-of-range node accepted")
+	}
+	if err := ctrl.SetArrivalRateAt(s.Now()+1, -5); err == nil {
+		t.Fatal("negative arrival rate accepted")
+	}
+	if err := ctrl.ModulateArrivalRate(0, 0.5, 0); err == nil {
+		t.Fatal("zero modulation period accepted")
+	}
+	if err := ctrl.ModulateArrivalRate(10, 1.5, 0); err == nil {
+		t.Fatal("amplitude ≥ 1 accepted")
+	}
+}

@@ -101,6 +101,14 @@ func Scenarios() []string { return scenario.Names() }
 // scenario, for CLI usage text.
 func DescribeScenarios() string { return scenario.Describe() }
 
+// ScenarioFlagUsage is the usage string every CLI attaches to its -scenario
+// flag: the valid names up front so -h shows the choices at a glance, then
+// one description line per scenario.
+func ScenarioFlagUsage() string {
+	return fmt.Sprintf("deployment scenario, one of: %s\n(empty selects %q)\n%s",
+		strings.Join(scenario.Names(), ", "), scenario.Default, scenario.Describe())
+}
+
 // Options configures one simulation run. The zero value of every field
 // selects the evaluation default noted on it; deployment and workload
 // fields whose default says "scenario default" resolve against the

@@ -1,0 +1,33 @@
+package pcs
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteReport renders the single-run latency report the CLIs print: run
+// identity, counts, the paper's two headline metrics, distribution detail
+// and — for PCS runs — the control-loop counters. pcs-sim and pcs-live
+// share this one renderer so their reports cannot drift.
+func (r Result) WriteReport(w io.Writer) {
+	fmt.Fprintf(w, "technique           %s\n", r.Technique)
+	fmt.Fprintf(w, "scenario            %s\n", r.Scenario)
+	fmt.Fprintf(w, "arrival rate        %.0f req/s\n", r.ArrivalRate)
+	fmt.Fprintf(w, "requests            %d arrived, %d completed\n", r.Arrivals, r.Completed)
+	fmt.Fprintf(w, "virtual time        %.1f s\n", r.VirtualSeconds)
+	fmt.Fprintf(w, "batch jobs          %d started\n", r.BatchJobsStarted)
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "avg overall latency       %10.3f ms   (paper metric 2)\n", r.AvgOverallMs)
+	fmt.Fprintf(w, "p99 component latency     %10.3f ms   (paper metric 1)\n", r.P99ComponentMs)
+	fmt.Fprintf(w, "overall p50 / p99 / max   %10.3f / %.3f / %.3f ms\n",
+		r.OverallP50Ms, r.OverallP99Ms, r.OverallMaxMs)
+	fmt.Fprintf(w, "component mean / p50      %10.3f / %.3f ms\n", r.ComponentMeanMs, r.ComponentP50Ms)
+	for s, m := range r.StageMeanMs {
+		fmt.Fprintf(w, "stage %d mean              %10.3f ms\n", s, m)
+	}
+	if r.Technique == PCS.String() {
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "scheduling intervals      %d\n", r.SchedulingIntervals)
+		fmt.Fprintf(w, "migrations enforced       %d\n", r.Migrations)
+	}
+}

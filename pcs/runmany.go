@@ -78,34 +78,73 @@ func RunManyWorkers(opts Options, n, workers int) (Aggregate, error) {
 	return aggregateRuns(runs, pool.EffectiveWorkers(n)), nil
 }
 
+// aggregator folds per-replication Results into the across-replication
+// summaries incrementally, holding only the five metric vectors (one
+// float64 per replication each) and the integer totals — not the Results
+// themselves. It backs both the in-memory aggregateRuns and the streaming
+// RunManyStream/MergeStream paths; feeding it the same Results in the same
+// order produces bit-identical Aggregates on every path, because the
+// Welford fold and the totals see the exact same additions.
+type aggregator struct {
+	n           int
+	technique   string
+	scenario    string
+	arrivalRate float64
+
+	avgOverall, p99Comp    []float64
+	overallP50, overallP99 []float64
+	compMean               []float64
+	arrivals, completed    int
+	migrations             int
+}
+
+// add folds one replication's Result, in replication order.
+func (a *aggregator) add(r Result) {
+	if a.n == 0 {
+		a.technique = r.Technique
+		a.scenario = r.Scenario
+		a.arrivalRate = r.ArrivalRate
+	}
+	a.n++
+	a.avgOverall = append(a.avgOverall, r.AvgOverallMs)
+	a.p99Comp = append(a.p99Comp, r.P99ComponentMs)
+	a.overallP50 = append(a.overallP50, r.OverallP50Ms)
+	a.overallP99 = append(a.overallP99, r.OverallP99Ms)
+	a.compMean = append(a.compMean, r.ComponentMeanMs)
+	a.arrivals += r.Arrivals
+	a.completed += r.Completed
+	a.migrations += r.Migrations
+}
+
+// aggregate summarises the folded replications. Runs is left nil; callers
+// that kept the Results attach them.
+func (a *aggregator) aggregate(workers int) Aggregate {
+	return Aggregate{
+		Technique:       a.technique,
+		Scenario:        a.scenario,
+		ArrivalRate:     a.arrivalRate,
+		Replications:    a.n,
+		Workers:         workers,
+		AvgOverallMs:    summarizeMetric(a.avgOverall),
+		P99ComponentMs:  summarizeMetric(a.p99Comp),
+		OverallP50Ms:    summarizeMetric(a.overallP50),
+		OverallP99Ms:    summarizeMetric(a.overallP99),
+		ComponentMeanMs: summarizeMetric(a.compMean),
+		Arrivals:        a.arrivals,
+		Completed:       a.completed,
+		Migrations:      a.migrations,
+	}
+}
+
 // aggregateRuns folds per-replication Results into an Aggregate. It is
 // shared by the fixed-count RunMany and the adaptive RunUntil.
 func aggregateRuns(runs []Result, workers int) Aggregate {
-	agg := Aggregate{
-		Technique:    runs[0].Technique,
-		Scenario:     runs[0].Scenario,
-		ArrivalRate:  runs[0].ArrivalRate,
-		Replications: len(runs),
-		Workers:      workers,
-		Runs:         runs,
-	}
-	pick := func(f func(Result) float64) MetricSummary {
-		vals := make([]float64, len(runs))
-		for i, r := range runs {
-			vals[i] = f(r)
-		}
-		return summarizeMetric(vals)
-	}
-	agg.AvgOverallMs = pick(func(r Result) float64 { return r.AvgOverallMs })
-	agg.P99ComponentMs = pick(func(r Result) float64 { return r.P99ComponentMs })
-	agg.OverallP50Ms = pick(func(r Result) float64 { return r.OverallP50Ms })
-	agg.OverallP99Ms = pick(func(r Result) float64 { return r.OverallP99Ms })
-	agg.ComponentMeanMs = pick(func(r Result) float64 { return r.ComponentMeanMs })
+	var a aggregator
 	for _, r := range runs {
-		agg.Arrivals += r.Arrivals
-		agg.Completed += r.Completed
-		agg.Migrations += r.Migrations
+		a.add(r)
 	}
+	agg := a.aggregate(workers)
+	agg.Runs = runs
 	return agg
 }
 

@@ -1,0 +1,163 @@
+package pcs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSampledRunBitIdenticalAllScenarios is the observability acceptance
+// gate: for every registered scenario, a run observed through SampleEvery
+// produces a Result bit-identical to the unobserved run — and the sampled
+// snapshots themselves are populated and monotone.
+func TestSampledRunBitIdenticalAllScenarios(t *testing.T) {
+	for _, name := range Scenarios() {
+		opts := equivOpts(Basic, name, 13)
+		direct, err := Run(opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		s, err := NewSimulation(opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var snaps []Snapshot
+		if err := s.SampleEvery(s.Horizon()/23, func(sn Snapshot) { snaps = append(snaps, sn) }); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sampled := s.Finish()
+		if !reflect.DeepEqual(direct, sampled) {
+			t.Errorf("%s: sampled run diverged from unsampled\nplain:   %+v\nsampled: %+v",
+				name, direct, sampled)
+		}
+		if len(snaps) < 20 {
+			t.Fatalf("%s: only %d samples taken", name, len(snaps))
+		}
+		assertSnapshotsMonotone(t, name, snaps, sampled)
+	}
+}
+
+// assertSnapshotsMonotone checks the fields every scenario must populate
+// and the counters that may never move backwards.
+func assertSnapshotsMonotone(t *testing.T, name string, snaps []Snapshot, final Result) {
+	t.Helper()
+	var prev Snapshot
+	for i, sn := range snaps {
+		if sn.Horizon <= 0 {
+			t.Fatalf("%s: sample %d has no horizon: %+v", name, i, sn)
+		}
+		if sn.Now < prev.Now {
+			t.Fatalf("%s: time went backwards at sample %d: %v → %v", name, i, prev.Now, sn.Now)
+		}
+		if sn.Completed < prev.Completed || sn.Arrivals < prev.Arrivals {
+			t.Fatalf("%s: counters went backwards at sample %d: %+v → %+v", name, i, prev, sn)
+		}
+		if sn.FiredEvents < prev.FiredEvents {
+			t.Fatalf("%s: fired events went backwards at sample %d", name, i)
+		}
+		if sn.Completed > sn.Arrivals {
+			t.Fatalf("%s: sample %d completed %d > arrivals %d", name, i, sn.Completed, sn.Arrivals)
+		}
+		if sn.InFlight != sn.Arrivals-sn.Completed {
+			t.Fatalf("%s: sample %d in-flight inconsistent: %+v", name, i, sn)
+		}
+		if sn.MeanCoreUtilization < 0 || sn.MeanCoreUtilization > 1 ||
+			sn.MaxCoreUtilization < sn.MeanCoreUtilization || sn.MaxCoreUtilization > 1 {
+			t.Fatalf("%s: sample %d utilization out of range: %+v", name, i, sn)
+		}
+		if sn.QueuedExecutions < 0 || sn.BusyInstances < 0 || sn.FailedNodes < 0 {
+			t.Fatalf("%s: sample %d negative gauges: %+v", name, i, sn)
+		}
+		prev = sn
+	}
+	last := snaps[len(snaps)-1]
+	if last.Arrivals == 0 || last.Completed == 0 || last.BatchJobsStarted == 0 {
+		t.Fatalf("%s: final sample inactive: %+v", name, last)
+	}
+	if last.ArrivalRate <= 0 {
+		t.Fatalf("%s: final sample has no arrival rate: %+v", name, last)
+	}
+	if last.AvgOverallMs <= 0 || last.P99ComponentMs <= 0 {
+		t.Fatalf("%s: final sample has no latency metrics: %+v", name, last)
+	}
+	if last.Completed > final.Completed {
+		t.Fatalf("%s: sample saw %d completions, result only %d", name, last.Completed, final.Completed)
+	}
+}
+
+// TestSampledRunBitIdenticalPCS repeats the bit-identity check with the
+// full PCS control loop in play — the wiring with the most mid-run moving
+// parts (training, scheduler ticks, migrations).
+func TestSampledRunBitIdenticalPCS(t *testing.T) {
+	opts := equivOpts(PCS, "", 17)
+	direct, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSimulation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := 0
+	if err := s.SampleEvery(0.5, func(Snapshot) { samples++ }); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct, s.Finish()) {
+		t.Error("sampled PCS run diverged from unsampled")
+	}
+	if samples == 0 {
+		t.Fatal("sampler never fired")
+	}
+}
+
+// TestSampleEveryThroughStep: samples fire when the clock crosses sample
+// times via single Steps too, and stepping + sampling still matches the
+// plain run.
+func TestSampleEveryThroughStep(t *testing.T) {
+	opts := equivOpts(Basic, "", 19)
+	direct, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSimulation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := 0
+	if err := s.SampleEvery(s.Horizon()/50, func(Snapshot) { samples++ }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000 && s.Step(); i++ {
+	}
+	stepSamples := samples
+	if stepSamples == 0 {
+		t.Fatal("no samples fired under Step")
+	}
+	if !reflect.DeepEqual(direct, s.Finish()) {
+		t.Error("stepped+sampled run diverged from plain run")
+	}
+	if samples <= stepSamples {
+		t.Fatal("Finish took no further samples")
+	}
+}
+
+func TestSampleEveryValidation(t *testing.T) {
+	s, err := NewSimulation(equivOpts(Basic, "", 33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SampleEvery(0, func(Snapshot) {}); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+	if err := s.SampleEvery(1e-18, func(Snapshot) {}); err == nil {
+		t.Fatal("sub-ulp interval accepted (would spin forever near the horizon)")
+	}
+	if err := s.SampleEvery(1, nil); err == nil {
+		t.Fatal("nil callback accepted")
+	}
+	if err := s.SampleEvery(1, func(Snapshot) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SampleEvery(1, func(Snapshot) {}); err == nil {
+		t.Fatal("second sampler accepted")
+	}
+}

@@ -1,6 +1,9 @@
 package pcs
 
 import (
+	"fmt"
+	"math"
+
 	"repro/internal/cluster"
 	"repro/internal/monitor"
 	"repro/internal/profiling"
@@ -33,6 +36,13 @@ type Simulation struct {
 	horizon  float64
 	finished bool
 	result   Result
+
+	// Sampling state (SampleEvery). Sampling slices RunTo at the sample
+	// times instead of scheduling engine events, so an observed run
+	// executes exactly the event sequence an unobserved one does.
+	sampleInterval float64
+	nextSample     float64
+	onSample       func(Snapshot)
 }
 
 // NewSimulation resolves opts against its scenario, builds the whole world
@@ -122,7 +132,7 @@ func NewSimulation(opts Options) (*Simulation, error) {
 	}
 	svc.StartArrivals(o.ArrivalRate, o.Requests)
 
-	return &Simulation{
+	s := &Simulation{
 		opts:    o,
 		sc:      sc,
 		engine:  engine,
@@ -132,7 +142,39 @@ func NewSimulation(opts Options) (*Simulation, error) {
 		mon:     mon,
 		ctrl:    ctrl,
 		horizon: duration + o.DrainSeconds,
-	}, nil
+	}
+	if err := s.applySteering(duration); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// applySteering translates the scenario's steering script (if any) into
+// Controller actions over the arrival window. The script is pure data and
+// the actions are scheduled before any virtual time passes, so steered
+// scenarios keep the same determinism guarantee as unsteered ones.
+func (s *Simulation) applySteering(window float64) error {
+	st := s.sc.Steering
+	if st == nil {
+		return nil
+	}
+	ctrl := s.Controller()
+	for _, f := range st.Faults {
+		if err := ctrl.FailNodeAt(f.FailAt*window, f.Node); err != nil {
+			return fmt.Errorf("pcs: scenario %q steering: %w", s.sc.Name, err)
+		}
+		if f.RestoreAt > f.FailAt {
+			if err := ctrl.RestoreNodeAt(f.RestoreAt*window, f.Node); err != nil {
+				return fmt.Errorf("pcs: scenario %q steering: %w", s.sc.Name, err)
+			}
+		}
+	}
+	if d := st.Diurnal; d != nil {
+		if err := ctrl.ModulateArrivalRate(window/d.Cycles, d.Amplitude, d.StepsPerCycle); err != nil {
+			return fmt.Errorf("pcs: scenario %q steering: %w", s.sc.Name, err)
+		}
+	}
+	return nil
 }
 
 // Options returns the fully resolved options the simulation runs with:
@@ -157,6 +199,51 @@ func (s *Simulation) Service() *service.Service { return s.svc }
 // if the world has none left.
 func (s *Simulation) NextEventTime() (float64, bool) { return s.engine.PeekNextTime() }
 
+// SampleEvery installs a sampling callback: from now on, fn observes a
+// Snapshot every interval seconds of virtual time as the clock advances
+// through RunTo, Step or Finish. Sampling is observationally free — it
+// schedules no events, draws no randomness and mutates nothing, so a
+// sampled run produces a Result bit-identical to an unsampled one (pinned
+// by tests). Under RunTo/Finish each sample is taken with the clock exactly
+// at its sample time; under Step, samples fire after the event that carries
+// the clock across them. One sampler per simulation; installing a second is
+// an error.
+func (s *Simulation) SampleEvery(interval float64, fn func(Snapshot)) error {
+	if interval <= 0 {
+		return fmt.Errorf("pcs: sample interval must be positive, got %g", interval)
+	}
+	// An interval below the clock's resolution near the horizon would stop
+	// advancing nextSample once the run nears its end and spin forever.
+	if s.horizon+interval == s.horizon {
+		return fmt.Errorf("pcs: sample interval %g is below the clock resolution near the horizon %g",
+			interval, s.horizon)
+	}
+	if fn == nil {
+		return fmt.Errorf("pcs: nil sample callback")
+	}
+	if s.onSample != nil {
+		return fmt.Errorf("pcs: sampler already installed")
+	}
+	s.sampleInterval = interval
+	s.nextSample = s.engine.Now() + interval
+	s.onSample = fn
+	return nil
+}
+
+// takeDueSamples fires the callback for every sample time the clock has
+// reached. Progress is forced even if a rounding tie leaves the addition
+// stationary, so the loop can never spin.
+func (s *Simulation) takeDueSamples() {
+	for s.nextSample <= s.engine.Now() {
+		s.onSample(s.Snapshot())
+		next := s.nextSample + s.sampleInterval
+		if next <= s.nextSample {
+			next = math.Nextafter(s.nextSample, math.Inf(1))
+		}
+		s.nextSample = next
+	}
+}
+
 // Step executes exactly one pending event, advancing the clock to it. It
 // returns false — executing nothing — once the next event lies beyond the
 // horizon or no events remain. A loop over Step executes exactly the
@@ -167,13 +254,19 @@ func (s *Simulation) Step() bool {
 	if !ok || next > s.horizon {
 		return false
 	}
-	return s.engine.Step()
+	stepped := s.engine.Step()
+	if stepped && s.onSample != nil {
+		s.takeDueSamples()
+	}
+	return stepped
 }
 
 // RunTo advances the simulation to virtual time t (clamped to the horizon
 // — past it the world has no more scheduled work; shrink or grow runs via
 // Options instead). It returns the clock after the advance. RunTo is
-// idempotent for t <= Now().
+// idempotent for t <= Now(). With a sampler installed the advance is
+// internally sliced at the sample times; the executed event sequence is
+// identical either way.
 func (s *Simulation) RunTo(t float64) float64 {
 	if t > s.horizon {
 		t = s.horizon
@@ -181,7 +274,18 @@ func (s *Simulation) RunTo(t float64) float64 {
 	if t <= s.engine.Now() {
 		return s.engine.Now()
 	}
-	return s.engine.Run(t)
+	if s.onSample == nil {
+		return s.engine.Run(t)
+	}
+	for s.engine.Now() < t {
+		stop := t
+		if s.nextSample < stop {
+			stop = s.nextSample
+		}
+		s.engine.Run(stop)
+		s.takeDueSamples()
+	}
+	return s.engine.Now()
 }
 
 // Snapshot is a mid-run observation of a simulation, cheap enough to take
@@ -203,6 +307,18 @@ type Snapshot struct {
 	// AvgOverallMs and P99ComponentMs are the paper's two metrics over
 	// the post-warmup observations recorded so far.
 	AvgOverallMs, P99ComponentMs float64
+	// ArrivalRate is the arrival process's current λ in requests/second —
+	// it moves under diurnal steering.
+	ArrivalRate float64
+	// QueuedExecutions counts executions waiting in instance queues across
+	// the deployment; BusyInstances counts occupied servers. Together they
+	// are the instantaneous service-pressure gauges of the live dashboard.
+	QueuedExecutions, BusyInstances int
+	// MeanCoreUtilization and MaxCoreUtilization summarise node core
+	// saturation in [0, 1] across the cluster; FailedNodes counts nodes
+	// currently failed by steering.
+	MeanCoreUtilization, MaxCoreUtilization float64
+	FailedNodes                             int
 }
 
 // Snapshot observes the running world without perturbing it.
@@ -220,21 +336,34 @@ func (s *Simulation) Snapshot() Snapshot {
 		FiredEvents:      s.engine.Fired(),
 		AvgOverallMs:     rep.AvgOverallMs,
 		P99ComponentMs:   rep.P99ComponentMs,
+		ArrivalRate:      s.svc.ArrivalRate(),
+		QueuedExecutions: s.svc.QueuedExecutions(),
+		BusyInstances:    s.svc.BusyInstances(),
+		FailedNodes:      s.cluster.FailedNodes(),
 	}
+	var sum float64
+	for _, n := range s.cluster.Nodes() {
+		u := n.Utilization(cluster.Core)
+		sum += u
+		if u > snap.MaxCoreUtilization {
+			snap.MaxCoreUtilization = u
+		}
+	}
+	snap.MeanCoreUtilization = sum / float64(s.cluster.NumNodes())
 	if s.ctrl != nil {
 		snap.SchedulingIntervals = s.ctrl.Intervals
 	}
 	return snap
 }
 
-// Finish runs the remaining events up to the horizon and reports the
-// run's Result. Finishing an already finished simulation returns the same
-// Result again.
+// Finish runs the remaining events up to the horizon (through the sampler,
+// if one is installed) and reports the run's Result. Finishing an already
+// finished simulation returns the same Result again.
 func (s *Simulation) Finish() Result {
 	if s.finished {
 		return s.result
 	}
-	s.engine.Run(s.horizon)
+	s.RunTo(s.horizon)
 
 	rep := s.svc.Collector().Report()
 	res := Result{

@@ -1,0 +1,131 @@
+package pcs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/runner"
+	"repro/internal/xrand"
+)
+
+// StreamedRun is one line of a streamed replication set: NDJSON, one JSON
+// object per replication, in replication order. Seed records the
+// replication's derived seed so any single line can be reproduced with
+// pcs.Run directly.
+type StreamedRun struct {
+	Rep    int    `json:"rep"`
+	Seed   int64  `json:"seed"`
+	Result Result `json:"result"`
+}
+
+// streamEncoder writes StreamedRun lines for replications derived from one
+// root seed. RunManyStream and CITarget.Sink share it so the on-disk
+// format has a single producer.
+type streamEncoder struct {
+	enc  *json.Encoder
+	root int64
+}
+
+func newStreamEncoder(w io.Writer, root int64) *streamEncoder {
+	return &streamEncoder{enc: json.NewEncoder(w), root: root}
+}
+
+func (e *streamEncoder) write(rep int, r Result) error {
+	if err := e.enc.Encode(StreamedRun{Rep: rep, Seed: xrand.StreamSeed(e.root, rep), Result: r}); err != nil {
+		return fmt.Errorf("pcs: streaming replication %d: %w", rep, err)
+	}
+	return nil
+}
+
+// decodeStream reads an NDJSON replication stream in order, handing each
+// record to fn, and returns how many records it saw. It is the single
+// consumer-side validator: gaps and reordering error out.
+func decodeStream(r io.Reader, fn func(StreamedRun)) (int, error) {
+	dec := json.NewDecoder(r)
+	next := 0
+	for {
+		var rec StreamedRun
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				return next, nil
+			}
+			return next, fmt.Errorf("pcs: reading stream at replication %d: %w", next, err)
+		}
+		if rec.Rep != next {
+			return next, fmt.Errorf("pcs: stream corrupt: got replication %d, want %d", rec.Rep, next)
+		}
+		fn(rec)
+		next++
+	}
+}
+
+// RunManyStream is RunMany with a streaming sink: each replication's Result
+// is written to sink as one NDJSON line the moment it (and all its
+// predecessors) completes, instead of being collected in memory. Only the
+// five across-replication metric vectors (one float64 per replication each)
+// are retained for the final percentile summaries, so memory is O(n)
+// floats rather than O(n) Results — the difference that matters for huge
+// sweeps. The returned Aggregate carries Runs == nil; everything else is
+// bit-identical to RunManyWorkers(opts, n, workers) with the same
+// arguments, pinned by tests.
+//
+// encoding/json renders float64 with the shortest representation that
+// round-trips exactly, so a written stream merged back through MergeStream
+// reproduces the same aggregate bit for bit.
+func RunManyStream(opts Options, n, workers int, sink io.Writer) (Aggregate, error) {
+	if sink == nil {
+		return Aggregate{}, fmt.Errorf("pcs: RunManyStream needs a sink (use RunMany to aggregate in memory)")
+	}
+	pool := runner.Options{Workers: workers}
+	enc := newStreamEncoder(sink, opts.Seed)
+	var a aggregator
+	err := runner.Stream(opts.Seed, n, pool,
+		func(rep int, seed int64) (Result, error) {
+			o := opts
+			o.Seed = seed
+			return Run(o)
+		},
+		func(rep int, r Result) error {
+			if err := enc.write(rep, r); err != nil {
+				return err
+			}
+			a.add(r)
+			return nil
+		})
+	if err != nil {
+		return Aggregate{}, err
+	}
+	return a.aggregate(pool.EffectiveWorkers(n)), nil
+}
+
+// MergeStream folds an NDJSON replication stream (as written by
+// RunManyStream or CITarget.Sink) back into its Aggregate. The merge is the
+// same fold the runs went through when they were produced, so the summaries
+// come out bit-identical to the Aggregate the original call returned. Lines
+// must be complete and in replication order — a gap or reordering is
+// corruption and errors out. Runs is left nil and Workers 0: both describe
+// how the original run was executed, which a file cannot know.
+func MergeStream(r io.Reader) (Aggregate, error) {
+	var a aggregator
+	n, err := decodeStream(r, func(rec StreamedRun) { a.add(rec.Result) })
+	if err != nil {
+		return Aggregate{}, err
+	}
+	if n == 0 {
+		return Aggregate{}, fmt.Errorf("pcs: empty replication stream")
+	}
+	return a.aggregate(0), nil
+}
+
+// ReadStream decodes every line of an NDJSON replication stream, validating
+// order. It is the "give me the raw runs back" counterpart to MergeStream,
+// for callers who want per-replication detail from a stored stream.
+func ReadStream(r io.Reader) ([]StreamedRun, error) {
+	var recs []StreamedRun
+	if _, err := decodeStream(r, func(rec StreamedRun) { recs = append(recs, rec) }); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}

@@ -1,0 +1,153 @@
+package pcs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func streamOpts(seed int64) Options {
+	return Options{
+		Technique:   Basic,
+		Seed:        seed,
+		Nodes:       8,
+		ArrivalRate: 80,
+		Requests:    400,
+	}
+}
+
+// TestRunManyStreamBitIdenticalToRunMany is the streaming acceptance gate:
+// the streamed aggregate equals the in-memory one except for Runs (which
+// streaming deliberately does not retain), and the NDJSON lines decode to
+// exactly the Runs RunMany held in memory.
+func TestRunManyStreamBitIdenticalToRunMany(t *testing.T) {
+	const n, workers = 7, 3
+	opts := streamOpts(41)
+	inMem, err := RunManyWorkers(opts, n, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	streamed, err := RunManyStream(opts, n, workers, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := inMem
+	want.Runs = nil
+	if !reflect.DeepEqual(want, streamed) {
+		t.Errorf("streamed aggregate diverged\nin-memory: %+v\nstreamed:  %+v", want, streamed)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != n {
+		t.Fatalf("stream has %d lines, want %d", lines, n)
+	}
+	recs, err := ReadStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range recs {
+		if !reflect.DeepEqual(rec.Result, inMem.Runs[i]) {
+			t.Fatalf("replication %d round-tripped differently\nmem:  %+v\nfile: %+v",
+				i, inMem.Runs[i], rec.Result)
+		}
+		if rec.Rep != i {
+			t.Fatalf("replication %d recorded as %d", i, rec.Rep)
+		}
+		// Each line is independently reproducible from its recorded seed.
+		if i == 2 {
+			o := opts
+			o.Seed = rec.Seed
+			redo, err := Run(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(redo, rec.Result) {
+				t.Fatalf("replication %d not reproducible from recorded seed", i)
+			}
+		}
+	}
+}
+
+// TestMergeStreamReproducesAggregate: the on-disk stream folds back into
+// the same aggregate, bit for bit (modulo the wall-clock-only Workers
+// field, which a file cannot know).
+func TestMergeStreamReproducesAggregate(t *testing.T) {
+	var buf bytes.Buffer
+	streamed, err := RunManyStream(streamOpts(43), 6, 2, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed.Workers = 0
+	if !reflect.DeepEqual(streamed, merged) {
+		t.Errorf("merge diverged\nlive:   %+v\nmerged: %+v", streamed, merged)
+	}
+}
+
+func TestMergeStreamRejectsCorruption(t *testing.T) {
+	if _, err := MergeStream(strings.NewReader("")); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	if _, err := MergeStream(strings.NewReader(`{"rep":1,"seed":0,"result":{}}`)); err == nil {
+		t.Fatal("stream starting at replication 1 accepted")
+	}
+	if _, err := MergeStream(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	var buf bytes.Buffer
+	if _, err := RunManyStream(streamOpts(45), 3, 1, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the middle line: the gap must be detected.
+	lines := strings.SplitAfter(buf.String(), "\n")
+	if _, err := MergeStream(strings.NewReader(lines[0] + lines[2])); err == nil {
+		t.Fatal("gapped stream accepted")
+	}
+}
+
+// TestRunUntilSinkMatchesAggregate: an adaptive run's sink holds exactly
+// the replications it aggregated, and merging it reproduces the summaries.
+func TestRunUntilSinkMatchesAggregate(t *testing.T) {
+	var buf bytes.Buffer
+	agg, err := RunUntil(streamOpts(47), CITarget{
+		RelHalfWidth:    0.5, // loose: converge fast
+		MaxReplications: 12,
+		Workers:         2,
+		Sink:            &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != agg.Replications {
+		t.Fatalf("sink has %d replications, aggregate %d", len(recs), agg.Replications)
+	}
+	for i, rec := range recs {
+		if !reflect.DeepEqual(rec.Result, agg.Runs[i]) {
+			t.Fatalf("sink replication %d differs from aggregate's", i)
+		}
+	}
+	merged, err := MergeStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := agg
+	want.Runs = nil
+	want.Workers = 0
+	want.Converged = false // execution-time knowledge, not in the file
+	if !reflect.DeepEqual(want, merged) {
+		t.Errorf("merged adaptive stream diverged\nlive:   %+v\nmerged: %+v", want, merged)
+	}
+}
+
+func TestRunManyStreamNeedsSink(t *testing.T) {
+	if _, err := RunManyStream(streamOpts(49), 2, 1, nil); err == nil {
+		t.Fatal("nil sink accepted")
+	}
+}
