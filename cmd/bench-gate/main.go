@@ -1,0 +1,214 @@
+// Command bench-gate is the CI benchmark-regression gate: it parses the
+// text output of `go test -bench`, writes it as a JSON snapshot in the same
+// schema as the repo's BENCH_SEED.json, and fails (exit 1) when any
+// benchmark's ns/op regressed beyond the allowed ratio against the seed.
+//
+//	go test -bench . -benchtime 1x -run '^$' ./... | tee bench.txt
+//	go run ./cmd/bench-gate -input bench.txt -seed BENCH_SEED.json -out BENCH_PR.json
+//
+// Benchmarks present in the run but absent from the seed are reported and
+// skipped — a new benchmark must not fail the gate that predates it.
+// Benchmarks in the seed but absent from the run are likewise only
+// reported: CI may shard or filter the pass. Sub-millisecond benchmarks
+// are exempt from the ratio check (-min-ns); at one iteration their
+// timings are scheduler noise, not signal.
+//
+// The seed and the CI runner are different machines, so raw ns/op ratios
+// carry a machine-speed factor. The gate calibrates it away: the median
+// pr/seed ratio across all compared benchmarks is taken as the machine
+// factor, and a benchmark fails only when it regressed more than
+// -max-ratio beyond that median. A single slow code path stands out; a
+// uniformly slower runner does not fail the board (and a uniformly faster
+// one does not mask a real regression). -calibrate=false restores raw
+// ratios for same-machine comparisons.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark's record, schema-compatible with the entries
+// of BENCH_SEED.json.
+type Benchmark struct {
+	Name     string             `json:"name"`
+	Iters    int64              `json:"iterations"`
+	NsPerOp  float64            `json:"ns_per_op"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+	AllocsOp *float64           `json:"allocs_per_op,omitempty"`
+	BytesOp  *float64           `json:"bytes_per_op,omitempty"`
+}
+
+// Snapshot is the JSON file layout shared by BENCH_SEED.json and the
+// BENCH_PR.json this tool emits.
+type Snapshot struct {
+	Command    string      `json:"command"`
+	GoVersion  string      `json:"go_version,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Cores      int         `json:"cores,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// benchLine matches `go test -bench` result lines:
+//
+//	BenchmarkName-8   12  345 ns/op  1.5 metric-name  24 B/op  3 allocs/op
+//
+// The -8 GOMAXPROCS suffix is stripped so snapshots from machines with
+// different core counts compare by benchmark identity.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func parseBench(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: m[1], Iters: iters}
+		fields := strings.Fields(m[3])
+		// Result fields come in (value, unit) pairs.
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bench-gate: bad value %q on line %q", fields[i], sc.Text())
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesOp = &v
+			case "allocs/op":
+				b.AllocsOp = &v
+			case "MB/s":
+				// throughput is derived from ns/op; not gated
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		out = append(out, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	var (
+		input     = flag.String("input", "-", "benchmark text output to parse ('-' = stdin)")
+		seedPath  = flag.String("seed", "BENCH_SEED.json", "seed snapshot to compare against")
+		outPath   = flag.String("out", "", "write the parsed run as a JSON snapshot to this path")
+		maxRatio  = flag.Float64("max-ratio", 1.25, "fail when ns/op exceeds seed × machine factor × this ratio")
+		minNs     = flag.Float64("min-ns", 1e6, "ignore benchmarks whose seed ns/op is below this (timing noise)")
+		calibrate = flag.Bool("calibrate", true, "divide out the median pr/seed ratio (machine-speed factor) before gating")
+	)
+	flag.Parse()
+
+	in := os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	benches, err := parseBench(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(benches) == 0 {
+		log.Fatal("bench-gate: no benchmark result lines found in input")
+	}
+
+	if *outPath != "" {
+		snap := Snapshot{Command: "go test -bench . -benchtime 1x -run ^$ ./...", Benchmarks: benches}
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	seedData, err := os.ReadFile(*seedPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var seed Snapshot
+	if err := json.Unmarshal(seedData, &seed); err != nil {
+		log.Fatalf("bench-gate: parsing %s: %v", *seedPath, err)
+	}
+	seedBy := make(map[string]Benchmark, len(seed.Benchmarks))
+	for _, b := range seed.Benchmarks {
+		seedBy[b.Name] = b
+	}
+
+	// Machine-speed calibration: the median pr/seed ratio over the
+	// benchmarks eligible for gating.
+	factor := 1.0
+	if *calibrate {
+		var ratios []float64
+		for _, b := range benches {
+			if ref, ok := seedBy[b.Name]; ok && ref.NsPerOp >= *minNs {
+				ratios = append(ratios, b.NsPerOp/ref.NsPerOp)
+			}
+		}
+		if len(ratios) > 0 {
+			sort.Float64s(ratios)
+			factor = ratios[len(ratios)/2]
+			fmt.Printf("bench-gate: machine-speed factor %.2fx (median of %d ratios)\n", factor, len(ratios))
+		}
+	}
+
+	var failed int
+	seen := make(map[string]bool, len(benches))
+	for _, b := range benches {
+		seen[b.Name] = true
+		ref, ok := seedBy[b.Name]
+		switch {
+		case !ok:
+			fmt.Printf("NEW   %-60s %14.0f ns/op (not in seed, skipped)\n", b.Name, b.NsPerOp)
+		case ref.NsPerOp < *minNs:
+			fmt.Printf("SKIP  %-60s %14.0f ns/op (seed %.0f below -min-ns)\n", b.Name, b.NsPerOp, ref.NsPerOp)
+		case b.NsPerOp > ref.NsPerOp*factor**maxRatio:
+			failed++
+			fmt.Printf("FAIL  %-60s %14.0f ns/op vs seed %.0f (%.2fx > %.2fx allowed)\n",
+				b.Name, b.NsPerOp, ref.NsPerOp, b.NsPerOp/(ref.NsPerOp*factor), *maxRatio)
+		default:
+			fmt.Printf("ok    %-60s %14.0f ns/op vs seed %.0f (%.2fx)\n",
+				b.Name, b.NsPerOp, ref.NsPerOp, b.NsPerOp/(ref.NsPerOp*factor))
+		}
+	}
+	for _, b := range seed.Benchmarks {
+		if !seen[b.Name] {
+			fmt.Printf("GONE  %-60s (in seed, not in this run)\n", b.Name)
+		}
+	}
+	if failed > 0 {
+		log.Fatalf("bench-gate: %d benchmark(s) regressed more than %.0f%% vs %s",
+			failed, (*maxRatio-1)*100, *seedPath)
+	}
+	fmt.Printf("bench-gate: %d benchmarks within %.0f%% of %s\n", len(benches), (*maxRatio-1)*100, *seedPath)
+}

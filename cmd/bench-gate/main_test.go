@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `
+goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig5PredictionAccuracy 	       1	 3582327 ns/op	         2.691 mean-err-%	        60.00 cases<3%-%
+BenchmarkFig6ServicePerformance/RED-3/λ=10-8         	       1	1474171700 ns/op	         1.657 avg-overall-ms
+BenchmarkAblationThreshold/eps=0us-8 	       1	1047724405 ns/op	        41.00 migrations
+BenchmarkMatrixBuild-8  	       5	  24249250 ns/op	 1024 B/op	      12 allocs/op
+PASS
+ok  	repro	142.5s
+`
+
+func TestParseBench(t *testing.T) {
+	benches, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %+v", len(benches), benches)
+	}
+	by := map[string]Benchmark{}
+	for _, b := range benches {
+		by[b.Name] = b
+	}
+
+	// The GOMAXPROCS suffix must be stripped without eating name-internal
+	// dashes (RED-3) or digits (eps=0us).
+	red3, ok := by["BenchmarkFig6ServicePerformance/RED-3/λ=10"]
+	if !ok {
+		t.Fatalf("RED-3 sub-benchmark not found: %v", by)
+	}
+	if red3.NsPerOp != 1474171700 || red3.Metrics["avg-overall-ms"] != 1.657 {
+		t.Fatalf("RED-3 parsed wrong: %+v", red3)
+	}
+	if _, ok := by["BenchmarkAblationThreshold/eps=0us"]; !ok {
+		t.Fatalf("eps=0us sub-benchmark not found: %v", by)
+	}
+
+	fig5 := by["BenchmarkFig5PredictionAccuracy"]
+	if fig5.Iters != 1 || fig5.NsPerOp != 3582327 {
+		t.Fatalf("fig5 parsed wrong: %+v", fig5)
+	}
+	if fig5.Metrics["mean-err-%"] != 2.691 || fig5.Metrics["cases<3%-%"] != 60 {
+		t.Fatalf("fig5 metrics parsed wrong: %+v", fig5.Metrics)
+	}
+
+	mb := by["BenchmarkMatrixBuild"]
+	if mb.Iters != 5 || mb.BytesOp == nil || *mb.BytesOp != 1024 || mb.AllocsOp == nil || *mb.AllocsOp != 12 {
+		t.Fatalf("alloc fields parsed wrong: %+v", mb)
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	benches, err := parseBench(strings.NewReader("PASS\nok \trepro\t1.0s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 0 {
+		t.Fatalf("parsed %d benchmarks from non-bench output", len(benches))
+	}
+}

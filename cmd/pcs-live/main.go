@@ -43,8 +43,17 @@ func main() {
 		throttle     = flag.Float64("throttle", 0, "virtual seconds simulated per wall-clock second (0 = as fast as possible)")
 		plain        = flag.Bool("plain", false, "no ANSI dashboard: print one line per sample (default when stdout is not a terminal)")
 		width        = flag.Int("width", 48, "sparkline width in columns")
+		shards       = flag.Int("shards", 1, "intra-run shard workers per simulation (-1 = all cores); never affects the results")
+		listOnly     = flag.Bool("list-scenarios", false, "print the registered scenario names, one per line, and exit\n(lets scripts — like the CI smoke — iterate the registry)")
 	)
 	flag.Parse()
+
+	if *listOnly {
+		for _, name := range pcs.Scenarios() {
+			fmt.Println(name)
+		}
+		return
+	}
 
 	tech, err := pcs.ParseTechnique(*technique)
 	if err != nil {
@@ -58,6 +67,7 @@ func main() {
 		Nodes:            *nodes,
 		SearchComponents: *fanOut,
 		Seed:             *seed,
+		Shards:           *shards,
 	})
 	if err != nil {
 		log.Fatal(err)

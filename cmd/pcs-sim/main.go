@@ -40,6 +40,7 @@ func main() {
 		ciTarget     = flag.Float64("ci-target", 0, "adaptive replications: replicate until the relative CI95 half-width\nof both headline metrics falls below this (e.g. 0.05 for ±5%); 0 disables")
 		maxReps      = flag.Int("max-replications", 64, "hard replication cap for -ci-target")
 		workers      = flag.Int("workers", 0, "parallel simulation workers (0 = all cores); never affects the results")
+		shards       = flag.Int("shards", 1, "intra-run shard workers per simulation: profiling, matrix construction,\nmonitor sampling and demand ticks fan out across this many cores\n(-1 = all cores); results are bit-identical at any value")
 		sampleEvery  = flag.Float64("sample-interval", 0, "sample a Snapshot every this many virtual seconds during a single run\nand print the time-series after the report; 0 disables. Sampling never\nchanges the results")
 		streamPath   = flag.String("stream", "", "with -replications or -ci-target: write each replication's result to this\nfile as NDJSON instead of holding all of them in memory")
 		mergePath    = flag.String("merge", "", "aggregate an NDJSON file written by pcs-sim -stream and exit (no simulation).\npcs-sweep -stream files are per-cell records with repeating replication\nindices and are not mergeable here")
@@ -76,6 +77,7 @@ func main() {
 		SchedulingInterval: *interval,
 		EpsilonSeconds:     *epsilon,
 		QueueModel:         *queue,
+		Shards:             *shards,
 	}
 	if *sampleEvery > 0 && (*replications > 1 || *ciTarget > 0) {
 		log.Fatal("-sample-interval applies to a single run: drop -replications/-ci-target " +

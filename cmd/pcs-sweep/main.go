@@ -35,6 +35,7 @@ func main() {
 		techniques   = flag.String("techniques", "", "comma-separated technique subset (empty = all six)")
 		replications = flag.Int("replications", 1, "independent replications per (technique, rate) cell; >1 reports mean±CI95")
 		workers      = flag.Int("workers", 0, "parallel simulation workers (0 = all cores); never affects the results")
+		shards       = flag.Int("shards", 1, "intra-run shard workers per simulation (-1 = all cores); never affects the results")
 		streamPath   = flag.String("stream", "", "write every run of the sweep (cell coordinates, seed, full result) to this\nfile as NDJSON, alongside the aggregated tables")
 	)
 	flag.Parse()
@@ -68,6 +69,7 @@ func main() {
 		SearchComponents: *fanOut,
 		Replications:     *replications,
 		Workers:          *workers,
+		Shards:           *shards,
 	}
 	if *streamPath != "" {
 		f, err := os.Create(*streamPath)

@@ -7,6 +7,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/runner"
+	"repro/internal/shard"
 	"repro/internal/stats"
 	"repro/internal/xrand"
 	"repro/pcs"
@@ -35,8 +36,12 @@ type Fig6Config struct {
 	// means with confidence intervals (default 1, the single-run sweep).
 	Replications int
 	// Workers bounds the worker pool that the cells × replications jobs
-	// fan out on; 0 selects GOMAXPROCS.
+	// fan out on; 0 selects GOMAXPROCS (divided by Shards when intra-run
+	// sharding is on, so shards × concurrent runs stays at machine width).
 	Workers int
+	// Shards is the per-run intra-simulation shard count
+	// (pcs.Options.Shards); results are bit-identical at any value.
+	Shards int
 	// Stream, when non-nil, receives every run of the sweep as one NDJSON
 	// line (Fig6StreamedRun) in deterministic (cell, replication) order,
 	// so huge sweeps leave a per-run record on disk alongside the
@@ -137,6 +142,7 @@ func RunFig6(cfg Fig6Config) (Fig6Result, error) {
 				SearchComponents: c.SearchComponents,
 				ArrivalRate:      rate,
 				Requests:         requests,
+				Shards:           c.Shards,
 			}})
 		}
 	}
@@ -153,8 +159,9 @@ func RunFig6(cfg Fig6Config) (Fig6Result, error) {
 	if c.Stream != nil {
 		enc = json.NewEncoder(c.Stream)
 	}
+	workers := shard.ReplicationWorkers(c.Workers, c.Shards)
 	results := make([]pcs.Result, jobs)
-	err := runner.Stream(c.Seed, jobs, runner.Options{Workers: c.Workers},
+	err := runner.Stream(c.Seed, jobs, runner.Options{Workers: workers},
 		func(idx int, _ int64) (pcs.Result, error) {
 			spec := specs[idx/reps]
 			o := spec.opts

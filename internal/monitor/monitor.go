@@ -9,6 +9,7 @@ package monitor
 
 import (
 	"repro/internal/cluster"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/xrand"
 )
@@ -27,6 +28,11 @@ type Config struct {
 	NoiseSigma float64
 	// RateWindow is the horizon in seconds of the arrival-rate estimate.
 	RateWindow float64
+	// Pool, when non-nil, shards each sampling pass across its workers:
+	// node i's contention read, noise draws and ring append are node-local,
+	// and the noise comes from node i's private stream, so the sampled
+	// windows are bit-identical at any shard count. Nil samples inline.
+	Pool *shard.Pool
 }
 
 func (c Config) withDefaults() Config {
@@ -48,7 +54,11 @@ type Monitor struct {
 	cfg     Config
 	engine  *sim.Engine
 	cluster *cluster.Cluster
-	src     *xrand.Source
+	// srcs holds one noise stream per node, forked in node order at
+	// construction. Per-node streams make each node's draw sequence a
+	// function of (node, sample index) alone, which is what lets a sharded
+	// sampling pass reproduce the sequential one bit for bit.
+	srcs []*xrand.Source
 
 	rings  []ring
 	ticker *sim.Ticker
@@ -92,12 +102,13 @@ func New(e *sim.Engine, cl *cluster.Cluster, src *xrand.Source, cfg Config) *Mon
 		cfg:          cfg,
 		engine:       e,
 		cluster:      cl,
-		src:          src,
+		srcs:         make([]*xrand.Source, cl.NumNodes()),
 		rings:        make([]ring, cl.NumNodes()),
 		arrivalTimes: make([]float64, 4096),
 	}
 	for i := range m.rings {
 		m.rings[i].samples = make([]cluster.Vector, cfg.Window)
+		m.srcs[i] = src.Fork()
 	}
 	return m
 }
@@ -116,16 +127,23 @@ func (m *Monitor) Stop() {
 	}
 }
 
+// sample takes one monitoring pass over the cluster. The pass is a window
+// barrier: node state is frozen while it runs (it executes inside a single
+// engine event), each node's work touches only that node's stream and
+// ring, so sharding it changes the wall clock and nothing else.
 func (m *Monitor) sample() {
-	for i, n := range m.cluster.Nodes() {
-		v := n.Contention()
-		if m.cfg.NoiseSigma > 0 {
-			for r := 0; r < cluster.NumResources; r++ {
-				v[r] *= m.src.LogNormalMean(1, m.cfg.NoiseSigma)
+	nodes := m.cluster.Nodes()
+	m.cfg.Pool.Run(len(nodes), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := nodes[i].Contention()
+			if m.cfg.NoiseSigma > 0 {
+				for r := 0; r < cluster.NumResources; r++ {
+					v[r] *= m.srcs[i].LogNormalMean(1, m.cfg.NoiseSigma)
+				}
 			}
+			m.rings[i].add(v)
 		}
-		m.rings[i].add(v)
-	}
+	})
 }
 
 // NodeSamples returns the retained contention samples of a node,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/shard"
 	"repro/internal/stats"
 )
 
@@ -34,6 +35,12 @@ type MatrixInput struct {
 	Models []*ServiceTimeModel
 	Queue  QueueModel
 	Params LatencyParams
+	// Pool, when non-nil, shards matrix construction and the Algorithm 2
+	// incremental updates across its workers. Entries are pure functions of
+	// state frozen at each barrier and land in disjoint row slots, so the
+	// matrix — and every scheduling decision derived from it — is
+	// bit-identical at any shard count. A nil Pool evaluates inline.
+	Pool *shard.Pool
 }
 
 func (in *MatrixInput) validate() error {
@@ -85,11 +92,36 @@ type Matrix struct {
 	L        [][]float64
 	SelfGain [][]float64
 
-	// scratch space for entry evaluation
+	// scratches holds one entry-evaluation scratch per pool shard (slot 0
+	// doubles as the sequential scratch); computeEntry runs concurrently
+	// across rows during fills, so every shard needs private override
+	// state.
+	scratches []*scratch
+}
+
+// scratch is the per-shard workspace of computeEntry: the latency
+// overrides a hypothetical migration imposes on co-hosted components.
+type scratch struct {
 	overrideIdx []int
 	overrideVal []float64
 	overrideSet []int // epoch marker per component
 	epoch       int
+}
+
+func newScratch(m int) *scratch {
+	return &scratch{
+		overrideIdx: make([]int, 0, 64),
+		overrideVal: make([]float64, m),
+		overrideSet: make([]int, m),
+	}
+}
+
+func (sc *scratch) set(h int, v float64) {
+	if sc.overrideSet[h] != sc.epoch {
+		sc.overrideIdx = append(sc.overrideIdx, h)
+		sc.overrideSet[h] = sc.epoch
+	}
+	sc.overrideVal[h] = v
 }
 
 // BuildMatrix constructs the matrix: current latencies for every component
@@ -102,37 +134,50 @@ func BuildMatrix(in MatrixInput) (*Matrix, error) {
 	m := len(in.Components)
 	k := in.NumNodes
 	mat := &Matrix{
-		in:          in,
-		alloc:       make([]int, m),
-		delta:       make([][4]float64, k),
-		nodeComps:   make([][]int, k),
-		cur:         make([]float64, m),
-		stageLat:    make([]float64, in.NumStages),
-		stageOf:     make([][]int, in.NumStages),
-		removed:     make([]bool, m),
-		L:           make([][]float64, m),
-		SelfGain:    make([][]float64, m),
-		overrideIdx: make([]int, 0, 64),
-		overrideVal: make([]float64, m),
-		overrideSet: make([]int, m),
+		in:        in,
+		alloc:     make([]int, m),
+		delta:     make([][4]float64, k),
+		nodeComps: make([][]int, k),
+		cur:       make([]float64, m),
+		stageLat:  make([]float64, in.NumStages),
+		stageOf:   make([][]int, in.NumStages),
+		removed:   make([]bool, m),
+		L:         make([][]float64, m),
+		SelfGain:  make([][]float64, m),
+		scratches: make([]*scratch, in.Pool.Shards()),
+	}
+	for s := range mat.scratches {
+		mat.scratches[s] = newScratch(m)
 	}
 	for i, c := range in.Components {
 		mat.alloc[i] = c.Node
 		mat.nodeComps[c.Node] = append(mat.nodeComps[c.Node], i)
 		mat.stageOf[c.Stage] = append(mat.stageOf[c.Stage], i)
 	}
-	for i := range in.Components {
-		mat.cur[i] = mat.latencyOn(i, mat.alloc[i], negv(in.Components[i].Demand))
-	}
+	// Every per-component latency is a pure function of the frozen input
+	// (samples, models, allocation), written to its own slot — shardable.
+	in.Pool.Run(m, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			mat.cur[i] = mat.latencyOn(i, mat.alloc[i], negv(in.Components[i].Demand))
+		}
+	})
 	mat.refreshStageLatencies()
 
 	for i := 0; i < m; i++ {
 		mat.L[i] = make([]float64, k)
 		mat.SelfGain[i] = make([]float64, k)
-		for j := 0; j < k; j++ {
-			mat.computeEntry(i, j)
-		}
 	}
+	// Entry fill: each shard owns a contiguous row range and its private
+	// scratch; entries read only barrier-frozen state (cur, stageLat,
+	// delta, the input) and write their own L/SelfGain cells.
+	in.Pool.Run(m, func(s, lo, hi int) {
+		sc := mat.scratches[s]
+		for i := lo; i < hi; i++ {
+			for j := 0; j < k; j++ {
+				mat.computeEntry(i, j, sc)
+			}
+		}
+	})
 	return mat, nil
 }
 
@@ -199,8 +244,10 @@ func (mat *Matrix) refreshStageLatencies() {
 
 // computeEntry fills L[i][j] and SelfGain[i][j]: the hypothetical world
 // where ci sits on nj, with the Table III contention updates applied to
-// every component on ci's origin and destination nodes.
-func (mat *Matrix) computeEntry(i, j int) {
+// every component on ci's origin and destination nodes. sc is the calling
+// shard's private scratch; everything else it touches is read-only during
+// a parallel fill except the (i, j) cells themselves.
+func (mat *Matrix) computeEntry(i, j int, sc *scratch) {
 	a := mat.alloc[i]
 	if j == a {
 		mat.L[i][j] = 0
@@ -208,12 +255,12 @@ func (mat *Matrix) computeEntry(i, j int) {
 		return
 	}
 	di := mat.in.Components[i].Demand
-	mat.epoch++
-	mat.overrideIdx = mat.overrideIdx[:0]
+	sc.epoch++
+	sc.overrideIdx = sc.overrideIdx[:0]
 
 	// ci itself: U' = U_nj (Table III row 1).
 	li := mat.latencyOn(i, j, vec4{})
-	mat.setOverride(i, li)
+	sc.set(i, li)
 
 	// Components remaining on the origin node: U' = U − U_ci.
 	for _, h := range mat.nodeComps[a] {
@@ -222,13 +269,13 @@ func (mat *Matrix) computeEntry(i, j int) {
 		}
 		adj := negv(mat.in.Components[h].Demand)
 		adj = addv(adj, di, -1)
-		mat.setOverride(h, mat.latencyOn(h, a, adj))
+		sc.set(h, mat.latencyOn(h, a, adj))
 	}
 	// Components already on the destination node: U' = U + U_ci.
 	for _, h := range mat.nodeComps[j] {
 		adj := negv(mat.in.Components[h].Demand)
 		adj = addv(adj, di, +1)
-		mat.setOverride(h, mat.latencyOn(h, j, adj))
+		sc.set(h, mat.latencyOn(h, j, adj))
 	}
 
 	// Eq. 3–4 with overrides; only stages containing changed components
@@ -236,7 +283,7 @@ func (mat *Matrix) computeEntry(i, j int) {
 	overall := 0.0
 	for s, members := range mat.stageOf {
 		affected := false
-		for _, h := range mat.overrideIdx {
+		for _, h := range sc.overrideIdx {
 			if mat.in.Components[h].Stage == s {
 				affected = true
 				break
@@ -249,8 +296,8 @@ func (mat *Matrix) computeEntry(i, j int) {
 		max := 0.0
 		for _, h := range members {
 			v := mat.cur[h]
-			if mat.overrideSet[h] == mat.epoch {
-				v = mat.overrideVal[h]
+			if sc.overrideSet[h] == sc.epoch {
+				v = sc.overrideVal[h]
 			}
 			if v > max {
 				max = v
@@ -261,14 +308,6 @@ func (mat *Matrix) computeEntry(i, j int) {
 
 	mat.L[i][j] = mat.overall - overall // Eq. 5
 	mat.SelfGain[i][j] = mat.cur[i] - li
-}
-
-func (mat *Matrix) setOverride(h int, v float64) {
-	if mat.overrideSet[h] != mat.epoch {
-		mat.overrideIdx = append(mat.overrideIdx, h)
-		mat.overrideSet[h] = mat.epoch
-	}
-	mat.overrideVal[h] = v
 }
 
 // NumComponents returns m.
@@ -348,25 +387,35 @@ func (mat *Matrix) Migrate(i, j int) {
 	}
 	mat.refreshStageLatencies()
 
-	// Algorithm 2 line 1–5: origin and destination columns for all rows.
-	for h := range mat.L {
-		if mat.removed[h] {
-			continue
-		}
-		mat.computeEntry(h, a)
-		mat.computeEntry(h, j)
-	}
-	// Algorithm 2 line 7–10: full rows of candidates on the touched nodes.
+	// Algorithm 2's incremental update, one barrier region over a
+	// canonical row worklist: rows hosted on a touched node recompute all
+	// their columns (line 7–10), every other live row just the origin and
+	// destination columns (line 1–5). Each row belongs to exactly one
+	// shard, entries read only the state committed above, and a full-row
+	// recompute subsumes the two-column one, so the sharded fill lands the
+	// same floats the sequential loops did.
+	onTouched := make([]bool, len(mat.L))
 	for _, n := range [2]int{a, j} {
 		for _, h := range mat.nodeComps[n] {
+			onTouched[h] = true
+		}
+	}
+	mat.in.Pool.Run(len(mat.L), func(s, lo, hi int) {
+		sc := mat.scratches[s]
+		for h := lo; h < hi; h++ {
 			if mat.removed[h] {
 				continue
 			}
-			for v := 0; v < mat.in.NumNodes; v++ {
-				mat.computeEntry(h, v)
+			if onTouched[h] {
+				for v := 0; v < mat.in.NumNodes; v++ {
+					mat.computeEntry(h, v, sc)
+				}
+				continue
 			}
+			mat.computeEntry(h, a, sc)
+			mat.computeEntry(h, j, sc)
 		}
-	}
+	})
 }
 
 func removeInt(s []int, x int) []int {

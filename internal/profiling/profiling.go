@@ -15,6 +15,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/predictor"
 	"repro/internal/service"
+	"repro/internal/shard"
 	"repro/internal/xrand"
 )
 
@@ -30,6 +31,12 @@ type Config struct {
 	Repeats int
 	// Degree is the polynomial degree of the per-resource regressions.
 	Degree int
+	// Pool, when non-nil, shards TrainStageModels' profiling measurements
+	// across its workers. Each (stage, background) measurement draws from
+	// its own stream forked in canonical order and fills its own sample
+	// slot, so the training set — and the trained models — are
+	// bit-identical at any shard count. Nil profiles inline.
+	Pool *shard.Pool
 }
 
 func (c Config) withDefaults() Config {
@@ -62,36 +69,63 @@ func MeasureServiceTime(law service.InterferenceLaw, base float64, background cl
 // paired with the measured mean service time.
 func ProfileBackgrounds(law service.InterferenceLaw, base float64, backgrounds []cluster.Vector, cfg Config, src *xrand.Source) []predictor.Sample {
 	cfg = cfg.withDefaults()
-	samples := make([]predictor.Sample, 0, len(backgrounds)*cfg.Repeats)
-	for _, bg := range backgrounds {
-		for rep := 0; rep < cfg.Repeats; rep++ {
-			// Record what the monitor would observe: contention saturates
-			// at node capacity (node.Contention clamps the same way), plus
-			// measurement noise. Training inputs must live on the same
-			// scale as the runtime monitor's readings.
-			u := bg.Clamp(law.Capacity)
-			if cfg.MonitorNoiseSigma > 0 {
-				for r := 0; r < cluster.NumResources; r++ {
-					u[r] *= src.LogNormalMean(1, cfg.MonitorNoiseSigma)
-				}
-			}
-			x := MeasureServiceTime(law, base, bg, cfg.Probes, src)
-			samples = append(samples, predictor.Sample{U: u, X: x})
-		}
+	samples := make([]predictor.Sample, len(backgrounds)*cfg.Repeats)
+	for bi, bg := range backgrounds {
+		profileOne(law, base, bg, cfg, src, samples[bi*cfg.Repeats:(bi+1)*cfg.Repeats])
 	}
 	return samples
+}
+
+// profileOne is one profiling unit: Repeats samples of one component class
+// under one background, drawn from the given stream (its own, when units
+// fan out across a pool). Each sample records what the monitor would
+// observe — contention saturated at node capacity (node.Contention clamps
+// the same way) plus measurement noise — because training inputs must live
+// on the same scale as the runtime monitor's readings.
+func profileOne(law service.InterferenceLaw, base float64, bg cluster.Vector, cfg Config, src *xrand.Source, out []predictor.Sample) {
+	for rep := 0; rep < cfg.Repeats; rep++ {
+		u := bg.Clamp(law.Capacity)
+		if cfg.MonitorNoiseSigma > 0 {
+			for r := 0; r < cluster.NumResources; r++ {
+				u[r] *= src.LogNormalMean(1, cfg.MonitorNoiseSigma)
+			}
+		}
+		out[rep] = predictor.Sample{U: u, X: MeasureServiceTime(law, base, bg, cfg.Probes, src)}
+	}
 }
 
 // TrainStageModels profiles and trains one service-time model per stage of
 // the topology. Only one component per stage class needs profiling — the
 // paper's scalability argument (§VI-D) — because components of a stage are
 // homogeneous.
+//
+// Profiling dominates PCS's setup cost (stages × backgrounds × probes
+// service-time draws), and its units are independent, so this is the
+// largest sharded region of a run: one stream per (stage, background)
+// unit, forked in canonical order up front; units fan out across the
+// pool's workers and their samples fold back in (stage, background,
+// repeat) order before each stage's regression is fit.
 func TrainStageModels(topo service.Topology, law service.InterferenceLaw, backgrounds []cluster.Vector, cfg Config, src *xrand.Source) ([]*predictor.ServiceTimeModel, error) {
 	cfg = cfg.withDefaults()
-	models := make([]*predictor.ServiceTimeModel, len(topo.Stages))
+	nStages, nbg := len(topo.Stages), len(backgrounds)
+	units := nStages * nbg
+	srcs := make([]*xrand.Source, units)
+	for u := range srcs {
+		srcs[u] = src.Fork()
+	}
+	samples := make([]predictor.Sample, units*cfg.Repeats)
+	cfg.Pool.Run(units, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			spec := topo.Stages[u/nbg]
+			profileOne(law, spec.BaseServiceTime, backgrounds[u%nbg], cfg, srcs[u],
+				samples[u*cfg.Repeats:(u+1)*cfg.Repeats])
+		}
+	})
+
+	models := make([]*predictor.ServiceTimeModel, nStages)
 	for si, spec := range topo.Stages {
-		samples := ProfileBackgrounds(law, spec.BaseServiceTime, backgrounds, cfg, src)
-		m, err := predictor.Train(samples, cfg.Degree)
+		stageSamples := samples[si*nbg*cfg.Repeats : (si+1)*nbg*cfg.Repeats]
+		m, err := predictor.Train(stageSamples, cfg.Degree)
 		if err != nil {
 			return nil, fmt.Errorf("profiling: training stage %d (%s): %w", si, spec.Name, err)
 		}

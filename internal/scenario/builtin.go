@@ -97,6 +97,25 @@ func init() {
 		},
 	})
 	mustRegister(Scenario{
+		Name: "large-cluster",
+		Description: "datacenter-scale nutch-style search: searching ×192 on 96 nodes — the " +
+			"control-plane stress case (O(m·k) matrix work per interval) that " +
+			"intra-run sharding (-shards) accelerates",
+		Topology: func(fanOut int) service.Topology {
+			if fanOut <= 0 {
+				fanOut = 192
+			}
+			return service.NutchTopology(fanOut)
+		},
+		DominantStage: 1,
+		Nodes:         96,
+		Workload: WorkloadDefaults{
+			BatchConcurrency: 2,
+			MinInputMB:       1,
+			MaxInputMB:       10 * 1024,
+		},
+	})
+	mustRegister(Scenario{
 		Name: "social-feed",
 		Description: "wide fan-out social-feed read path: gateway → timeline ×160 → " +
 			"rank ×12 → mix, where one slow timeline shard drags the whole stage (Eq. 3)",

@@ -4,6 +4,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/predictor"
 	"repro/internal/service"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/xrand"
 )
@@ -28,6 +29,11 @@ type ControllerConfig struct {
 	// FallbackLambda is used while the monitor has not yet observed enough
 	// arrivals to estimate λ.
 	FallbackLambda float64
+	// Pool, when non-nil, shards performance-matrix construction and the
+	// Algorithm 2 updates of every scheduling interval across its workers
+	// (see predictor.MatrixInput.Pool). Decisions are bit-identical at any
+	// shard count.
+	Pool *shard.Pool
 }
 
 func (c ControllerConfig) withDefaults() ControllerConfig {
@@ -140,6 +146,7 @@ func (c *Controller) MatrixInput() predictor.MatrixInput {
 		Models:      c.models,
 		Queue:       c.cfg.Queue,
 		Params:      c.cfg.Params,
+		Pool:        c.cfg.Pool,
 	}
 }
 

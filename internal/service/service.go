@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/xrand"
@@ -42,6 +43,11 @@ type Config struct {
 	ComponentLatencyReservoir int
 	// Warmup is the virtual time before which latencies are discarded.
 	Warmup float64
+	// Pool, when non-nil, shards each demand tick across its workers:
+	// instance utilisation refreshes and node aggregate recomputes are
+	// per-entity work with frozen inputs, so the tick is bit-identical at
+	// any shard count. Nil ticks inline.
+	Pool *shard.Pool
 }
 
 // Service wires a topology onto a cluster and runs the open-loop request
@@ -161,14 +167,27 @@ func New(e *sim.Engine, cl *cluster.Cluster, src *xrand.Source, policy Policy, c
 }
 
 // demandTick refreshes every instance's utilisation-scaled demand and the
-// node aggregates.
+// node aggregates. The tick executes inside one engine event, so it is a
+// window barrier: first every instance refreshes its own EWMA and demand
+// scale (instance-local state, shardable by component), then every node
+// re-sums its hosted demands in hosting order (node-local state, shardable
+// by node). Neither region draws randomness, so results are identical at
+// any shard count.
 func (s *Service) demandTick(now float64) {
-	for _, c := range s.components {
-		for _, in := range c.Instances {
-			in.demandTick(now)
+	pool := s.cfg.Pool
+	pool.Run(len(s.components), func(_, lo, hi int) {
+		for _, c := range s.components[lo:hi] {
+			for _, in := range c.Instances {
+				in.demandTick(now)
+			}
 		}
-	}
-	s.cluster.Refresh()
+	})
+	nodes := s.cluster.Nodes()
+	pool.Run(len(nodes), func(_, lo, hi int) {
+		for _, n := range nodes[lo:hi] {
+			n.Refresh()
+		}
+	})
 }
 
 // Components returns all components in Global index order.

@@ -1,0 +1,149 @@
+package shard
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCutCoversAndBalances(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8, 97, 1000} {
+		for _, k := range []int{1, 2, 3, 4, 8, 16} {
+			prev := 0
+			for s := 0; s < k; s++ {
+				lo, hi := Cut(n, k, s)
+				if lo != prev {
+					t.Fatalf("n=%d k=%d s=%d: range starts at %d, want %d", n, k, s, lo, prev)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d k=%d s=%d: inverted range [%d,%d)", n, k, s, lo, hi)
+				}
+				if size := hi - lo; size > n/k+1 {
+					t.Fatalf("n=%d k=%d s=%d: unbalanced range size %d", n, k, s, size)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d k=%d: ranges cover %d items", n, k, prev)
+			}
+		}
+	}
+}
+
+// TestRunDisjointWritesAnyShardCount is the pool's determinism contract in
+// miniature: a region writing index-addressed slots produces the same
+// output at every shard count, including nil and closed pools.
+func TestRunDisjointWritesAnyShardCount(t *testing.T) {
+	const n = 103
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	pools := map[string]*Pool{
+		"nil": nil, "k=1": NewPool(1), "k=2": NewPool(2), "k=4": NewPool(4), "k=16": NewPool(16),
+	}
+	closed := NewPool(4)
+	closed.Close()
+	pools["closed"] = closed
+	for name, p := range pools {
+		got := make([]int, n)
+		p.Run(n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				got[i] = i * i
+			}
+		})
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: slot %d = %d, want %d", name, i, got[i], want[i])
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestRunIsABarrier(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var done atomic.Int32
+	for round := 0; round < 50; round++ {
+		done.Store(0)
+		p.Run(64, func(_, lo, hi int) {
+			done.Add(int32(hi - lo))
+		})
+		if got := done.Load(); got != 64 {
+			t.Fatalf("round %d: Run returned with %d/64 items done", round, got)
+		}
+	}
+}
+
+func TestRunSurplusShardsSitOut(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	var calls atomic.Int32
+	p.Run(3, func(_, lo, hi int) {
+		if hi <= lo {
+			t.Error("empty shard range dispatched")
+		}
+		calls.Add(1)
+	})
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("3 items across 8 shards ran %d regions, want 3", got)
+	}
+}
+
+func TestRunPropagatesPanics(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+		// The pool must survive a panicking region.
+		var after atomic.Int32
+		p.Run(8, func(_, lo, hi int) { after.Add(int32(hi - lo)) })
+		if after.Load() != 8 {
+			t.Fatalf("pool unusable after panic: %d/8 items", after.Load())
+		}
+	}()
+	p.Run(16, func(s, lo, hi int) {
+		if s == 2 {
+			panic("boom")
+		}
+	})
+}
+
+func TestReplicationWorkersBudget(t *testing.T) {
+	cores := runtime.GOMAXPROCS(0)
+	// On a 1-core machine shards=-1 resolves to 1 shard, which is the
+	// sequential passthrough; multi-core machines budget one worker for
+	// machine-wide sharding.
+	wide := 0
+	if cores > 1 {
+		wide = 1
+	}
+	cases := []struct {
+		explicit, shards, want int
+	}{
+		{8, 16, 8},        // explicit always wins
+		{0, 0, 0},         // sequential: keep the runner's default
+		{0, 1, 0},         // ditto
+		{-3, 1, -3},       // non-positive explicit passes through when sequential
+		{0, 2 * cores, 1}, // more shards than cores: still one worker
+		{0, -1, wide},     // all-cores shards: GOMAXPROCS/GOMAXPROCS
+		{0, cores, wide},  // exactly machine-wide sharding
+	}
+	for _, c := range cases {
+		if got := ReplicationWorkers(c.explicit, c.shards); got != c.want {
+			t.Errorf("ReplicationWorkers(%d, %d) = %d, want %d", c.explicit, c.shards, got, c.want)
+		}
+	}
+}
+
+func TestNilPoolShards(t *testing.T) {
+	var p *Pool
+	if p.Shards() != 1 {
+		t.Fatalf("nil pool has %d shards", p.Shards())
+	}
+	p.Close() // must not panic
+	p.Run(0, func(_, _, _ int) { t.Fatal("region ran for zero items") })
+}

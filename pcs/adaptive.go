@@ -89,7 +89,7 @@ func RunUntil(opts Options, target CITarget) (Aggregate, error) {
 		return Aggregate{}, fmt.Errorf("pcs: RunUntil needs a positive relative CI target, got %g", t.RelHalfWidth)
 	}
 
-	pool := runner.Options{Workers: t.Workers}
+	pool := runner.Options{Workers: replicationWorkers(opts, t.Workers)}
 	var enc *streamEncoder
 	if t.Sink != nil {
 		enc = newStreamEncoder(t.Sink, opts.Seed)

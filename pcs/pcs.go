@@ -25,6 +25,7 @@ package pcs
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"repro/internal/baseline"
@@ -134,6 +135,15 @@ type Options struct {
 	ArrivalRate float64
 	// Requests is the number of arrivals to generate (default 20000).
 	Requests int
+	// Shards is the number of worker shards a single simulation fans its
+	// window-barrier work across: profiling, performance-matrix
+	// construction, monitor sampling and demand ticks — the control-plane
+	// cost that grows with cluster size. Results are bit-identical at any
+	// shard count; shards move only the wall clock. 0 or 1 runs the
+	// sequential path; negative selects all usable cores. Replication
+	// runners budget their worker count against Shards so shards ×
+	// concurrent replications stays within the machine.
+	Shards int
 	// WarmupFraction of the run's duration is excluded from metrics
 	// (default 0.15; -1 disables warmup exclusion entirely).
 	WarmupFraction float64
@@ -206,6 +216,11 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.ArrivalRate <= 0 {
 		o.ArrivalRate = 100
+	}
+	if o.Shards < 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	} else if o.Shards == 0 {
+		o.Shards = 1
 	}
 	if o.Requests <= 0 {
 		o.Requests = 20000

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/runner"
+	"repro/internal/shard"
 	"repro/internal/stats"
 )
 
@@ -62,11 +63,19 @@ func RunMany(opts Options, n int) (Aggregate, error) {
 	return RunManyWorkers(opts, n, 0)
 }
 
+// replicationWorkers budgets the runner pool against intra-run sharding:
+// shard.ReplicationWorkers keeps shards × concurrent replications at the
+// machine's width. Worker counts never reach results.
+func replicationWorkers(opts Options, explicit int) int {
+	return shard.ReplicationWorkers(explicit, opts.Shards)
+}
+
 // RunManyWorkers is RunMany with an explicit worker count; workers <= 0
-// selects GOMAXPROCS. The worker count affects wall-clock time only, never
-// the aggregate values.
+// selects GOMAXPROCS, divided by Options.Shards when intra-run sharding is
+// on. The worker count affects wall-clock time only, never the aggregate
+// values.
 func RunManyWorkers(opts Options, n, workers int) (Aggregate, error) {
-	pool := runner.Options{Workers: workers}
+	pool := runner.Options{Workers: replicationWorkers(opts, workers)}
 	runs, err := runner.Run(opts.Seed, n, pool, func(rep int, seed int64) (Result, error) {
 		o := opts
 		o.Seed = seed

@@ -1,0 +1,153 @@
+package pcs
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// shardCounts is the table the acceptance criterion names: sequential,
+// and 2/4/8-way sharded.
+var shardCounts = []int{1, 2, 4, 8}
+
+// reportBytes renders a Result the way every sink in the repo does
+// (encoding/json, shortest float representation), so "byte-identical
+// reports" is checked on the actual serialized artifact, not a Go-level
+// approximation of it.
+func reportBytes(t *testing.T, r Result) []byte {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestShardedRunBitIdenticalAllScenariosTechniques is the tentpole's
+// acceptance gate: for every registered scenario under Basic and PCS (the
+// two wirings: no controller vs profiling + controller), and for every
+// technique on the default scenario, runs at 1, 2, 4 and 8 shards produce
+// byte-identical reports. Sharding only ever moves the wall clock.
+func TestShardedRunBitIdenticalAllScenariosTechniques(t *testing.T) {
+	type cell struct {
+		scenario string
+		tech     Technique
+	}
+	var cells []cell
+	for _, name := range Scenarios() {
+		for _, tech := range []Technique{Basic, PCS} {
+			cells = append(cells, cell{name, tech})
+		}
+	}
+	for _, tech := range Techniques() {
+		if tech != Basic && tech != PCS {
+			cells = append(cells, cell{"", tech})
+		}
+	}
+
+	for _, c := range cells {
+		opts := equivOpts(c.tech, c.scenario, 17)
+		baseline, err := Run(opts)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", c.scenario, c.tech, err)
+		}
+		want := reportBytes(t, baseline)
+		for _, shards := range shardCounts {
+			o := opts
+			o.Shards = shards
+			res, err := Run(o)
+			if err != nil {
+				t.Fatalf("%s/%s shards=%d: %v", c.scenario, c.tech, shards, err)
+			}
+			if got := reportBytes(t, res); string(got) != string(want) {
+				t.Errorf("%s/%s: report at -shards %d diverged from sequential\nshards=%d: %s\nseq:      %s",
+					c.scenario, c.tech, shards, shards, got, want)
+			}
+		}
+	}
+}
+
+// TestShardedSampledRunMatchesUnshardedSnapshots pins the composition of
+// sharding with PR 3's observability: a sharded run observed through
+// SampleEvery yields the exact snapshot series — and final Result — of the
+// unsharded sampled run. Observation stays free and sharding stays
+// invisible even when both are on.
+func TestShardedSampledRunMatchesUnshardedSnapshots(t *testing.T) {
+	opts := equivOpts(PCS, "node-failure", 23)
+	sampledRun := func(shards int) (Result, []Snapshot) {
+		o := opts
+		o.Shards = shards
+		s, err := NewSimulation(o)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		var snaps []Snapshot
+		if err := s.SampleEvery(s.Horizon()/31, func(sn Snapshot) { snaps = append(snaps, sn) }); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return s.Finish(), snaps
+	}
+	seqRes, seqSnaps := sampledRun(1)
+	for _, shards := range shardCounts[1:] {
+		res, snaps := sampledRun(shards)
+		if !reflect.DeepEqual(res, seqRes) {
+			t.Errorf("shards=%d: sampled result diverged\nsharded: %+v\nseq:     %+v", shards, res, seqRes)
+		}
+		if !reflect.DeepEqual(snaps, seqSnaps) {
+			t.Errorf("shards=%d: snapshot series diverged (%d vs %d samples)",
+				shards, len(snaps), len(seqSnaps))
+		}
+	}
+}
+
+// TestRunManyShardsOnlyMovesWallClock pins the shards × replications
+// composition: a replication aggregate is bit-identical whether each
+// replication runs sequentially or sharded, at any worker budget.
+func TestRunManyShardsOnlyMovesWallClock(t *testing.T) {
+	opts := equivOpts(PCS, "", 29)
+	seq, err := RunMany(opts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := opts
+	o.Shards = 4
+	sharded, err := RunMany(o, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Workers is a wall-clock budgeting detail and legitimately differs;
+	// every computed value must not.
+	sharded.Workers = seq.Workers
+	for i := range sharded.Runs {
+		if !reflect.DeepEqual(sharded.Runs[i], seq.Runs[i]) {
+			t.Fatalf("replication %d diverged under sharding:\nsharded: %+v\nseq:     %+v",
+				i, sharded.Runs[i], seq.Runs[i])
+		}
+	}
+	if !reflect.DeepEqual(sharded, seq) {
+		t.Fatalf("aggregate diverged under sharding:\nsharded: %+v\nseq:     %+v", sharded, seq)
+	}
+}
+
+// TestSimulationCloseReleasesWorkers covers the explicit Close path: an
+// abandoned sharded simulation can be closed early and still advanced
+// (regions fall back inline) with results identical to a sequential run.
+func TestSimulationCloseReleasesWorkers(t *testing.T) {
+	opts := equivOpts(Basic, "", 31)
+	want, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := opts
+	o.Shards = 4
+	s, err := NewSimulation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunTo(s.Horizon() / 3)
+	s.Close() // abandon mid-run ...
+	got := s.Finish()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("run after Close diverged:\ngot:  %+v\nwant: %+v", got, want)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/scheduler"
 	"repro/internal/service"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/workload"
 	"repro/internal/xrand"
@@ -32,6 +33,7 @@ type Simulation struct {
 	svc     *service.Service
 	mon     *monitor.Monitor
 	ctrl    *scheduler.Controller // nil unless Technique == PCS
+	pool    *shard.Pool           // nil unless Options.Shards > 1
 
 	horizon  float64
 	finished bool
@@ -59,6 +61,18 @@ func NewSimulation(opts Options) (*Simulation, error) {
 	o = o.applyScenario(sc)
 	root := xrand.New(o.Seed ^ 0x5ca1ab1e)
 
+	// The shard pool parallelises the run's window-barrier work. A nil
+	// pool (Shards <= 1) is the sequential path; every consumer treats it
+	// so, which keeps single-shard runs on the exact pre-sharding code.
+	var pool *shard.Pool
+	if o.Shards > 1 {
+		pool = shard.NewPool(o.Shards)
+	}
+	fail := func(err error) (*Simulation, error) {
+		pool.Close()
+		return nil, err
+	}
+
 	engine := sim.NewEngine()
 	cl := cluster.New(o.Nodes, cluster.DefaultCapacity())
 
@@ -71,7 +85,7 @@ func NewSimulation(opts Options) (*Simulation, error) {
 
 	policy, err := policyFor(o)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 
 	duration := float64(o.Requests) / o.ArrivalRate
@@ -79,13 +93,15 @@ func NewSimulation(opts Options) (*Simulation, error) {
 	svc, err := service.New(engine, cl, root.Fork(), policy, service.Config{
 		Topology: topo,
 		Warmup:   duration * o.WarmupFraction,
+		Pool:     pool,
 	})
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 
 	mon := monitor.New(engine, cl, root.Fork(), monitor.Config{
 		NoiseSigma: o.MonitorNoiseSigma,
+		Pool:       pool,
 	})
 	svc.OnArrival = mon.RecordArrival
 
@@ -93,7 +109,7 @@ func NewSimulation(opts Options) (*Simulation, error) {
 	if o.Technique == PCS {
 		queue, err := queueModelFor(o.QueueModel)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		// Training backgrounds mirror the paper's profiling: single
 		// co-runners swept across kinds and input sizes (strongly
@@ -107,9 +123,10 @@ func NewSimulation(opts Options) (*Simulation, error) {
 			Probes:            o.ProfilingProbes,
 			MonitorNoiseSigma: o.MonitorNoiseSigma,
 			Degree:            o.RegressionDegree,
+			Pool:              pool,
 		}, root.Fork())
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		ctrl = scheduler.NewController(svc, mon, models, root.Fork(), scheduler.ControllerConfig{
 			Interval: o.SchedulingInterval,
@@ -119,6 +136,7 @@ func NewSimulation(opts Options) (*Simulation, error) {
 			},
 			Queue:          queue,
 			FallbackLambda: o.ArrivalRate,
+			Pool:           pool,
 		})
 	}
 
@@ -141,10 +159,11 @@ func NewSimulation(opts Options) (*Simulation, error) {
 		svc:     svc,
 		mon:     mon,
 		ctrl:    ctrl,
+		pool:    pool,
 		horizon: duration + o.DrainSeconds,
 	}
 	if err := s.applySteering(duration); err != nil {
-		return nil, err
+		return fail(err)
 	}
 	return s, nil
 }
@@ -389,5 +408,15 @@ func (s *Simulation) Finish() Result {
 	}
 	s.finished = true
 	s.result = res
+	// The run is over; release the shard workers. Late observers —
+	// Snapshot, a re-entrant Finish — only read, and a closed pool would
+	// degrade any further region to inline execution anyway.
+	s.pool.Close()
 	return res
 }
+
+// Close releases the simulation's shard workers without running it to the
+// horizon — for callers abandoning a run mid-flight. Finish closes them
+// itself; closing twice is a no-op, and a closed simulation can still be
+// advanced (regions just run inline, with identical results).
+func (s *Simulation) Close() { s.pool.Close() }

@@ -78,7 +78,7 @@ func RunManyStream(opts Options, n, workers int, sink io.Writer) (Aggregate, err
 	if sink == nil {
 		return Aggregate{}, fmt.Errorf("pcs: RunManyStream needs a sink (use RunMany to aggregate in memory)")
 	}
-	pool := runner.Options{Workers: workers}
+	pool := runner.Options{Workers: replicationWorkers(opts, workers)}
 	enc := newStreamEncoder(sink, opts.Seed)
 	var a aggregator
 	err := runner.Stream(opts.Seed, n, pool,
