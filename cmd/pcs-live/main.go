@@ -33,6 +33,7 @@ func main() {
 	var (
 		technique    = flag.String("technique", "PCS", "execution technique: Basic, RED-3, RED-5, RI-90, RI-99 or PCS")
 		scenarioName = flag.String("scenario", "", pcs.ScenarioFlagUsage())
+		policyName   = flag.String("policy", "", pcs.PolicyFlagUsage())
 		rate         = flag.Float64("rate", 100, "request arrival rate (requests/second)")
 		requests     = flag.Int("requests", 20000, "number of requests to simulate")
 		nodes        = flag.Int("nodes", 0, "cluster size (0 = scenario default)")
@@ -62,6 +63,7 @@ func main() {
 	sim, err := pcs.NewSimulation(pcs.Options{
 		Technique:        tech,
 		Scenario:         *scenarioName,
+		Policy:           *policyName,
 		ArrivalRate:      *rate,
 		Requests:         *requests,
 		Nodes:            *nodes,
@@ -127,19 +129,30 @@ func stdoutIsTerminal() bool {
 // dashboard renders the run: either as redrawn ANSI frames or as plain
 // line-per-sample output.
 type dashboard struct {
-	sim    *pcs.Simulation
-	series *metrics.Series[pcs.Snapshot]
-	ansi   bool
-	width  int
-	drawn  int // lines of the previous frame, for the cursor rewind
+	sim           *pcs.Simulation
+	series        *metrics.Series[pcs.Snapshot]
+	ansi          bool
+	width         int
+	drawn         int // lines of the previous frame, for the cursor rewind
+	loggedActions int // policy actions already printed in plain mode
 }
 
-// plainLine prints one sample as a single log line.
+// plainLine prints one sample as a single log line, preceded by any policy
+// actions applied since the previous sample.
 func (d *dashboard) plainLine(sn pcs.Snapshot) {
-	fmt.Printf("t=%8.2fs λ=%6.1f arrived=%7d done=%7d inflight=%5d queued=%5d util=%.2f/%.2f failed=%d avg=%7.3fms p99c=%7.3fms\n",
+	log := d.sim.PolicyLog()
+	for ; d.loggedActions < len(log); d.loggedActions++ {
+		a := log[d.loggedActions]
+		fmt.Printf("t=%8.2fs policy %s: %s=%g (%s)\n", a.T, d.sim.PolicyName(), a.Kind, a.Value, a.Reason)
+	}
+	fmt.Printf("t=%8.2fs λ=%6.1f arrived=%7d done=%7d inflight=%5d queued=%5d util=%.2f/%.2f failed=%d avg=%7.3fms p99c=%7.3fms",
 		sn.Now, sn.ArrivalRate, sn.Arrivals, sn.Completed, sn.InFlight,
 		sn.QueuedExecutions, sn.MeanCoreUtilization, sn.MaxCoreUtilization,
 		sn.FailedNodes, sn.AvgOverallMs, sn.P99ComponentMs)
+	if d.sim.PolicyName() != "" {
+		fmt.Printf(" replicas=%d work=%.2f admit=%.2f", sn.ActiveReplicas, sn.WorkFactor, sn.AdmissionFactor)
+	}
+	fmt.Println()
 }
 
 // frame redraws the ANSI dashboard in place.
@@ -182,6 +195,18 @@ func (d *dashboard) frame() {
 			metrics.Gauge(last.MaxCoreUtilization, 10), last.MaxCoreUtilization))
 	row("queued execs", metrics.Values(samples, func(s pcs.Snapshot) float64 { return float64(s.QueuedExecutions) }),
 		fmt.Sprintf("%7d", last.QueuedExecutions))
+	if name := d.sim.PolicyName(); name != "" {
+		row("active replicas", metrics.Values(samples, func(s pcs.Snapshot) float64 { return float64(s.ActiveReplicas) }),
+			fmt.Sprintf("%7d  work %.2f  admit %.0f%%", last.ActiveReplicas, last.WorkFactor,
+				100*last.AdmissionFactor))
+		log := d.sim.PolicyLog()
+		annot := "—"
+		if n := len(log); n > 0 {
+			a := log[n-1]
+			annot = fmt.Sprintf("t=%.1fs %s=%g (%s)", a.T, a.Kind, a.Value, a.Reason)
+		}
+		line("policy %s · %d actions · last: %s", name, len(log), annot)
+	}
 
 	d.drawn = strings.Count(b.String(), "\x1b[K\n")
 	os.Stdout.WriteString(b.String())

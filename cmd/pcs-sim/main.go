@@ -8,6 +8,9 @@
 //	pcs-sim -technique Basic -replications 16
 //	pcs-sim -technique Basic -ci-target 0.05
 //	pcs-sim -technique Basic -sample-interval 1              # print the run's time-series
+//	pcs-sim -scenario autoscale-burst                        # closed-loop: scenario's scripted policy
+//	pcs-sim -scenario autoscale-burst -policy none           # the same run open-loop
+//	pcs-sim -policy pid-throttle -rate 300                   # admission throttling on any scenario
 //	pcs-sim -replications 32 -stream runs.ndjson             # per-replication NDJSON to disk
 //	pcs-sim -merge runs.ndjson                               # re-aggregate a stored stream
 package main
@@ -28,6 +31,7 @@ func main() {
 	var (
 		technique    = flag.String("technique", "PCS", "execution technique: Basic, RED-3, RED-5, RI-90, RI-99 or PCS")
 		scenarioName = flag.String("scenario", "", pcs.ScenarioFlagUsage())
+		policyName   = flag.String("policy", "", pcs.PolicyFlagUsage())
 		rate         = flag.Float64("rate", 100, "request arrival rate (requests/second)")
 		requests     = flag.Int("requests", 20000, "number of requests to simulate")
 		nodes        = flag.Int("nodes", 0, "cluster size (0 = scenario default)")
@@ -69,6 +73,7 @@ func main() {
 	opts := pcs.Options{
 		Technique:          tech,
 		Scenario:           *scenarioName,
+		Policy:             *policyName,
 		ArrivalRate:        *rate,
 		Requests:           *requests,
 		Nodes:              *nodes,
@@ -162,6 +167,23 @@ func main() {
 	if *sampleEvery > 0 {
 		printSeries(series)
 	}
+	printPolicyLog(sim)
+}
+
+// printPolicyLog renders the closed-loop action log of a single run: every
+// actuation the policy applied, with its reason.
+func printPolicyLog(sim *pcs.Simulation) {
+	log := sim.PolicyLog()
+	if len(log) == 0 {
+		return
+	}
+	fmt.Printf("\npolicy %s applied %d actions\n", sim.PolicyName(), len(log))
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "t(s)\taction\tvalue\treason")
+	for _, a := range log {
+		fmt.Fprintf(tw, "%.1f\t%s\t%g\t%s\n", a.T, a.Kind, a.Value, a.Reason)
+	}
+	tw.Flush()
 }
 
 // printSeries renders the sampled time-series as a compact table: at most

@@ -9,6 +9,14 @@
 // With -stream, every individual run of the sweep is additionally written
 // to a file as one NDJSON line (technique, rate, replication, seed, full
 // result) so huge sweeps leave a per-run record on disk.
+//
+// -policy runs every cell under a closed-loop policy ("none" forces the
+// scenario's scripted policy off). -policies switches to the policy
+// comparison driver instead: a policy × technique grid on one scenario at
+// one rate, with deltas against the open-loop baseline —
+//
+//	pcs-sweep -scenario autoscale-burst -policies none,threshold-autoscale \
+//	    -techniques Basic,PCS -rates 100
 package main
 
 import (
@@ -33,6 +41,8 @@ func main() {
 		fanOut       = flag.Int("search-components", 0, "dominant-stage fan-out (0 = scenario default)")
 		rates        = flag.String("rates", "10,20,50,100,200,500", "comma-separated arrival rates")
 		techniques   = flag.String("techniques", "", "comma-separated technique subset (empty = all six)")
+		policyName   = flag.String("policy", "", pcs.PolicyFlagUsage())
+		policyList   = flag.String("policies", "", "run the closed-loop policy comparison instead of the Fig. 6 sweep:\ncomma-separated policies × techniques on the first -rates value\n(\"none\" is the open-loop baseline; \"all\" selects none + every\nregistered policy)")
 		replications = flag.Int("replications", 1, "independent replications per (technique, rate) cell; >1 reports mean±CI95")
 		workers      = flag.Int("workers", 0, "parallel simulation workers (0 = all cores); never affects the results")
 		shards       = flag.Int("shards", 1, "intra-run shard workers per simulation (-1 = all cores); never affects the results")
@@ -59,9 +69,49 @@ func main() {
 		}
 	}
 
+	if *policyList != "" {
+		var pols []string
+		if *policyList != "all" {
+			for _, p := range strings.Split(*policyList, ",") {
+				pols = append(pols, strings.TrimSpace(p))
+			}
+		}
+		cfg := experiments.PolicyGridConfig{
+			Seed:             *seed,
+			Scenario:         *scenarioName,
+			Policies:         pols,
+			Techniques:       techList,
+			Rate:             rateList[0],
+			Requests:         *requests,
+			Nodes:            *nodes,
+			SearchComponents: *fanOut,
+			Replications:     *replications,
+			Workers:          *workers,
+			Shards:           *shards,
+		}
+		if *streamPath != "" {
+			f, err := os.Create(*streamPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			cfg.Stream = f
+		}
+		res, err := experiments.RunPolicyGrid(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res.WriteTable(os.Stdout, cfg)
+		if *streamPath != "" {
+			fmt.Printf("per-run results streamed to %s\n", *streamPath)
+		}
+		return
+	}
+
 	cfg := experiments.Fig6Config{
 		Seed:             *seed,
 		Scenario:         *scenarioName,
+		Policy:           *policyName,
 		Rates:            rateList,
 		Techniques:       techList,
 		Requests:         *requests,

@@ -28,9 +28,12 @@ func (Basic) Name() string { return "Basic" }
 // Replicas implements service.Policy.
 func (Basic) Replicas() int { return 1 }
 
-// Dispatch sends the sub-request to the component's only instance.
-func (Basic) Dispatch(_ *service.Service, sub *service.SubRequest) {
-	sub.IssueTo(sub.Comp.Primary())
+// Dispatch sends the sub-request to the component's primary instance —
+// or, when closed-loop autoscaling has activated extra replicas, to the
+// least-loaded active instance (a deterministic choice; with one active
+// replica it is exactly the primary, the historical behavior).
+func (Basic) Dispatch(svc *service.Service, sub *service.SubRequest) {
+	sub.IssueTo(svc.PickInstance(sub.Comp))
 }
 
 // Redundancy is the RED-k policy of [27], [11], [26]: create k replicas of
@@ -62,11 +65,13 @@ func (p *Redundancy) Name() string { return fmt.Sprintf("RED-%d", p.K) }
 // Replicas implements service.Policy.
 func (p *Redundancy) Replicas() int { return p.K }
 
-// Dispatch fans the sub-request out to all K replicas simultaneously with
-// cancel-on-start semantics.
+// Dispatch fans the sub-request out to K replicas simultaneously with
+// cancel-on-start semantics: the first K active instances, which is every
+// deployed replica unless autoscaling has activated more (RED-k stays
+// k-way redundant regardless of the scale).
 func (p *Redundancy) Dispatch(_ *service.Service, sub *service.SubRequest) {
 	sub.EnableCancelOnStart(p.CancelDelay)
-	for _, in := range sub.Comp.Instances {
+	for _, in := range sub.Comp.ActiveInstances()[:p.K] {
 		sub.IssueTo(in)
 	}
 }

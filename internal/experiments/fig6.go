@@ -25,6 +25,9 @@ type Fig6Config struct {
 	Rates []float64
 	// Techniques to compare; nil means all six.
 	Techniques []pcs.Technique
+	// Policy, when set, runs every cell under the named closed-loop policy
+	// ("none" forces the scenario's scripted policy off; empty keeps it).
+	Policy string
 	// Requests per run; the run's virtual duration is Requests/λ.
 	Requests int
 	// Nodes and SearchComponents size the deployment; 0 selects the
@@ -137,6 +140,7 @@ func RunFig6(cfg Fig6Config) (Fig6Result, error) {
 			specs = append(specs, cellSpec{tech, pcs.Options{
 				Technique:        tech,
 				Scenario:         c.Scenario,
+				Policy:           c.Policy,
 				Seed:             c.Seed ^ int64(rate)<<16 ^ int64(tech)<<8,
 				Nodes:            c.Nodes,
 				SearchComponents: c.SearchComponents,
@@ -211,6 +215,19 @@ func mergeCell(technique string, rate float64, runs []pcs.Result) Fig6Cell {
 	if len(runs) == 1 {
 		return Fig6Cell{Technique: technique, Rate: rate, Result: runs[0]}
 	}
+	merged, avgCI, p99CI := foldResults(runs)
+	return Fig6Cell{Technique: technique, Rate: rate, Result: merged,
+		AvgOverallCI95Ms: avgCI, P99ComponentCI95Ms: p99CI}
+}
+
+// foldResults merges one cell's replications into a single Result whose
+// latency metrics and counts are across-replication means (counts rounded
+// to nearest), plus the CI95 half-widths of the two headline metrics. It
+// is the one place a new Result field must be taught about aggregation —
+// the Fig. 6 sweep and the policy grid both fold through it, so their
+// replicated cells can never disagree about what a number means.
+func foldResults(runs []pcs.Result) (merged pcs.Result, avgCI, p99CI float64) {
+	merged = runs[0]
 	mean := func(f func(pcs.Result) float64) (float64, float64) {
 		var w stats.Welford
 		for _, r := range runs {
@@ -218,10 +235,15 @@ func mergeCell(technique string, rate float64, runs []pcs.Result) Fig6Cell {
 		}
 		return w.Mean(), w.MeanCI95()
 	}
-	merged := runs[0]
-	var ci Fig6Cell
-	merged.AvgOverallMs, ci.AvgOverallCI95Ms = mean(func(r pcs.Result) float64 { return r.AvgOverallMs })
-	merged.P99ComponentMs, ci.P99ComponentCI95Ms = mean(func(r pcs.Result) float64 { return r.P99ComponentMs })
+	meanInt := func(f func(pcs.Result) int) int {
+		sum := 0
+		for _, r := range runs {
+			sum += f(r)
+		}
+		return (sum + len(runs)/2) / len(runs)
+	}
+	merged.AvgOverallMs, avgCI = mean(func(r pcs.Result) float64 { return r.AvgOverallMs })
+	merged.P99ComponentMs, p99CI = mean(func(r pcs.Result) float64 { return r.P99ComponentMs })
 	merged.OverallP50Ms, _ = mean(func(r pcs.Result) float64 { return r.OverallP50Ms })
 	merged.OverallP99Ms, _ = mean(func(r pcs.Result) float64 { return r.OverallP99Ms })
 	merged.OverallMaxMs, _ = mean(func(r pcs.Result) float64 { return r.OverallMaxMs })
@@ -230,32 +252,21 @@ func mergeCell(technique string, rate float64, runs []pcs.Result) Fig6Cell {
 	merged.VirtualSeconds, _ = mean(func(r pcs.Result) float64 { return r.VirtualSeconds })
 	stage := make([]float64, len(merged.StageMeanMs))
 	for s := range stage {
-		v, _ := mean(func(r pcs.Result) float64 {
+		stage[s], _ = mean(func(r pcs.Result) float64 {
 			if s < len(r.StageMeanMs) {
 				return r.StageMeanMs[s]
 			}
 			return 0
 		})
-		stage[s] = v
 	}
 	merged.StageMeanMs = stage
-	merged.Arrivals, merged.Completed, merged.Migrations = 0, 0, 0
-	merged.SchedulingIntervals, merged.BatchJobsStarted = 0, 0
-	for _, r := range runs {
-		merged.Arrivals += r.Arrivals
-		merged.Completed += r.Completed
-		merged.Migrations += r.Migrations
-		merged.SchedulingIntervals += r.SchedulingIntervals
-		merged.BatchJobsStarted += r.BatchJobsStarted
-	}
-	n := len(runs)
-	merged.Arrivals /= n
-	merged.Completed /= n
-	merged.Migrations /= n
-	merged.SchedulingIntervals /= n
-	merged.BatchJobsStarted /= n
-	ci.Technique, ci.Rate, ci.Result = technique, rate, merged
-	return ci
+	merged.Arrivals = meanInt(func(r pcs.Result) int { return r.Arrivals })
+	merged.Completed = meanInt(func(r pcs.Result) int { return r.Completed })
+	merged.Migrations = meanInt(func(r pcs.Result) int { return r.Migrations })
+	merged.SchedulingIntervals = meanInt(func(r pcs.Result) int { return r.SchedulingIntervals })
+	merged.BatchJobsStarted = meanInt(func(r pcs.Result) int { return r.BatchJobsStarted })
+	merged.PolicyActions = meanInt(func(r pcs.Result) int { return r.PolicyActions })
+	return merged, avgCI, p99CI
 }
 
 // headlineReductions computes the paper's headline aggregates: PCS's

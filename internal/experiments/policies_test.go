@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/pcs"
+)
+
+// policyGridConfig is the small-but-hot grid the policy tests share: the
+// deployment is tiny, so the closed loop only engages when the arrival
+// rate carries real per-instance load (see the pcs policy tests for the
+// same sizing argument).
+func policyGridConfig() PolicyGridConfig {
+	return PolicyGridConfig{
+		Seed:             7,
+		Scenario:         "autoscale-burst",
+		Policies:         []string{"none", "threshold-autoscale"},
+		Techniques:       []pcs.Technique{pcs.Basic},
+		Rate:             400,
+		Requests:         6000,
+		Nodes:            8,
+		SearchComponents: 12,
+	}
+}
+
+// TestPolicyGridAutoscaleBeatsOpenLoop is the PR's acceptance criterion:
+// in the experiment driver's output, autoscale-burst under the threshold
+// autoscaler shows lower p99 component latency than the same scenario run
+// open-loop — closing the loop must actually buy the latency it promises.
+// The comparison runs at the scenario's designed scale (30 nodes, the
+// default λ): elasticity pays when the cluster has headroom to absorb the
+// burst; on a saturated toy deployment, scale-up just adds interference.
+func TestPolicyGridAutoscaleBeatsOpenLoop(t *testing.T) {
+	cfg := PolicyGridConfig{
+		Seed:       7,
+		Scenario:   "autoscale-burst",
+		Policies:   []string{"none", "threshold-autoscale"},
+		Techniques: []pcs.Technique{pcs.Basic},
+		Requests:   6000,
+	}
+	res, err := RunPolicyGrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := res.Cell("Basic", "none")
+	closed := res.Cell("Basic", "threshold-autoscale")
+	if open == nil || closed == nil {
+		t.Fatalf("grid missing cells: %+v", res.Cells)
+	}
+	if open.Result.PolicyActions != 0 {
+		t.Fatalf("open-loop cell applied %d actions", open.Result.PolicyActions)
+	}
+	if closed.Result.PolicyActions == 0 {
+		t.Fatal("autoscaler cell never acted — the comparison is vacuous")
+	}
+	if closed.Result.P99ComponentMs >= open.Result.P99ComponentMs {
+		t.Fatalf("threshold autoscaler did not beat open-loop p99: %.3f ≥ %.3f ms",
+			closed.Result.P99ComponentMs, open.Result.P99ComponentMs)
+	}
+	// The paired design: both cells faced the identical world, so the
+	// delta is attributable to the policy alone.
+	if open.Result.Arrivals != closed.Result.Arrivals {
+		t.Fatalf("cells saw different workloads: %d vs %d arrivals (seeds must pair)",
+			open.Result.Arrivals, closed.Result.Arrivals)
+	}
+
+	var table strings.Builder
+	res.WriteTable(&table, cfg)
+	out := table.String()
+	for _, want := range []string{"threshold-autoscale", "none", "Δp99", "autoscale-burst"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("grid table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPolicyGridDeterministicAcrossWorkersAndShards pins invariant #8 at
+// the driver level: the grid computes identical cells at any worker and
+// shard count, and its NDJSON stream is byte-identical.
+func TestPolicyGridDeterministicAcrossWorkersAndShards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("policy grid is expensive")
+	}
+	run := func(workers, shards int) (PolicyGridResult, []byte) {
+		cfg := policyGridConfig()
+		cfg.Workers = workers
+		cfg.Shards = shards
+		var buf bytes.Buffer
+		cfg.Stream = &buf
+		res, err := RunPolicyGrid(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.Bytes()
+	}
+	baseRes, baseStream := run(1, 1)
+	for _, v := range []struct{ workers, shards int }{{8, 1}, {2, 2}} {
+		res, stream := run(v.workers, v.shards)
+		for i := range baseRes.Cells {
+			a, b := baseRes.Cells[i], res.Cells[i]
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("workers=%d shards=%d: cell %d diverged\n%+v\nvs\n%+v",
+					v.workers, v.shards, i, a, b)
+			}
+		}
+		if !bytes.Equal(stream, baseStream) {
+			t.Fatalf("workers=%d shards=%d: NDJSON stream diverged", v.workers, v.shards)
+		}
+	}
+	// Every stream line re-runs to exactly its recorded result.
+	dec := json.NewDecoder(bytes.NewReader(baseStream))
+	lines := 0
+	for dec.More() {
+		var rec PolicyStreamedRun
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatal(err)
+		}
+		lines++
+		if rec.Rep != 0 || rec.Technique != "Basic" {
+			t.Fatalf("unexpected stream record %+v", rec)
+		}
+	}
+	if lines != len(baseRes.Cells) {
+		t.Fatalf("stream has %d lines for %d cells", lines, len(baseRes.Cells))
+	}
+}
+
+// TestPolicyGridReplicatedCellsCarryCIs checks the replication fold: with
+// 3 replications per cell the headline metrics gain confidence intervals
+// and the actuation count becomes a mean.
+func TestPolicyGridReplicatedCellsCarryCIs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replicated policy grid is expensive")
+	}
+	cfg := policyGridConfig()
+	cfg.Requests = 3000
+	cfg.Replications = 3
+	res, err := RunPolicyGrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range res.Cells {
+		if cell.AvgOverallCI95Ms <= 0 || cell.P99ComponentCI95Ms <= 0 {
+			t.Fatalf("cell %s/%s has no confidence interval despite 3 replications: %+v",
+				cell.Technique, cell.Policy, cell)
+		}
+	}
+	closed := res.Cell("Basic", "threshold-autoscale")
+	if closed == nil || closed.Result.PolicyActions == 0 {
+		t.Fatal("replicated autoscaler cells never acted")
+	}
+}
+
+// TestFig6PolicyOption checks the Fig. 6 sweep's -policy plumbing: a
+// policy-carrying sweep runs every cell closed-loop.
+func TestFig6PolicyOption(t *testing.T) {
+	cfg := Fig6Config{
+		Seed:             9,
+		Scenario:         "brownout-overload",
+		Policy:           "brownout",
+		Rates:            []float64{400},
+		Techniques:       []pcs.Technique{pcs.Basic},
+		Requests:         4000,
+		Nodes:            8,
+		SearchComponents: 12,
+	}
+	res, err := RunFig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := res.Cell("Basic", 400)
+	if cell == nil {
+		t.Fatal("missing cell")
+	}
+	if cell.Result.Policy != "brownout" {
+		t.Fatalf("cell policy = %q, want brownout", cell.Result.Policy)
+	}
+	if cell.Result.PolicyActions == 0 {
+		t.Fatal("brownout never acted in the sweep cell")
+	}
+}

@@ -1,0 +1,158 @@
+package policy
+
+import "fmt"
+
+// AutoscaleSpec parameterises the threshold autoscaler. Zero values select
+// the documented defaults.
+type AutoscaleSpec struct {
+	// UpQueuePressure scales up when queued executions per active instance
+	// exceed it (default 0.35).
+	UpQueuePressure float64
+	// DownQueuePressure allows scale-down only while pressure is below it
+	// (default 0.05).
+	DownQueuePressure float64
+	// UpUtilization scales up when mean core utilization exceeds it even
+	// if queues look fine (default 0.92; utilization includes co-located
+	// batch jobs, so this is a saturation backstop, not the primary
+	// signal).
+	UpUtilization float64
+	// DownUtilization allows scale-down only while mean core utilization
+	// is below it (default 0.55).
+	DownUtilization float64
+	// MinReplicas and MaxReplicas bound the active replica count the
+	// policy will request (defaults: 1, and 0 meaning "the observation's
+	// MaxReplicas", i.e. the cluster size).
+	MinReplicas, MaxReplicas int
+	// UpCooldown and DownCooldown are how many evaluations the policy
+	// holds still after scaling up and down respectively (defaults 3 and
+	// 8 — retiring capacity should be much lazier than adding it).
+	UpCooldown, DownCooldown int
+	// SlackEvals is how many consecutive slack evaluations must pass
+	// before a scale-down (default 6): one quiet sample mid-burst — a
+	// momentarily drained queue — must not retire capacity the next
+	// arrival wave still needs. Any pressured evaluation resets the
+	// streak.
+	SlackEvals int
+}
+
+func (s AutoscaleSpec) withDefaults() AutoscaleSpec {
+	if s.UpQueuePressure <= 0 {
+		s.UpQueuePressure = 0.35
+	}
+	if s.DownQueuePressure <= 0 {
+		s.DownQueuePressure = 0.05
+	}
+	if s.UpUtilization <= 0 {
+		s.UpUtilization = 0.92
+	}
+	if s.DownUtilization <= 0 {
+		s.DownUtilization = 0.55
+	}
+	if s.MinReplicas <= 0 {
+		s.MinReplicas = 1
+	}
+	if s.UpCooldown <= 0 {
+		s.UpCooldown = 3
+	}
+	if s.DownCooldown <= 0 {
+		s.DownCooldown = 8
+	}
+	if s.SlackEvals <= 0 {
+		s.SlackEvals = 6
+	}
+	return s
+}
+
+func (s AutoscaleSpec) validate() error {
+	d := s.withDefaults()
+	if d.DownQueuePressure >= d.UpQueuePressure {
+		return fmt.Errorf("policy: autoscale down queue pressure %g must be below up %g",
+			d.DownQueuePressure, d.UpQueuePressure)
+	}
+	if d.DownUtilization >= d.UpUtilization {
+		return fmt.Errorf("policy: autoscale down utilization %g must be below up %g",
+			d.DownUtilization, d.UpUtilization)
+	}
+	if d.UpUtilization > 1 {
+		return fmt.Errorf("policy: autoscale up utilization %g above 1", d.UpUtilization)
+	}
+	if s.MaxReplicas != 0 && s.MaxReplicas < d.MinReplicas {
+		return fmt.Errorf("policy: autoscale max replicas %d below min %d", s.MaxReplicas, d.MinReplicas)
+	}
+	return nil
+}
+
+// thresholdAutoscaler adds an active replica per component when the
+// deployment looks pressured and retires one under sustained slack.
+// Hysteresis (distinct up/down thresholds) plus per-direction cooldowns
+// keep it from oscillating; all state is a deterministic function of the
+// observation sequence.
+type thresholdAutoscaler struct {
+	spec     AutoscaleSpec
+	cooldown int // evaluations to hold still after the last action
+	slack    int // consecutive slack evaluations seen so far
+}
+
+func newThresholdAutoscaler(s AutoscaleSpec) *thresholdAutoscaler {
+	return &thresholdAutoscaler{spec: s.withDefaults()}
+}
+
+// Name implements Policy.
+func (p *thresholdAutoscaler) Name() string { return "threshold-autoscale" }
+
+// Decide implements Policy: at most one scale step per evaluation. The
+// slack streak is tracked on every evaluation (cooldown included) so a
+// scale-down needs SlackEvals of genuinely sustained quiet, not merely
+// quiet at the moments the cooldown happens to end.
+func (p *thresholdAutoscaler) Decide(o Observation) []Action {
+	// Under a dispatch policy that fans to a fixed replica set (RED-k,
+	// reissue), activating more replicas parks idle VMs on nodes and
+	// dilutes the queue-pressure gauge without absorbing any load —
+	// scaling would be pure cost, so the autoscaler holds still.
+	if !o.DispatchSpreads {
+		return nil
+	}
+	pressure := o.QueuePressure()
+	slackNow := pressure < p.spec.DownQueuePressure && o.MeanCoreUtilization < p.spec.DownUtilization
+	if slackNow {
+		p.slack++
+	} else {
+		p.slack = 0
+	}
+	if p.cooldown > 0 {
+		p.cooldown--
+		return nil
+	}
+	max := p.spec.MaxReplicas
+	if max <= 0 || max > o.MaxReplicas {
+		max = o.MaxReplicas
+	}
+	// The effective floor is the stricter of the spec's and the
+	// actuator's (the dispatch policy's replica need): emitting a scale
+	// the actuator would reject wastes a cooldown on a no-op and blinds
+	// the policy to the next real burst for its duration.
+	min := p.spec.MinReplicas
+	if min < o.MinReplicas {
+		min = o.MinReplicas
+	}
+	if (pressure > p.spec.UpQueuePressure || o.MeanCoreUtilization > p.spec.UpUtilization) &&
+		o.ActiveReplicas < max {
+		p.cooldown = p.spec.UpCooldown
+		reason := fmt.Sprintf("queue pressure %.2f > %.2f", pressure, p.spec.UpQueuePressure)
+		if pressure <= p.spec.UpQueuePressure {
+			reason = fmt.Sprintf("mean core utilization %.2f > %.2f",
+				o.MeanCoreUtilization, p.spec.UpUtilization)
+		}
+		return []Action{{Kind: SetReplicas, Replicas: o.ActiveReplicas + 1, Reason: reason}}
+	}
+	if slackNow && p.slack >= p.spec.SlackEvals && o.ActiveReplicas > min {
+		p.cooldown = p.spec.DownCooldown
+		return []Action{{
+			Kind:     SetReplicas,
+			Replicas: o.ActiveReplicas - 1,
+			Reason: fmt.Sprintf("slack for %d evals: queue pressure %.2f < %.2f, utilization %.2f < %.2f",
+				p.slack, pressure, p.spec.DownQueuePressure, o.MeanCoreUtilization, p.spec.DownUtilization),
+		}}
+	}
+	return nil
+}

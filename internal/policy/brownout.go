@@ -1,0 +1,101 @@
+package policy
+
+import "fmt"
+
+// BrownoutSpec parameterises the brownout controller. Zero values select
+// the documented defaults.
+type BrownoutSpec struct {
+	// DegradeQueuePressure degrades work when queued executions per active
+	// instance exceed it (default 0.5).
+	DegradeQueuePressure float64
+	// RestoreQueuePressure restores work only while pressure is below it
+	// (default 0.1 — the gap to DegradeQueuePressure is the hysteresis
+	// band).
+	RestoreQueuePressure float64
+	// Step is the multiplicative step applied to the work factor per
+	// degrade decision (and divided back out per restore decision), in
+	// (0, 1) (default 0.8).
+	Step float64
+	// MinWorkFactor floors the degradation (default 0.4: never shed more
+	// than 60% of per-request work).
+	MinWorkFactor float64
+}
+
+func (s BrownoutSpec) withDefaults() BrownoutSpec {
+	if s.DegradeQueuePressure <= 0 {
+		s.DegradeQueuePressure = 0.5
+	}
+	if s.RestoreQueuePressure <= 0 {
+		s.RestoreQueuePressure = 0.1
+	}
+	if s.Step <= 0 {
+		s.Step = 0.8
+	}
+	if s.MinWorkFactor <= 0 {
+		s.MinWorkFactor = 0.4
+	}
+	return s
+}
+
+func (s BrownoutSpec) validate() error {
+	d := s.withDefaults()
+	if d.RestoreQueuePressure >= d.DegradeQueuePressure {
+		return fmt.Errorf("policy: brownout restore pressure %g must be below degrade %g",
+			d.RestoreQueuePressure, d.DegradeQueuePressure)
+	}
+	if d.Step >= 1 {
+		return fmt.Errorf("policy: brownout step %g must be in (0, 1)", d.Step)
+	}
+	if d.MinWorkFactor > 1 {
+		return fmt.Errorf("policy: brownout min work factor %g above 1", d.MinWorkFactor)
+	}
+	return nil
+}
+
+// brownout trades request fidelity for latency: under queue pressure it
+// multiplies the per-request work factor down one Step; under slack it
+// divides the factor back up toward 1. The controller is stateless across
+// evaluations — the current factor is read from the observation — so its
+// decisions are a pure function of the observation sequence.
+type brownout struct {
+	spec BrownoutSpec
+}
+
+func newBrownout(s BrownoutSpec) *brownout { return &brownout{spec: s.withDefaults()} }
+
+// Name implements Policy.
+func (p *brownout) Name() string { return "brownout" }
+
+// Decide implements Policy: one multiplicative step per evaluation, only
+// emitted when the factor actually changes.
+func (p *brownout) Decide(o Observation) []Action {
+	pressure := o.QueuePressure()
+	if pressure > p.spec.DegradeQueuePressure {
+		f := o.WorkFactor * p.spec.Step
+		if f < p.spec.MinWorkFactor {
+			f = p.spec.MinWorkFactor
+		}
+		if f == o.WorkFactor {
+			return nil
+		}
+		return []Action{{
+			Kind:       SetWorkFactor,
+			WorkFactor: f,
+			Reason: fmt.Sprintf("degrade: queue pressure %.2f > %.2f",
+				pressure, p.spec.DegradeQueuePressure),
+		}}
+	}
+	if pressure < p.spec.RestoreQueuePressure && o.WorkFactor < 1 {
+		f := o.WorkFactor / p.spec.Step
+		if f > 1 {
+			f = 1
+		}
+		return []Action{{
+			Kind:       SetWorkFactor,
+			WorkFactor: f,
+			Reason: fmt.Sprintf("restore: queue pressure %.2f < %.2f",
+				pressure, p.spec.RestoreQueuePressure),
+		}}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package policy
+
+import "fmt"
+
+// PIDSpec parameterises the admission throttle. Zero values select the
+// documented defaults.
+type PIDSpec struct {
+	// TargetQueuePressure is the set point the controller regulates
+	// toward: queued executions per active instance (default 0.2 — a
+	// little backlog is healthy occupancy; sustained excess is overload).
+	TargetQueuePressure float64
+	// Kp, Ki and Kd are the proportional, integral and derivative gains on
+	// the pressure error (defaults 1.5, 0.3, 0 — PI by default; the
+	// derivative term mostly amplifies gauge noise at snapshot cadence).
+	// The error is clamped to ±1 before the gains apply, so a pressure
+	// blow-up saturates the response instead of winding the state up.
+	Kp, Ki, Kd float64
+	// MinAdmissionFactor floors the admitted fraction of the offered
+	// arrival rate (default 0.2: never shed more than 80% of offered
+	// load). The throttle only sheds — the admitted rate never exceeds
+	// the offered rate.
+	MinAdmissionFactor float64
+	// IntegralLimit bounds the magnitude of the accumulated integral term
+	// (anti-windup, default 2).
+	IntegralLimit float64
+}
+
+func (s PIDSpec) withDefaults() PIDSpec {
+	if s.TargetQueuePressure <= 0 {
+		s.TargetQueuePressure = 0.2
+	}
+	if s.Kp <= 0 {
+		s.Kp = 1.5
+	}
+	if s.Ki <= 0 {
+		s.Ki = 0.3
+	}
+	if s.MinAdmissionFactor <= 0 {
+		s.MinAdmissionFactor = 0.2
+	}
+	if s.IntegralLimit <= 0 {
+		s.IntegralLimit = 2
+	}
+	return s
+}
+
+func (s PIDSpec) validate() error {
+	d := s.withDefaults()
+	if d.MinAdmissionFactor > 1 {
+		return fmt.Errorf("policy: pid min admission factor %g above 1", d.MinAdmissionFactor)
+	}
+	if s.Kd < 0 {
+		return fmt.Errorf("policy: pid negative derivative gain %g", s.Kd)
+	}
+	return nil
+}
+
+// pidThrottle is a PID controller on queue pressure that sheds offered
+// load through the admission factor: admitted λ = offered λ ·
+// clamp(1 − u, MinAdmissionFactor, 1) where u is the PID output on the
+// clamped pressure error. Emitting a *factor* rather than a rate is what
+// lets the throttle coexist with scripted load: a rate step or diurnal
+// swing moves the offered rate and the throttle keeps shaving its
+// fraction off, instead of overwriting the script. The controller state
+// (integral, previous error, previous evaluation time) is a
+// deterministic function of the observation sequence, so throttled runs
+// replay bit-identically.
+type pidThrottle struct {
+	spec     PIDSpec
+	integral float64
+	prevErr  float64
+	prevAt   float64
+	primed   bool
+}
+
+func newPIDThrottle(s PIDSpec) *pidThrottle { return &pidThrottle{spec: s.withDefaults()} }
+
+// Name implements Policy.
+func (p *pidThrottle) Name() string { return "pid-throttle" }
+
+// Decide implements Policy.
+func (p *pidThrottle) Decide(o Observation) []Action {
+	err := o.QueuePressure() - p.spec.TargetQueuePressure
+	// Queue pressure is unbounded above (a melted-down deployment can
+	// queue hundreds per instance); clamp the error so the response
+	// saturates rather than scaling with the depth of the collapse.
+	if err > 1 {
+		err = 1
+	} else if err < -1 {
+		err = -1
+	}
+	dt := o.Now - p.prevAt
+	var deriv float64
+	if p.primed && dt > 0 {
+		p.integral += err * dt
+		if p.integral > p.spec.IntegralLimit {
+			p.integral = p.spec.IntegralLimit
+		} else if p.integral < -p.spec.IntegralLimit {
+			p.integral = -p.spec.IntegralLimit
+		}
+		deriv = (err - p.prevErr) / dt
+	}
+	p.prevErr = err
+	p.prevAt = o.Now
+	p.primed = true
+
+	u := p.spec.Kp*err + p.spec.Ki*p.integral + p.spec.Kd*deriv
+	factor := 1 - u
+	if factor > 1 {
+		factor = 1
+	}
+	if factor < p.spec.MinAdmissionFactor {
+		factor = p.spec.MinAdmissionFactor
+	}
+	// Only emit when the throttle position moves materially: sub-0.1%
+	// twitches would flood the action log without changing the dynamics.
+	if diff := factor - o.AdmissionFactor; diff < 0.001 && diff > -0.001 {
+		return nil
+	}
+	return []Action{{
+		Kind:            SetAdmissionFactor,
+		AdmissionFactor: factor,
+		Reason: fmt.Sprintf("queue pressure %.2f vs target %.2f: admit %.0f%% of offered λ",
+			o.QueuePressure(), p.spec.TargetQueuePressure, 100*factor),
+	}}
+}

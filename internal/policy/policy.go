@@ -1,0 +1,319 @@
+// Package policy implements the closed-loop control layer: policies that
+// observe a running simulation at a fixed virtual cadence and emit
+// deployment-changing actions — scale replicas, degrade per-request work
+// (brownout), throttle admission — closing the loop the paper's dispatch
+// techniques leave open (they pick replicas from a performance matrix but
+// never change the deployment in response to observed load).
+//
+// The contract, documented for authors in docs/policies.md, is:
+//
+//	Observation (snapshot gauges) → Policy.Decide → []Action (actuation)
+//
+// Determinism is non-negotiable. A policy is evaluated only at fixed
+// virtual times (the simulation layer schedules the evaluation as an
+// ordinary engine event), sees only the Observation it is handed, and must
+// derive its decisions from that observation and its own deterministic
+// state. Policies draw no randomness and never read wall-clock time, so a
+// policy-on run replays bit-identically at any worker or shard count —
+// determinism invariant #8 in docs/architecture.md.
+//
+// This package knows nothing about the simulation: Observation is plain
+// data filled in by the pcs layer, and Action is plain data the pcs layer
+// applies through the same actuation surface pcs.Controller exposes
+// (SetReplicasAt, SetWorkFactorAt, SetAdmissionFactorAt). Policies are built
+// from Specs — pure-data parameter blocks — so scenarios can script them
+// (scenario.Policy) and every run constructs a fresh instance, keeping
+// replications independent.
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Observation is what a policy sees at each evaluation: the simulation's
+// snapshot gauges plus the current actuator positions, frozen at a fixed
+// virtual time. All fields are plain data — reading them cannot perturb
+// the run.
+type Observation struct {
+	// Now and Horizon locate the run in virtual time.
+	Now, Horizon float64
+	// ArrivalRate is the admitted λ (requests/second) the arrival process
+	// currently runs at; OfferedArrivalRate is the λ the workload offers
+	// (what steering scripts move) before admission throttling;
+	// BaseArrivalRate is the configured λ the run started with.
+	ArrivalRate, OfferedArrivalRate, BaseArrivalRate float64
+	// AdmissionFactor is the admission throttle's current position in
+	// (0, 1]: ArrivalRate = OfferedArrivalRate × AdmissionFactor.
+	AdmissionFactor float64
+	// Arrivals, Completed and InFlight count requests so far.
+	Arrivals, Completed, InFlight int
+	// QueuedExecutions counts executions waiting in instance queues across
+	// the deployment; BusyInstances counts occupied servers;
+	// ActiveInstances counts the instances dispatch may currently use.
+	// QueuedExecutions/ActiveInstances is the queue-pressure gauge the
+	// built-in policies key on.
+	QueuedExecutions, BusyInstances, ActiveInstances int
+	// MeanCoreUtilization and MaxCoreUtilization summarise node core
+	// saturation in [0, 1]; FailedNodes counts nodes currently failed.
+	MeanCoreUtilization, MaxCoreUtilization float64
+	FailedNodes                             int
+	// AvgOverallMs and P99ComponentMs are the paper's two latency metrics
+	// over post-warmup observations so far (cumulative, so they respond
+	// slowly — prefer the queue and utilization gauges for fast loops).
+	AvgOverallMs, P99ComponentMs float64
+	// ActiveReplicas is the per-component replica count dispatch currently
+	// spreads over; MinReplicas and MaxReplicas are the hard bounds the
+	// actuator will accept — the active dispatch policy's replica need
+	// (RED-3 cannot drop below 3) and the cluster size (replicas of one
+	// component never share a node). Policies must keep SetReplicas
+	// inside them; outside requests are dropped by the actuator.
+	ActiveReplicas, MinReplicas, MaxReplicas int
+	// DispatchSpreads reports whether the active dispatch policy routes
+	// work across the active replicas (Basic/PCS least-loaded dispatch).
+	// Redundancy and reissue techniques fan to a fixed replica set, so
+	// when this is false extra active replicas add VM footprint without
+	// absorbing load — replica-scaling policies should hold still.
+	DispatchSpreads bool
+	// WorkFactor is the current per-request work multiplier in (0, 1]:
+	// 1 is full fidelity, lower values are brownout degradation.
+	WorkFactor float64
+}
+
+// QueuePressure returns queued executions per active instance — the
+// normalized backlog gauge the built-in policies trigger on. Zero when the
+// deployment has no active instances.
+func (o Observation) QueuePressure() float64 {
+	if o.ActiveInstances <= 0 {
+		return 0
+	}
+	return float64(o.QueuedExecutions) / float64(o.ActiveInstances)
+}
+
+// ActionKind enumerates the actuation verbs a policy may emit.
+type ActionKind int
+
+const (
+	// SetReplicas changes the per-component active replica count to
+	// Action.Replicas (clamped by the simulation to what the deployment
+	// and the dispatch policy allow).
+	SetReplicas ActionKind = iota
+	// SetWorkFactor sets the per-request work multiplier to
+	// Action.WorkFactor in (0, 1] — the brownout knob.
+	SetWorkFactor
+	// SetAdmissionFactor sets the admission throttle to
+	// Action.AdmissionFactor in (0, 1]: the arrival process runs at
+	// offered λ × factor, so throttling composes with scripted load
+	// (rate steps, diurnal modulation) instead of overwriting it.
+	SetAdmissionFactor
+)
+
+// String names the verb as shown in logs and dashboards.
+func (k ActionKind) String() string {
+	switch k {
+	case SetReplicas:
+		return "set-replicas"
+	case SetWorkFactor:
+		return "set-work-factor"
+	case SetAdmissionFactor:
+		return "set-admission-factor"
+	default:
+		return fmt.Sprintf("action(%d)", int(k))
+	}
+}
+
+// Action is one actuation a policy emits: a verb, its argument, and a
+// human-readable reason surfaced by dashboards and the experiment driver.
+type Action struct {
+	// Kind selects the verb; exactly one of the argument fields below is
+	// meaningful for it.
+	Kind ActionKind
+	// Replicas is SetReplicas's target active replica count.
+	Replicas int
+	// WorkFactor is SetWorkFactor's target multiplier in (0, 1].
+	WorkFactor float64
+	// AdmissionFactor is SetAdmissionFactor's target fraction in (0, 1].
+	AdmissionFactor float64
+	// Reason explains the decision (e.g. "queue pressure 1.31 > 0.50").
+	Reason string
+}
+
+// Value returns the action's numeric argument, whichever field its kind
+// uses — convenient for rendering and logging.
+func (a Action) Value() float64 {
+	switch a.Kind {
+	case SetReplicas:
+		return float64(a.Replicas)
+	case SetWorkFactor:
+		return a.WorkFactor
+	default:
+		return a.AdmissionFactor
+	}
+}
+
+// Policy is one closed-loop controller. Decide is called at a fixed
+// virtual cadence with the current Observation and returns the actions to
+// apply, in order, at that same virtual instant. Implementations may keep
+// deterministic internal state (cooldown counters, PID integrals) but must
+// not draw randomness or consult anything outside the Observation.
+type Policy interface {
+	// Name identifies the policy in results, logs and dashboards.
+	Name() string
+	// Decide returns the actions to apply at this evaluation; nil or an
+	// empty slice means "no change".
+	Decide(o Observation) []Action
+}
+
+// Spec is a pure-data policy description: a kind plus the knobs the kind
+// understands, each with a zero-value-selects-default convention. Specs are
+// what scenarios embed (scenario.Policy) and what the registry stores, so
+// every run can build its own fresh Policy instance via New.
+type Spec struct {
+	// Kind selects the implementation: "autoscale", "brownout" or
+	// "pid-throttle".
+	Kind string
+
+	// Autoscale holds the threshold autoscaler's knobs (Kind "autoscale").
+	Autoscale AutoscaleSpec
+	// Brownout holds the brownout controller's knobs (Kind "brownout").
+	Brownout BrownoutSpec
+	// PID holds the admission throttle's knobs (Kind "pid-throttle").
+	PID PIDSpec
+}
+
+// Validate checks the spec is buildable: known kind, knobs in range.
+func (s Spec) Validate() error {
+	switch s.Kind {
+	case "autoscale":
+		return s.Autoscale.validate()
+	case "brownout":
+		return s.Brownout.validate()
+	case "pid-throttle":
+		return s.PID.validate()
+	case "":
+		return fmt.Errorf("policy: empty spec kind")
+	default:
+		return fmt.Errorf("policy: unknown spec kind %q (want autoscale, brownout or pid-throttle)", s.Kind)
+	}
+}
+
+// New builds a fresh Policy instance from the spec, with defaults filled.
+// Each simulation run must construct its own instance: policies are
+// stateful (cooldowns, integrals) and sharing one across replications
+// would break replay determinism.
+func (s Spec) New() (Policy, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	switch s.Kind {
+	case "autoscale":
+		return newThresholdAutoscaler(s.Autoscale), nil
+	case "brownout":
+		return newBrownout(s.Brownout), nil
+	case "pid-throttle":
+		return newPIDThrottle(s.PID), nil
+	default: // unreachable after Validate
+		return nil, fmt.Errorf("policy: unknown spec kind %q", s.Kind)
+	}
+}
+
+// None is the reserved policy name that disables closed-loop control, even
+// when the selected scenario scripts a policy.
+const None = "none"
+
+type registered struct {
+	spec        Spec
+	description string
+}
+
+var registry = map[string]registered{}
+
+// Register adds a named spec to the registry. CLIs resolve -policy through
+// it; the name "none" is reserved for "no policy". Registration errors on
+// invalid specs and duplicate or reserved names; built-ins register at
+// init and panic on failure, since a broken built-in is a programming
+// error.
+func Register(name, description string, s Spec) error {
+	if name == "" {
+		return fmt.Errorf("policy: empty name")
+	}
+	if strings.EqualFold(name, None) {
+		return fmt.Errorf("policy: name %q is reserved", None)
+	}
+	if err := s.Validate(); err != nil {
+		return fmt.Errorf("policy %q: %w", name, err)
+	}
+	for existing := range registry {
+		if strings.EqualFold(existing, name) {
+			return fmt.Errorf("policy %q: already registered as %q", name, existing)
+		}
+	}
+	registry[name] = registered{spec: s, description: description}
+	return nil
+}
+
+// Get looks a registered spec up by name (case-insensitive). The empty
+// name and "none" both return ok == false with no error: no policy.
+// Unknown names error, listing what is registered.
+func Get(name string) (Spec, bool, error) {
+	if name == "" || strings.EqualFold(name, None) {
+		return Spec{}, false, nil
+	}
+	if r, ok := registry[name]; ok {
+		return r.spec, true, nil
+	}
+	for k, r := range registry {
+		if strings.EqualFold(k, name) {
+			return r.spec, true, nil
+		}
+	}
+	return Spec{}, false, fmt.Errorf("policy: unknown policy %q (registered: %s, or %q)",
+		name, strings.Join(Names(), ", "), None)
+}
+
+// Names lists the registered policy names in sorted order ("none" is
+// implicit and not listed).
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Describe renders a "name — description" line per registered policy, for
+// CLI usage text.
+func Describe() string {
+	var b strings.Builder
+	for i, name := range Names() {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "%s — %s", name, registry[name].description)
+	}
+	return b.String()
+}
+
+func mustRegister(name, description string, s Spec) {
+	if err := Register(name, description, s); err != nil {
+		panic(fmt.Sprintf("policy: registering built-in: %v", err))
+	}
+}
+
+// The built-in policies, registered with the defaults each *Spec documents.
+func init() {
+	mustRegister("threshold-autoscale",
+		"add an active replica per component when queue pressure or core utilization "+
+			"crosses the high threshold, retire one under slack (hysteresis + cooldown)",
+		Spec{Kind: "autoscale"})
+	mustRegister("brownout",
+		"degrade per-request work multiplicatively under queue pressure and restore "+
+			"it under slack, trading fidelity for latency",
+		Spec{Kind: "brownout"})
+	mustRegister("pid-throttle",
+		"PID controller on queue pressure that throttles the admitted fraction of the "+
+			"offered arrival rate λ under overload (composes with scripted load)",
+		Spec{Kind: "pid-throttle"})
+}

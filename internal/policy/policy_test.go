@@ -1,0 +1,374 @@
+package policy
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// baseObs is a calm deployment: no queues, moderate utilization, everything
+// at its actuator defaults.
+func baseObs() Observation {
+	return Observation{
+		Now: 10, Horizon: 100,
+		ArrivalRate: 100, OfferedArrivalRate: 100, BaseArrivalRate: 100,
+		AdmissionFactor: 1,
+		ActiveInstances: 100, ActiveReplicas: 1, MaxReplicas: 30,
+		DispatchSpreads:     true,
+		MeanCoreUtilization: 0.6,
+		WorkFactor:          1,
+	}
+}
+
+func TestRegistryBuiltins(t *testing.T) {
+	want := []string{"brownout", "pid-throttle", "threshold-autoscale"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		spec, ok, err := Get(name)
+		if err != nil || !ok {
+			t.Fatalf("Get(%q) = ok=%v err=%v", name, ok, err)
+		}
+		p, err := spec.New()
+		if err != nil {
+			t.Fatalf("building %q: %v", name, err)
+		}
+		if p.Name() == "" {
+			t.Fatalf("%q: empty policy name", name)
+		}
+		if !strings.Contains(Describe(), name) {
+			t.Fatalf("Describe() missing %q", name)
+		}
+	}
+	// Case-insensitive lookup, like the scenario registry.
+	if _, ok, err := Get("Threshold-Autoscale"); err != nil || !ok {
+		t.Fatalf("case-insensitive Get failed: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestRegistryNoneAndUnknown(t *testing.T) {
+	for _, name := range []string{"", "none", "NONE"} {
+		if _, ok, err := Get(name); err != nil || ok {
+			t.Fatalf("Get(%q) = ok=%v err=%v, want no policy, no error", name, ok, err)
+		}
+	}
+	if _, _, err := Get("nonsense"); err == nil {
+		t.Fatal("unknown policy name accepted")
+	}
+	if err := Register("none", "reserved", Spec{Kind: "brownout"}); err == nil {
+		t.Fatal("reserved name registered")
+	}
+	if err := Register("brownout", "dup", Spec{Kind: "brownout"}); err == nil {
+		t.Fatal("duplicate name registered")
+	}
+	if err := Register("", "empty", Spec{Kind: "brownout"}); err == nil {
+		t.Fatal("empty name registered")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{},
+		{Kind: "warp-drive"},
+		{Kind: "autoscale", Autoscale: AutoscaleSpec{UpQueuePressure: 0.1, DownQueuePressure: 0.2}},
+		{Kind: "autoscale", Autoscale: AutoscaleSpec{UpUtilization: 1.5}},
+		{Kind: "autoscale", Autoscale: AutoscaleSpec{MinReplicas: 5, MaxReplicas: 2}},
+		{Kind: "brownout", Brownout: BrownoutSpec{DegradeQueuePressure: 0.1, RestoreQueuePressure: 0.2}},
+		{Kind: "brownout", Brownout: BrownoutSpec{Step: 1.5}},
+		{Kind: "brownout", Brownout: BrownoutSpec{MinWorkFactor: 2}},
+		{Kind: "pid-throttle", PID: PIDSpec{MinAdmissionFactor: 3}},
+		{Kind: "pid-throttle", PID: PIDSpec{Kd: -1}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d (%+v) validated", i, s)
+		}
+		if _, err := s.New(); err == nil {
+			t.Errorf("bad spec %d (%+v) built", i, s)
+		}
+	}
+	good := []Spec{
+		{Kind: "autoscale"},
+		{Kind: "brownout", Brownout: BrownoutSpec{Step: 0.5, MinWorkFactor: 0.25}},
+		{Kind: "pid-throttle", PID: PIDSpec{TargetQueuePressure: 0.4, Kp: 2}},
+	}
+	for i, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("good spec %d rejected: %v", i, err)
+		}
+	}
+}
+
+func TestQueuePressure(t *testing.T) {
+	o := Observation{QueuedExecutions: 50, ActiveInstances: 100}
+	if got := o.QueuePressure(); got != 0.5 {
+		t.Fatalf("QueuePressure = %v, want 0.5", got)
+	}
+	if got := (Observation{QueuedExecutions: 7}).QueuePressure(); got != 0 {
+		t.Fatalf("QueuePressure with no instances = %v, want 0", got)
+	}
+}
+
+func TestAutoscalerScalesUpOnPressureAndHoldsCooldown(t *testing.T) {
+	p := newThresholdAutoscaler(AutoscaleSpec{})
+	o := baseObs()
+	o.QueuedExecutions = 100 // pressure 1.0 > 0.35
+	acts := p.Decide(o)
+	if len(acts) != 1 || acts[0].Kind != SetReplicas || acts[0].Replicas != 2 {
+		t.Fatalf("pressured Decide = %+v, want one SetReplicas(2)", acts)
+	}
+	if acts[0].Reason == "" {
+		t.Fatal("action carries no reason")
+	}
+	// Cooldown: the next UpCooldown evaluations hold still even under
+	// pressure.
+	for i := 0; i < 3; i++ {
+		if got := p.Decide(o); got != nil {
+			t.Fatalf("evaluation %d during cooldown acted: %+v", i, got)
+		}
+	}
+	o.ActiveReplicas = 2
+	acts = p.Decide(o)
+	if len(acts) != 1 || acts[0].Replicas != 3 {
+		t.Fatalf("post-cooldown Decide = %+v, want SetReplicas(3)", acts)
+	}
+}
+
+func TestAutoscalerUtilizationBackstopAndCeiling(t *testing.T) {
+	p := newThresholdAutoscaler(AutoscaleSpec{})
+	o := baseObs()
+	o.MeanCoreUtilization = 0.95 // no queues, saturated cores
+	acts := p.Decide(o)
+	if len(acts) != 1 || acts[0].Replicas != 2 {
+		t.Fatalf("saturated Decide = %+v, want SetReplicas(2)", acts)
+	}
+	// At the ceiling (cluster size) the policy must not scale further.
+	p2 := newThresholdAutoscaler(AutoscaleSpec{})
+	o2 := baseObs()
+	o2.QueuedExecutions = 500
+	o2.ActiveReplicas = o2.MaxReplicas
+	if got := p2.Decide(o2); got != nil {
+		t.Fatalf("scale past the cluster ceiling: %+v", got)
+	}
+}
+
+func TestAutoscalerHoldsStillWhenDispatchCannotSpread(t *testing.T) {
+	// Under RED-k/reissue dispatch, extra replicas never receive work —
+	// the autoscaler must not scale regardless of pressure or slack.
+	p := newThresholdAutoscaler(AutoscaleSpec{})
+	o := baseObs()
+	o.DispatchSpreads = false
+	o.ActiveReplicas = 3
+	o.QueuedExecutions = 500
+	for i := 0; i < 10; i++ {
+		if got := p.Decide(o); got != nil {
+			t.Fatalf("scaled under fixed-fan-out dispatch: %+v", got)
+		}
+	}
+	o.QueuedExecutions = 0
+	o.MeanCoreUtilization = 0.1
+	for i := 0; i < 20; i++ {
+		if got := p.Decide(o); got != nil {
+			t.Fatalf("retired replicas under fixed-fan-out dispatch: %+v", got)
+		}
+	}
+}
+
+func TestAutoscalerScalesDownUnderSustainedSlack(t *testing.T) {
+	p := newThresholdAutoscaler(AutoscaleSpec{})
+	o := baseObs()
+	o.ActiveReplicas = 3
+	o.QueuedExecutions = 0
+	o.MeanCoreUtilization = 0.3
+	// Slack must be sustained: the first SlackEvals-1 quiet evaluations do
+	// nothing, the SlackEvals-th retires one replica.
+	for i := 0; i < 5; i++ {
+		if got := p.Decide(o); got != nil {
+			t.Fatalf("slack evaluation %d acted early: %+v", i, got)
+		}
+	}
+	acts := p.Decide(o)
+	if len(acts) != 1 || acts[0].Replicas != 2 {
+		t.Fatalf("sustained-slack Decide = %+v, want SetReplicas(2)", acts)
+	}
+	// A pressured evaluation resets the streak.
+	p2 := newThresholdAutoscaler(AutoscaleSpec{})
+	o2 := o
+	o2.ActiveReplicas = 3
+	for i := 0; i < 5; i++ {
+		p2.Decide(o2)
+	}
+	burst := o2
+	burst.QueuedExecutions = 30 // pressure 0.3: in the band, but not slack
+	p2.Decide(burst)
+	if got := p2.Decide(o2); got != nil {
+		t.Fatalf("slack streak survived a pressured evaluation: %+v", got)
+	}
+	// Never below MinReplicas.
+	p3 := newThresholdAutoscaler(AutoscaleSpec{})
+	o3 := o
+	o3.ActiveReplicas = 1
+	for i := 0; i < 20; i++ {
+		if got := p3.Decide(o3); got != nil {
+			t.Fatalf("scaled below MinReplicas: %+v", got)
+		}
+	}
+	// In the hysteresis band (between thresholds) nothing happens.
+	p4 := newThresholdAutoscaler(AutoscaleSpec{})
+	o4 := baseObs()
+	o4.ActiveReplicas = 2
+	o4.QueuedExecutions = 20 // pressure 0.2: above down, below up
+	for i := 0; i < 20; i++ {
+		if got := p4.Decide(o4); got != nil {
+			t.Fatalf("acted inside the hysteresis band: %+v", got)
+		}
+	}
+}
+
+func TestBrownoutDegradesAndRestores(t *testing.T) {
+	p := newBrownout(BrownoutSpec{})
+	o := baseObs()
+	o.QueuedExecutions = 100 // pressure 1.0 > 0.5
+	acts := p.Decide(o)
+	if len(acts) != 1 || acts[0].Kind != SetWorkFactor {
+		t.Fatalf("pressured Decide = %+v, want one SetWorkFactor", acts)
+	}
+	if got := acts[0].WorkFactor; got != 0.8 {
+		t.Fatalf("degrade step = %v, want 0.8", got)
+	}
+	// Repeated pressure walks the factor down to the floor, then stops
+	// emitting.
+	o.WorkFactor = 0.4
+	if got := p.Decide(o); got != nil {
+		t.Fatalf("degrade below the floor: %+v", got)
+	}
+	// Slack restores toward 1 and caps there.
+	o.QueuedExecutions = 0
+	o.WorkFactor = 0.9
+	acts = p.Decide(o)
+	if len(acts) != 1 || acts[0].WorkFactor != 1 {
+		t.Fatalf("restore Decide = %+v, want SetWorkFactor(1)", acts)
+	}
+	// Fully restored: nothing to do.
+	o.WorkFactor = 1
+	if got := p.Decide(o); got != nil {
+		t.Fatalf("restore past 1: %+v", got)
+	}
+	// Hysteresis band: no action.
+	o.QueuedExecutions = 30 // pressure 0.3
+	o.WorkFactor = 0.8
+	if got := p.Decide(o); got != nil {
+		t.Fatalf("acted inside the hysteresis band: %+v", got)
+	}
+}
+
+func TestPIDThrottlesUnderOverloadAndRecovers(t *testing.T) {
+	p := newPIDThrottle(PIDSpec{})
+	o := baseObs()
+	o.QueuedExecutions = 100 // pressure 1.0, target 0.2
+	acts := p.Decide(o)
+	if len(acts) != 1 || acts[0].Kind != SetAdmissionFactor {
+		t.Fatalf("overload Decide = %+v, want one SetAdmissionFactor", acts)
+	}
+	if acts[0].AdmissionFactor >= 1 {
+		t.Fatalf("overloaded throttle admitted factor %v, want < 1", acts[0].AdmissionFactor)
+	}
+	// Sustained (even exploding) overload saturates at the floor: the
+	// error clamp keeps a meltdown from scaling the response, and the
+	// factor never drops below MinAdmissionFactor.
+	for i := 0; i < 50; i++ {
+		o.Now += 1
+		o.QueuedExecutions = 100 * (i + 1) // pressure grows without bound
+		o.AdmissionFactor = -1             // force emission so the clamp is observable
+		acts = p.Decide(o)
+		if len(acts) != 1 {
+			t.Fatalf("evaluation %d: no action under forced emission", i)
+		}
+		if acts[0].AdmissionFactor < 0.2-1e-9 {
+			t.Fatalf("admitted factor %v below floor 0.2", acts[0].AdmissionFactor)
+		}
+	}
+	// Deep slack unwinds the throttle back to admitting everything.
+	o.QueuedExecutions = 0
+	var last float64
+	for i := 0; i < 200; i++ {
+		o.Now += 1
+		o.AdmissionFactor = -1
+		acts = p.Decide(o)
+		if len(acts) != 1 {
+			t.Fatalf("slack evaluation %d: no action", i)
+		}
+		last = acts[0].AdmissionFactor
+	}
+	if last != 1 {
+		t.Fatalf("after sustained slack admitted factor %v, want 1", last)
+	}
+	// At the set point with the factor already in place, the throttle
+	// stays quiet (sub-0.1% emission filter).
+	o.QueuedExecutions = 20 // pressure exactly at target
+	o.Now += 1
+	o.AdmissionFactor = last
+	if got := p.Decide(o); got != nil {
+		t.Fatalf("twitched at the set point: %+v", got)
+	}
+}
+
+// TestPoliciesDeterministic: identical observation sequences produce
+// identical action sequences from fresh instances — the unit-level face of
+// determinism invariant #8.
+func TestPoliciesDeterministic(t *testing.T) {
+	seq := func() []Observation {
+		var obs []Observation
+		o := baseObs()
+		for i := 0; i < 40; i++ {
+			o.Now = float64(i)
+			o.QueuedExecutions = (i * 37) % 200
+			o.MeanCoreUtilization = 0.3 + float64((i*13)%70)/100
+			o.ActiveReplicas = 1 + i%4
+			o.WorkFactor = 1 - float64(i%5)*0.1
+			obs = append(obs, o)
+		}
+		return obs
+	}
+	for _, name := range Names() {
+		spec, _, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func() [][]Action {
+			p, err := spec.New()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out [][]Action
+			for _, o := range seq() {
+				out = append(out, p.Decide(o))
+			}
+			return out
+		}
+		if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: identical observation sequences produced different actions", name)
+		}
+	}
+}
+
+func TestActionKindStringAndValue(t *testing.T) {
+	cases := []struct {
+		a    Action
+		kind string
+		val  float64
+	}{
+		{Action{Kind: SetReplicas, Replicas: 3}, "set-replicas", 3},
+		{Action{Kind: SetWorkFactor, WorkFactor: 0.8}, "set-work-factor", 0.8},
+		{Action{Kind: SetAdmissionFactor, AdmissionFactor: 0.6}, "set-admission-factor", 0.6},
+	}
+	for _, c := range cases {
+		if got := c.a.Kind.String(); got != c.kind {
+			t.Errorf("Kind.String() = %q, want %q", got, c.kind)
+		}
+		if got := c.a.Value(); got != c.val {
+			t.Errorf("%s Value() = %v, want %v", c.kind, got, c.val)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/policy"
 	"repro/internal/service"
 )
 
@@ -114,6 +115,51 @@ func init() {
 			MinInputMB:       1,
 			MaxInputMB:       10 * 1024,
 		},
+	})
+	// The two policy scenarios exercise the closed-loop layer: the same
+	// nutch deployment, plus a scripted load disturbance (rate steps) and
+	// a scripted policy.Spec the simulation compiles into a live
+	// controller. `-policy none` runs the disturbance open-loop — the
+	// comparison the policy experiment driver makes.
+	mustRegister(Scenario{
+		Name: "autoscale-burst",
+		Description: "nutch-search hit by a 3.5× arrival burst through the middle of the " +
+			"run, with the threshold autoscaler activating (and later retiring) extra " +
+			"component replicas as queue pressure moves — the elasticity case the paper " +
+			"motivates but leaves open-loop",
+		Topology:      service.NutchTopology,
+		DominantStage: 1,
+		Nodes:         30,
+		Workload: WorkloadDefaults{
+			BatchConcurrency: 2,
+			MinInputMB:       1,
+			MaxInputMB:       10 * 1024,
+		},
+		Steering: &Steering{
+			RateSteps: []RateStep{
+				{At: 0.30, Factor: 3.5},
+				{At: 0.70, Factor: 1},
+			},
+		},
+		Policy: &policy.Spec{Kind: "autoscale"},
+	})
+	mustRegister(Scenario{
+		Name: "brownout-overload",
+		Description: "nutch-search under sustained 3× overload from early in the run, with " +
+			"the brownout controller trading per-request work for latency: degrade under " +
+			"queue pressure, restore under slack",
+		Topology:      service.NutchTopology,
+		DominantStage: 1,
+		Nodes:         30,
+		Workload: WorkloadDefaults{
+			BatchConcurrency: 2,
+			MinInputMB:       1,
+			MaxInputMB:       10 * 1024,
+		},
+		Steering: &Steering{
+			RateSteps: []RateStep{{At: 0.15, Factor: 3}},
+		},
+		Policy: &policy.Spec{Kind: "brownout"},
 	})
 	mustRegister(Scenario{
 		Name: "social-feed",

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/policy"
 	"repro/internal/service"
 )
 
@@ -45,6 +46,21 @@ type Steering struct {
 	Faults []Fault
 	// Diurnal, if set, modulates the arrival rate sinusoidally.
 	Diurnal *Diurnal
+	// RateSteps step the arrival rate to a multiple of the run's base λ at
+	// fixed fractions of the arrival window — load bursts and sustained
+	// overload for the closed-loop policy scenarios.
+	RateSteps []RateStep
+}
+
+// RateStep sets λ to Factor times the run's base arrival rate at a fixed
+// point of the run. Steps are scheduled in slice order; a later step with
+// Factor 1 restores the base rate.
+type RateStep struct {
+	// At is when the step lands, as a fraction of the arrival window in
+	// [0, 1).
+	At float64
+	// Factor multiplies the base arrival rate; it must be positive.
+	Factor float64
 }
 
 // Fault fails one node partway through the run. Times are fractions of the
@@ -89,6 +105,14 @@ func (st *Steering) validate(name string) error {
 			return fmt.Errorf("scenario %q: fault %d RestoreAt %g outside [0,1]", name, i, f.RestoreAt)
 		}
 	}
+	for i, rs := range st.RateSteps {
+		if rs.At < 0 || rs.At >= 1 {
+			return fmt.Errorf("scenario %q: rate step %d At %g outside [0,1)", name, i, rs.At)
+		}
+		if rs.Factor <= 0 {
+			return fmt.Errorf("scenario %q: rate step %d factor %g must be positive", name, i, rs.Factor)
+		}
+	}
 	if d := st.Diurnal; d != nil {
 		if d.Cycles <= 0 {
 			return fmt.Errorf("scenario %q: diurnal cycles must be positive, got %g", name, d.Cycles)
@@ -121,8 +145,13 @@ type Scenario struct {
 	// Workload carries the scenario's batch-interference defaults.
 	Workload WorkloadDefaults
 	// Steering, if non-nil, scripts mid-run interventions (node faults,
-	// diurnal load) applied deterministically by the simulation layer.
+	// diurnal load, rate steps) applied deterministically by the
+	// simulation layer.
 	Steering *Steering
+	// Policy, if non-nil, scripts a closed-loop policy for the scenario: a
+	// pure-data policy.Spec the simulation layer builds a fresh controller
+	// from on every run. The -policy flag overrides it ("none" disables).
+	Policy *policy.Spec
 }
 
 func (s Scenario) validate() error {
@@ -150,6 +179,11 @@ func (s Scenario) validate() error {
 	if s.Steering != nil {
 		if err := s.Steering.validate(s.Name); err != nil {
 			return err
+		}
+	}
+	if s.Policy != nil {
+		if err := s.Policy.Validate(); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
 		}
 	}
 	return nil

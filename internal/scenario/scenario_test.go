@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/policy"
 	"repro/internal/service"
 )
 
@@ -190,5 +191,72 @@ func TestBuiltinSteeredScenariosPresent(t *testing.T) {
 	}
 	if MustGet("diurnal-load").Steering.Diurnal == nil {
 		t.Fatal("diurnal-load script has no diurnal modulation")
+	}
+}
+
+func TestRateStepValidation(t *testing.T) {
+	base := func() Scenario {
+		return Scenario{
+			Name:        "rate-step-test",
+			Description: "x",
+			Topology:    service.NutchTopology,
+			Nodes:       4,
+			Workload:    WorkloadDefaults{BatchConcurrency: 1, MinInputMB: 1, MaxInputMB: 10},
+		}
+	}
+	bad := []Steering{
+		{RateSteps: []RateStep{{At: -0.1, Factor: 2}}},
+		{RateSteps: []RateStep{{At: 1.0, Factor: 2}}},
+		{RateSteps: []RateStep{{At: 0.5, Factor: 0}}},
+		{RateSteps: []RateStep{{At: 0.5, Factor: -1}}},
+	}
+	for i := range bad {
+		s := base()
+		s.Steering = &bad[i]
+		if err := s.validate(); err == nil {
+			t.Fatalf("bad rate step %d accepted: %+v", i, bad[i])
+		}
+	}
+	s := base()
+	s.Steering = &Steering{RateSteps: []RateStep{{At: 0.3, Factor: 2.5}, {At: 0.7, Factor: 1}}}
+	if err := s.validate(); err != nil {
+		t.Fatalf("valid rate steps rejected: %v", err)
+	}
+}
+
+func TestPolicySpecValidation(t *testing.T) {
+	s := Scenario{
+		Name:        "policy-test",
+		Description: "x",
+		Topology:    service.NutchTopology,
+		Nodes:       4,
+		Workload:    WorkloadDefaults{BatchConcurrency: 1, MinInputMB: 1, MaxInputMB: 10},
+		Policy:      &policy.Spec{Kind: "warp-drive"},
+	}
+	if err := s.validate(); err == nil {
+		t.Fatal("unknown policy kind accepted")
+	}
+	s.Policy = &policy.Spec{Kind: "autoscale"}
+	if err := s.validate(); err != nil {
+		t.Fatalf("valid policy spec rejected: %v", err)
+	}
+}
+
+func TestBuiltinPolicyScenariosPresent(t *testing.T) {
+	if n := len(Names()); n != 9 {
+		t.Fatalf("registry holds %d scenarios, want 9: %v", n, Names())
+	}
+	wantKind := map[string]string{
+		"autoscale-burst":   "autoscale",
+		"brownout-overload": "brownout",
+	}
+	for name, kind := range wantKind {
+		sc := MustGet(name)
+		if sc.Policy == nil || sc.Policy.Kind != kind {
+			t.Fatalf("%s: policy script %+v, want kind %q", name, sc.Policy, kind)
+		}
+		if sc.Steering == nil || len(sc.Steering.RateSteps) == 0 {
+			t.Fatalf("%s: no rate-step disturbance scripted", name)
+		}
 	}
 }

@@ -37,17 +37,36 @@ type Execution struct {
 
 // Component is one logical component of the service (paper's c_i): a row of
 // the performance matrix. It has one instance under Basic/PCS and several
-// replicas under redundancy/reissue policies.
+// replicas under redundancy/reissue policies; closed-loop autoscaling can
+// grow Instances further mid-run (see Service.SetActiveReplicas).
 type Component struct {
 	Stage        int // stage index in the topology
 	IndexInStage int
 	Global       int // dense index across all components (matrix row)
 	Spec         StageSpec
 	Instances    []*Instance
+
+	// homeNode is the node the primary was originally placed on; replica r
+	// is always placed at (homeNode + r) mod nodes, whether it was created
+	// at deployment or conjured later by scale-up, so placement is a pure
+	// function of the topology — never of when (or whether) scaling ran.
+	homeNode int
 }
 
 // Primary returns the component's first (primary) instance.
 func (c *Component) Primary() *Instance { return c.Instances[0] }
+
+// ActiveInstances returns the instances dispatch may currently use: the
+// first ActiveReplicas of Instances. Parked instances (beyond the active
+// count after a scale-down) keep serving whatever they already queued but
+// receive no new work.
+func (c *Component) ActiveInstances() []*Instance {
+	n := c.Instances[0].svc.activeReplicas
+	if n > len(c.Instances) {
+		n = len(c.Instances)
+	}
+	return c.Instances[:n]
+}
 
 // Instance is one deployed replica of a component: a single-server FIFO
 // queue pinned to a node, contributing its VM footprint to that node's
@@ -166,7 +185,11 @@ func (in *Instance) start(e *Execution) {
 
 	node := in.svc.cluster.Node(in.nodeID)
 	background := node.ContentionExcluding(in.id)
-	x := in.svc.law.Sample(in.Comp.Spec.BaseServiceTime, background, in.svc.rng)
+	// The work factor scales the nominal per-request work (brownout
+	// degradation); the draw itself consumes the same stream position
+	// either way, so toggling brownout never renumbers later draws.
+	base := in.Comp.Spec.BaseServiceTime * in.svc.workFactor
+	x := in.svc.law.Sample(base, background, in.svc.rng)
 
 	e.Sub.onStart(e)
 

@@ -65,8 +65,22 @@ type Service struct {
 	stageComponents [][]*Component
 
 	// deployedReplicas is the replica count the topology was placed with;
-	// mid-run policy swaps may not demand more instances than exist.
+	// activeReplicas is the count dispatch currently spreads over —
+	// closed-loop autoscaling moves it, growing Instances lazily past the
+	// deployment when scaling above it. Mid-run policy swaps may not
+	// demand more instances than are active.
 	deployedReplicas int
+	activeReplicas   int
+	// workFactor scales every execution's nominal work in (0, 1] — the
+	// brownout actuator; 1 is full fidelity.
+	workFactor float64
+	// offeredRate is the arrival rate the workload offers (set by
+	// StartArrivals and moved by steering: rate steps, diurnal
+	// modulation); admissionFactor in (0, 1] is the throttle actuator.
+	// The arrival process always runs at offeredRate × admissionFactor,
+	// so throttling composes with — never overwrites — scripted load.
+	offeredRate     float64
+	admissionFactor float64
 	// arrivalProc is the open-loop arrival process once StartArrivals has
 	// run; steering adjusts its rate mid-run.
 	arrivalProc *xrand.ArrivalProcess
@@ -125,6 +139,9 @@ func New(e *sim.Engine, cl *cluster.Cluster, src *xrand.Source, policy Policy, c
 		rng:              src.Fork(),
 		policy:           policy,
 		deployedReplicas: replicas,
+		activeReplicas:   replicas,
+		workFactor:       1,
+		admissionFactor:  1,
 	}
 	svc.collector = trace.NewCollector(len(cfg.Topology.Stages), cfg.ComponentLatencyReservoir, src.Fork())
 	svc.collector.WarmupUntil = cfg.Warmup
@@ -135,21 +152,13 @@ func New(e *sim.Engine, cl *cluster.Cluster, src *xrand.Source, policy Policy, c
 	for si, spec := range cfg.Topology.Stages {
 		stage := make([]*Component, 0, spec.Components)
 		for ci := 0; ci < spec.Components; ci++ {
-			comp := &Component{Stage: si, IndexInStage: ci, Global: global, Spec: spec}
+			comp := &Component{Stage: si, IndexInStage: ci, Global: global, Spec: spec, homeNode: nodeCursor}
 			for r := 0; r < replicas; r++ {
 				// Primary round-robins over the cluster; replica r sits r
 				// nodes further along so a component's replicas never share
-				// a node.
-				nodeID := (nodeCursor + r) % k
-				in := &Instance{
-					Comp:    comp,
-					Replica: r,
-					id:      fmt.Sprintf("c%d.%d.r%d", si, ci, r),
-					svc:     svc,
-					nodeID:  nodeID,
-				}
-				cl.Node(nodeID).Host(in)
-				comp.Instances = append(comp.Instances, in)
+				// a node. placeReplica applies the same rule when scale-up
+				// grows a component later.
+				svc.placeReplica(comp, r)
 			}
 			nodeCursor = (nodeCursor + 1) % k
 			stage = append(stage, comp)
@@ -164,6 +173,24 @@ func New(e *sim.Engine, cl *cluster.Cluster, src *xrand.Source, policy Policy, c
 	// contention.
 	e.Every(cfg.DemandPeriod, func(now float64) { svc.demandTick(now) })
 	return svc, nil
+}
+
+// placeReplica creates replica r of comp at (homeNode + r) mod nodes and
+// hosts it there. The rule is the deployment-time placement rule, so a
+// replica conjured by mid-run scale-up lands exactly where it would have
+// at deployment — placement never depends on when scaling ran, or on the
+// component's primary having migrated since.
+func (s *Service) placeReplica(comp *Component, r int) {
+	nodeID := (comp.homeNode + r) % s.cluster.NumNodes()
+	in := &Instance{
+		Comp:    comp,
+		Replica: r,
+		id:      fmt.Sprintf("c%d.%d.r%d", comp.Stage, comp.IndexInStage, r),
+		svc:     s,
+		nodeID:  nodeID,
+	}
+	s.cluster.Node(nodeID).Host(in)
+	comp.Instances = append(comp.Instances, in)
 }
 
 // demandTick refreshes every instance's utilisation-scaled demand and the
@@ -210,16 +237,16 @@ func (s *Service) Policy() Policy { return s.policy }
 
 // SetPolicy swaps the dispatch policy mid-run. Sub-requests already in
 // flight finish under the policy that dispatched them; new dispatches use
-// the new policy. The new policy may not demand more replicas than the
-// topology was deployed with (instances cannot be conjured mid-run);
-// demanding fewer is fine — surplus replicas idle.
+// the new policy. The new policy may not demand more replicas than are
+// currently active (scale up first if it does); demanding fewer is fine —
+// surplus replicas idle.
 func (s *Service) SetPolicy(p Policy) error {
 	if p == nil {
 		return fmt.Errorf("service: nil policy")
 	}
-	if r := p.Replicas(); r > s.deployedReplicas {
-		return fmt.Errorf("service: policy %s needs %d replicas, deployment has %d",
-			p.Name(), r, s.deployedReplicas)
+	if r := p.Replicas(); r > s.activeReplicas {
+		return fmt.Errorf("service: policy %s needs %d replicas, deployment has %d active",
+			p.Name(), r, s.activeReplicas)
 	}
 	s.policy = p
 	return nil
@@ -227,6 +254,87 @@ func (s *Service) SetPolicy(p Policy) error {
 
 // DeployedReplicas reports the replica count the topology was placed with.
 func (s *Service) DeployedReplicas() int { return s.deployedReplicas }
+
+// ActiveReplicas reports the per-component replica count dispatch
+// currently spreads over.
+func (s *Service) ActiveReplicas() int { return s.activeReplicas }
+
+// SetActiveReplicas scales the deployment: dispatch spreads new work over
+// the first n replicas of every component. Scaling up past the replicas a
+// component already has places and hosts the missing instances at their
+// deterministic deployment positions; scaling down parks the surplus —
+// parked instances drain the work they already hold and then idle at the
+// VM background footprint, so a later scale-up reactivates them instantly.
+// n must cover the active dispatch policy's replica need (a RED-3 world
+// cannot drop below 3) and cannot exceed the cluster size (a component's
+// replicas never share a node).
+func (s *Service) SetActiveReplicas(n int) error {
+	if n < 1 {
+		return fmt.Errorf("service: active replicas must be at least 1, got %d", n)
+	}
+	if k := s.cluster.NumNodes(); n > k {
+		return fmt.Errorf("service: %d replicas exceed cluster capacity (%d nodes; replicas of a component never share a node)", n, k)
+	}
+	if r := s.policy.Replicas(); n < r {
+		return fmt.Errorf("service: policy %s needs %d replicas, cannot scale to %d",
+			s.policy.Name(), r, n)
+	}
+	for _, c := range s.components {
+		for r := len(c.Instances); r < n; r++ {
+			s.placeReplica(c, r)
+		}
+	}
+	s.activeReplicas = n
+	return nil
+}
+
+// ActiveInstanceCount reports the total number of instances dispatch may
+// currently use across the deployment: components × active replicas.
+func (s *Service) ActiveInstanceCount() int { return len(s.components) * s.activeReplicas }
+
+// WorkFactor reports the current per-request work multiplier in (0, 1].
+func (s *Service) WorkFactor() float64 { return s.workFactor }
+
+// SetWorkFactor sets the brownout actuator: every execution started from
+// now on draws its service time from base·f instead of the stage's full
+// nominal work. f is a fidelity fraction in (0, 1]; 1 restores full
+// service. The change never renumbers random draws, so browned-out runs
+// stay bit-reproducible.
+func (s *Service) SetWorkFactor(f float64) error {
+	if f <= 0 || f > 1 {
+		return fmt.Errorf("service: work factor must be in (0, 1], got %g", f)
+	}
+	s.workFactor = f
+	return nil
+}
+
+// PickInstance returns the active instance dispatch should use for one
+// execution of comp: the primary while one replica is active (the
+// deployment-time behavior, untouched by this feature), otherwise the
+// least-loaded active instance — shortest queue, idle server breaking
+// ties, lowest replica index breaking the rest. The choice reads only
+// deterministic queue state, never randomness.
+func (s *Service) PickInstance(comp *Component) *Instance {
+	active := comp.ActiveInstances()
+	best := active[0]
+	if len(active) == 1 {
+		return best
+	}
+	bestLoad := best.QueueLen()
+	if best.Busy() {
+		bestLoad++
+	}
+	for _, in := range active[1:] {
+		load := in.QueueLen()
+		if in.Busy() {
+			load++
+		}
+		if load < bestLoad {
+			best, bestLoad = in, load
+		}
+	}
+	return best
+}
 
 // Engine returns the simulation engine the service runs on.
 func (s *Service) Engine() *sim.Engine { return s.engine }
@@ -268,7 +376,8 @@ func (s *Service) InjectRequest() *Request {
 // requests/second until either maxRequests arrivals (0 = unlimited) or the
 // engine's horizon ends the run.
 func (s *Service) StartArrivals(rate float64, maxRequests int) {
-	proc := xrand.NewArrivalProcess(s.rng.Fork(), rate)
+	s.offeredRate = rate
+	proc := xrand.NewArrivalProcess(s.rng.Fork(), rate*s.admissionFactor)
 	s.arrivalProc = proc
 	var schedule func()
 	count := 0
@@ -294,10 +403,12 @@ func (s *Service) ArrivalRate() float64 {
 	return s.arrivalProc.Rate()
 }
 
-// SetArrivalRate changes λ for interarrival draws made after the next
-// already-scheduled arrival (one arrival is always in flight). The rate
-// must be positive; steering that wants "off" should instead let the
-// request budget run out.
+// SetArrivalRate changes the offered λ for interarrival draws made after
+// the next already-scheduled arrival (one arrival is always in flight).
+// The admitted rate is offered × admission factor, so steering the
+// offered load composes with an active admission throttle. The rate must
+// be positive; steering that wants "off" should instead let the request
+// budget run out.
 func (s *Service) SetArrivalRate(rate float64) error {
 	if s.arrivalProc == nil {
 		return fmt.Errorf("service: arrivals not started")
@@ -305,7 +416,32 @@ func (s *Service) SetArrivalRate(rate float64) error {
 	if rate <= 0 {
 		return fmt.Errorf("service: arrival rate must be positive, got %g", rate)
 	}
-	s.arrivalProc.SetRate(rate)
+	s.offeredRate = rate
+	s.arrivalProc.SetRate(rate * s.admissionFactor)
+	return nil
+}
+
+// OfferedArrivalRate reports the arrival rate the workload currently
+// offers, before admission throttling — what steering scripts move.
+func (s *Service) OfferedArrivalRate() float64 { return s.offeredRate }
+
+// AdmissionFactor reports the current admission throttle position in
+// (0, 1]: the fraction of the offered arrival rate actually admitted.
+func (s *Service) AdmissionFactor() float64 { return s.admissionFactor }
+
+// SetAdmissionFactor sets the admission throttle: from the next
+// interarrival draw on, the arrival process runs at offered × f. f is a
+// fraction in (0, 1]; 1 admits everything. The throttle multiplies the
+// offered rate rather than replacing it, so it composes with rate-step
+// and diurnal steering instead of overwriting their script.
+func (s *Service) SetAdmissionFactor(f float64) error {
+	if f <= 0 || f > 1 {
+		return fmt.Errorf("service: admission factor must be in (0, 1], got %g", f)
+	}
+	s.admissionFactor = f
+	if s.arrivalProc != nil {
+		s.arrivalProc.SetRate(s.offeredRate * f)
+	}
 	return nil
 }
 

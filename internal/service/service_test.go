@@ -451,3 +451,138 @@ func TestStageComponentsAccessors(t *testing.T) {
 		}
 	}
 }
+
+func TestSetActiveReplicasScalesUpAndParks(t *testing.T) {
+	svc, _, cl := newTestService(t, basicPolicy{}, 4)
+	if got := svc.ActiveReplicas(); got != 1 {
+		t.Fatalf("initial ActiveReplicas = %d, want 1", got)
+	}
+	if got := svc.ActiveInstanceCount(); got != 5 {
+		t.Fatalf("initial ActiveInstanceCount = %d, want 5", got)
+	}
+	if err := svc.SetActiveReplicas(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.ActiveInstanceCount(); got != 15 {
+		t.Fatalf("scaled ActiveInstanceCount = %d, want 15", got)
+	}
+	for _, c := range svc.Components() {
+		if len(c.Instances) != 3 {
+			t.Fatalf("component %d has %d instances after scale-up, want 3", c.Global, len(c.Instances))
+		}
+		// Replica r lands at (homeNode + r) mod nodes: the deployment rule.
+		home := c.Instances[0].NodeID()
+		for r, in := range c.Instances {
+			if want := (home + r) % cl.NumNodes(); in.NodeID() != want {
+				t.Fatalf("component %d replica %d on node %d, want %d", c.Global, r, in.NodeID(), want)
+			}
+			if cl.LocateProgram(in.ProgramID()) != in.NodeID() {
+				t.Fatalf("replica %s not hosted on its node", in.ProgramID())
+			}
+		}
+		if got := len(c.ActiveInstances()); got != 3 {
+			t.Fatalf("ActiveInstances = %d, want 3", got)
+		}
+	}
+	// Scale-down parks instances without unhosting them; scale-up again
+	// reuses the parked instances rather than re-placing.
+	if err := svc.SetActiveReplicas(1); err != nil {
+		t.Fatal(err)
+	}
+	c0 := svc.Component(0)
+	if got := len(c0.ActiveInstances()); got != 1 {
+		t.Fatalf("parked ActiveInstances = %d, want 1", got)
+	}
+	if got := len(c0.Instances); got != 3 {
+		t.Fatalf("parked component lost instances: %d, want 3", got)
+	}
+	if err := svc.SetActiveReplicas(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c0.Instances); got != 3 {
+		t.Fatalf("re-scale re-placed instances: %d, want still 3", got)
+	}
+}
+
+func TestSetActiveReplicasValidation(t *testing.T) {
+	svc, _, _ := newTestService(t, basicPolicy{}, 4)
+	if err := svc.SetActiveReplicas(0); err == nil {
+		t.Fatal("scale to 0 accepted")
+	}
+	if err := svc.SetActiveReplicas(5); err == nil {
+		t.Fatal("scale beyond cluster size accepted")
+	}
+	fan, _, _ := newTestService(t, fanoutPolicy{k: 3}, 4)
+	if err := fan.SetActiveReplicas(2); err == nil {
+		t.Fatal("scale below the dispatch policy's replica need accepted")
+	}
+	if err := fan.SetActiveReplicas(4); err != nil {
+		t.Fatalf("legal scale rejected: %v", err)
+	}
+	// SetPolicy validates against the active count, so a scaled-up world
+	// accepts a policy the deployment alone could not host.
+	svc2, _, _ := newTestService(t, basicPolicy{}, 4)
+	if err := svc2.SetPolicy(fanoutPolicy{k: 3}); err == nil {
+		t.Fatal("3-replica policy accepted on a 1-active world")
+	}
+	if err := svc2.SetActiveReplicas(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc2.SetPolicy(fanoutPolicy{k: 3}); err != nil {
+		t.Fatalf("3-replica policy rejected after scale-up: %v", err)
+	}
+}
+
+func TestPickInstanceLeastLoaded(t *testing.T) {
+	svc, engine, _ := newTestService(t, basicPolicy{}, 4)
+	if err := svc.SetActiveReplicas(2); err != nil {
+		t.Fatal(err)
+	}
+	comp := svc.Component(0)
+	// With every instance idle the primary wins (lowest index tie-break).
+	if got := svc.PickInstance(comp); got != comp.Primary() {
+		t.Fatalf("idle PickInstance = %s, want primary", got.ProgramID())
+	}
+	// Occupy the primary: dispatch must move to the idle replica.
+	r := svc.InjectRequest()
+	_ = r
+	if !comp.Primary().Busy() {
+		t.Fatal("primary not busy after injection")
+	}
+	if got := svc.PickInstance(comp); got != comp.Instances[1] {
+		t.Fatalf("loaded PickInstance = %s, want replica 1", got.ProgramID())
+	}
+	engine.Run(0.5)
+}
+
+func TestWorkFactorScalesServiceTime(t *testing.T) {
+	svc, engine, _ := newTestService(t, basicPolicy{}, 4)
+	if got := svc.WorkFactor(); got != 1 {
+		t.Fatalf("initial WorkFactor = %v, want 1", got)
+	}
+	for _, bad := range []float64{0, -1, 1.01} {
+		if err := svc.SetWorkFactor(bad); err == nil {
+			t.Fatalf("work factor %v accepted", bad)
+		}
+	}
+	// Same seed, same single request: halving the work factor must halve
+	// the drawn service time exactly (the multiplier and lognormal draw
+	// are identical; only the base scales). The engine keeps ticking demand
+	// refreshes forever, so runs are stepped until the request completes.
+	completeOne := func(s *Service, e *sim.Engine) float64 {
+		s.InjectRequest()
+		start := e.Now()
+		for s.Completed() == 0 && e.Step() {
+		}
+		return e.Now() - start
+	}
+	fullSvc, fullEngine, _ := newTestService(t, basicPolicy{}, 4)
+	full := completeOne(fullSvc, fullEngine)
+	if err := svc.SetWorkFactor(0.5); err != nil {
+		t.Fatal(err)
+	}
+	half := completeOne(svc, engine)
+	if math.Abs(half-full/2) > 1e-12 {
+		t.Fatalf("half-work request took %v, want %v (half of %v)", half, full/2, full)
+	}
+}

@@ -118,12 +118,80 @@ func (c *Controller) ModulateArrivalRate(period, amplitude float64, steps int) e
 	return nil
 }
 
+// SetReplicasAt scales the deployment at virtual time t: from then on,
+// dispatch spreads new work over the first n replicas of every component.
+// Scaling up places any missing instances at their deterministic
+// deployment positions ((home node + replica) mod cluster size); scaling
+// down parks the surplus — parked replicas drain what they already queued,
+// then idle at the VM background footprint until a later scale-up
+// reactivates them. Validation is synchronous: n must be at least 1, at
+// least the current dispatch policy's replica need (a RED-3 world cannot
+// drop below 3), and at most the cluster size (a component's replicas
+// never share a node). If a later-registered action invalidates the scale
+// before it fires (a technique swap demanding more replicas), the scale
+// is dropped at fire time rather than corrupting the deployment.
+func (c *Controller) SetReplicasAt(t float64, n int) error {
+	if err := c.at(t); err != nil {
+		return err
+	}
+	if n < 1 {
+		return fmt.Errorf("pcs: active replicas must be at least 1, got %d", n)
+	}
+	if k := c.sim.cluster.NumNodes(); n > k {
+		return fmt.Errorf("pcs: %d replicas exceed cluster capacity (%d nodes)", n, k)
+	}
+	if r := c.sim.svc.Policy().Replicas(); n < r {
+		return fmt.Errorf("pcs: dispatch policy %s needs %d replicas, cannot scale to %d",
+			c.sim.svc.Policy().Name(), r, n)
+	}
+	svc := c.sim.svc
+	c.sim.engine.At(t, func(float64) { _ = svc.SetActiveReplicas(n) })
+	return nil
+}
+
+// SetWorkFactorAt sets the brownout actuator at virtual time t: executions
+// started after t draw their service time from base·f instead of the
+// stage's full nominal work. f is a fidelity fraction in (0, 1]; 1
+// restores full service.
+func (c *Controller) SetWorkFactorAt(t, f float64) error {
+	if err := c.at(t); err != nil {
+		return err
+	}
+	if f <= 0 || f > 1 {
+		return fmt.Errorf("pcs: work factor must be in (0, 1], got %g", f)
+	}
+	svc := c.sim.svc
+	c.sim.engine.At(t, func(float64) { _ = svc.SetWorkFactor(f) })
+	return nil
+}
+
+// SetAdmissionFactorAt sets the admission throttle at virtual time t:
+// from then on the arrival process runs at offered λ × f. f is a fraction
+// in (0, 1]; 1 admits everything. Because the throttle multiplies the
+// offered rate, it composes with SetArrivalRateAt steps and diurnal
+// modulation instead of overwriting their schedule.
+func (c *Controller) SetAdmissionFactorAt(t, f float64) error {
+	if err := c.at(t); err != nil {
+		return err
+	}
+	if f <= 0 || f > 1 {
+		return fmt.Errorf("pcs: admission factor must be in (0, 1], got %g", f)
+	}
+	svc := c.sim.svc
+	c.sim.engine.At(t, func(float64) { _ = svc.SetAdmissionFactor(f) })
+	return nil
+}
+
 // SetTechniqueAt swaps the execution technique's dispatch policy at virtual
 // time t. Sub-requests already in flight finish under the old policy; new
-// dispatches use the new one. The swap is validated now, not at fire time:
-// the new technique may not need more replicas than the simulation was
-// deployed with (RED-3 needs 3, reissue 2, Basic/PCS 1 — a Basic world
-// cannot become RED-3 mid-run, but a RED-3 world can fall back to Basic).
+// dispatches use the new one. The swap is validated now against the
+// currently active replica count: the new technique may not need more
+// replicas than are active (RED-3 needs 3, reissue 2, Basic/PCS 1 — a
+// Basic world cannot become RED-3 mid-run unless SetReplicasAt scaled it
+// up first, and a RED-3 world can always fall back to Basic). As with
+// SetReplicasAt, if a later-registered action invalidates the swap
+// before it fires — a scale-down below the new technique's need — the
+// swap is dropped at fire time rather than corrupting the deployment.
 //
 // Swapping to PCS selects the Basic dispatch policy, exactly as a PCS run
 // does; it does not conjure a trained scheduler — only a simulation built
@@ -138,12 +206,12 @@ func (c *Controller) SetTechniqueAt(t float64, tech Technique) error {
 	if err != nil {
 		return err
 	}
-	if r := policy.Replicas(); r > c.sim.svc.DeployedReplicas() {
-		return fmt.Errorf("pcs: cannot swap to %s at t=%.3f: needs %d replicas, deployment has %d",
-			tech, t, r, c.sim.svc.DeployedReplicas())
+	if r := policy.Replicas(); r > c.sim.svc.ActiveReplicas() {
+		return fmt.Errorf("pcs: cannot swap to %s at t=%.3f: needs %d replicas, deployment has %d active",
+			tech, t, r, c.sim.svc.ActiveReplicas())
 	}
 	svc := c.sim.svc
-	c.sim.engine.At(t, func(float64) { svc.SetPolicy(policy) })
+	c.sim.engine.At(t, func(float64) { _ = svc.SetPolicy(policy) })
 	return nil
 }
 

@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	"repro/internal/baseline"
+	"repro/internal/policy"
 	"repro/internal/scenario"
 	"repro/internal/service"
 )
@@ -110,6 +111,21 @@ func ScenarioFlagUsage() string {
 		strings.Join(scenario.Names(), ", "), scenario.Default, scenario.Describe())
 }
 
+// Policies lists the registered closed-loop policy names selectable via
+// Options.Policy (plus the implicit "none").
+func Policies() []string { return policy.Names() }
+
+// DescribePolicies renders one "name — description" line per registered
+// policy, for CLI usage text.
+func DescribePolicies() string { return policy.Describe() }
+
+// PolicyFlagUsage is the usage string every CLI attaches to its -policy
+// flag.
+func PolicyFlagUsage() string {
+	return fmt.Sprintf("closed-loop policy, one of: %s, or %q\n(empty keeps the scenario's scripted policy, if any; %q disables it)\n%s",
+		strings.Join(policy.Names(), ", "), policy.None, policy.None, policy.Describe())
+}
+
 // Options configures one simulation run. The zero value of every field
 // selects the evaluation default noted on it; deployment and workload
 // fields whose default says "scenario default" resolve against the
@@ -120,6 +136,15 @@ type Options struct {
 	// Scenario names the deployment to simulate (default "nutch-search",
 	// the paper's own). See Scenarios() for the registered names.
 	Scenario string
+	// Policy names the closed-loop policy evaluated at PolicyInterval
+	// cadence (see Policies() for the registered names). Empty keeps the
+	// scenario's scripted policy, if it has one; "none" disables even
+	// that.
+	Policy string
+	// PolicyInterval is the virtual seconds between policy evaluations
+	// (default 1, the monitoring cadence). It only matters when a policy
+	// is in play.
+	PolicyInterval float64
 	// Seed drives all randomness; runs are deterministic given a seed.
 	Seed int64
 	// Nodes is the cluster size (0 selects the scenario default; 30 for
@@ -217,6 +242,9 @@ func (o Options) withDefaults() Options {
 	if o.ArrivalRate <= 0 {
 		o.ArrivalRate = 100
 	}
+	if o.PolicyInterval <= 0 {
+		o.PolicyInterval = 1
+	}
 	if o.Shards < 0 {
 		o.Shards = runtime.GOMAXPROCS(0)
 	} else if o.Shards == 0 {
@@ -301,6 +329,10 @@ type Result struct {
 	Technique   string
 	Scenario    string
 	ArrivalRate float64
+	// Policy names the closed-loop policy the run evaluated ("" when none
+	// was in play) and PolicyActions counts the actuations it applied.
+	Policy        string
+	PolicyActions int
 
 	// AvgOverallMs is the average overall service latency (the paper's
 	// second metric).

@@ -13,6 +13,9 @@ func (r Result) WriteReport(w io.Writer) {
 	fmt.Fprintf(w, "technique           %s\n", r.Technique)
 	fmt.Fprintf(w, "scenario            %s\n", r.Scenario)
 	fmt.Fprintf(w, "arrival rate        %.0f req/s\n", r.ArrivalRate)
+	if r.Policy != "" {
+		fmt.Fprintf(w, "policy              %s (%d actions)\n", r.Policy, r.PolicyActions)
+	}
 	fmt.Fprintf(w, "requests            %d arrived, %d completed\n", r.Arrivals, r.Completed)
 	fmt.Fprintf(w, "virtual time        %.1f s\n", r.VirtualSeconds)
 	fmt.Fprintf(w, "batch jobs          %d started\n", r.BatchJobsStarted)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/monitor"
+	"repro/internal/policy"
 	"repro/internal/profiling"
 	"repro/internal/scenario"
 	"repro/internal/scheduler"
@@ -34,6 +35,12 @@ type Simulation struct {
 	mon     *monitor.Monitor
 	ctrl    *scheduler.Controller // nil unless Technique == PCS
 	pool    *shard.Pool           // nil unless Options.Shards > 1
+
+	// pol, when non-nil, is the run's closed-loop policy, evaluated by an
+	// engine ticker at PolicyInterval cadence; policyLog records the
+	// actions it applied.
+	pol       policy.Policy
+	policyLog []PolicyAction
 
 	horizon  float64
 	finished bool
@@ -165,6 +172,12 @@ func NewSimulation(opts Options) (*Simulation, error) {
 	if err := s.applySteering(duration); err != nil {
 		return fail(err)
 	}
+	pol, err := resolvePolicy(o.Policy, sc)
+	if err != nil {
+		return fail(err)
+	}
+	s.pol = pol
+	s.startPolicy()
 	return s, nil
 }
 
@@ -186,6 +199,11 @@ func (s *Simulation) applySteering(window float64) error {
 			if err := ctrl.RestoreNodeAt(f.RestoreAt*window, f.Node); err != nil {
 				return fmt.Errorf("pcs: scenario %q steering: %w", s.sc.Name, err)
 			}
+		}
+	}
+	for _, rs := range st.RateSteps {
+		if err := ctrl.SetArrivalRateAt(rs.At*window, rs.Factor*s.opts.ArrivalRate); err != nil {
+			return fmt.Errorf("pcs: scenario %q steering: %w", s.sc.Name, err)
 		}
 	}
 	if d := st.Diurnal; d != nil {
@@ -338,6 +356,19 @@ type Snapshot struct {
 	// currently failed by steering.
 	MeanCoreUtilization, MaxCoreUtilization float64
 	FailedNodes                             int
+	// ActiveReplicas is the per-component replica count dispatch currently
+	// spreads over, WorkFactor the per-request work multiplier, and
+	// AdmissionFactor the admitted fraction of the offered arrival rate —
+	// the closed-loop actuator positions. ActiveReplicas starts at the
+	// technique's deployed count (1 for Basic/PCS, k for RED-k, 2 for
+	// reissue); the factors are 1 unless a policy or steering moves them.
+	// ArrivalRate above is the admitted rate: offered × AdmissionFactor.
+	ActiveReplicas  int
+	WorkFactor      float64
+	AdmissionFactor float64
+	// PolicyActions counts the actuations the run's policy has applied so
+	// far (0 when no policy is in play).
+	PolicyActions int
 }
 
 // Snapshot observes the running world without perturbing it.
@@ -359,6 +390,10 @@ func (s *Simulation) Snapshot() Snapshot {
 		QueuedExecutions: s.svc.QueuedExecutions(),
 		BusyInstances:    s.svc.BusyInstances(),
 		FailedNodes:      s.cluster.FailedNodes(),
+		ActiveReplicas:   s.svc.ActiveReplicas(),
+		WorkFactor:       s.svc.WorkFactor(),
+		AdmissionFactor:  s.svc.AdmissionFactor(),
+		PolicyActions:    len(s.policyLog),
 	}
 	var sum float64
 	for _, n := range s.cluster.Nodes() {
@@ -389,6 +424,8 @@ func (s *Simulation) Finish() Result {
 		Technique:        s.opts.Technique.String(),
 		Scenario:         s.sc.Name,
 		ArrivalRate:      s.opts.ArrivalRate,
+		Policy:           s.PolicyName(),
+		PolicyActions:    len(s.policyLog),
 		AvgOverallMs:     rep.AvgOverallMs,
 		P99ComponentMs:   rep.P99ComponentMs,
 		OverallP50Ms:     rep.Overall.P50,
