@@ -21,6 +21,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/scheduler"
 	"repro/internal/shard"
+	"repro/internal/traffic"
 	"repro/internal/xrand"
 	"repro/pcs"
 )
@@ -357,6 +358,70 @@ func BenchmarkParallelSweep(b *testing.B) {
 	if ranSerial && ranParallel && serial.AvgOverallMs != parallel.AvgOverallMs {
 		b.Fatalf("parallel aggregate diverged from serial: %+v vs %+v",
 			parallel.AvgOverallMs, serial.AvgOverallMs)
+	}
+}
+
+// BenchmarkTrafficSources measures the arrival-source layer itself: how
+// fast each traffic.Source kind can produce arrivals, isolated from the
+// simulation. The absolute numbers only matter relative to each other —
+// every kind must stay cheap enough that arrival generation never shows
+// up next to the per-request simulation work. These benchmarks postdate
+// BENCH_SEED.json; bench-gate reports them as NEW and skips the ratio
+// check until the seed is regenerated.
+func BenchmarkTrafficSources(b *testing.B) {
+	specs := []struct {
+		name string
+		spec traffic.Spec
+	}{
+		{"poisson", traffic.Spec{Kind: traffic.KindPoisson, Rate: 100}},
+		{"sessions", traffic.Spec{Kind: traffic.KindSessions, Users: 200, ThinkSeconds: 2}},
+		{"mmpp", traffic.Spec{Kind: traffic.KindMMPP,
+			Rates: []float64{20, 400}, Sojourns: []float64{10, 2}, HeavyTail: true}},
+		{"multi-tenant", traffic.Spec{Kind: traffic.KindMultiTenant, Tenants: []traffic.TenantSpec{
+			{Name: "a", Source: traffic.Spec{Kind: traffic.KindPoisson, Rate: 60}},
+			{Name: "b", Source: traffic.Spec{Kind: traffic.KindPoisson, Rate: 40},
+				AdmitRate: 30, Burst: 10},
+		}}},
+	}
+	for _, tc := range specs {
+		name, spec := tc.name, tc.spec
+		b.Run(name, func(b *testing.B) {
+			src, err := spec.New(xrand.New(1).Fork(), 100)
+			if err != nil {
+				b.Fatal(err)
+			}
+			now := 0.0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, ok := src.Next(now)
+				if !ok {
+					b.Fatal("source ran dry")
+				}
+				now = a.At
+			}
+		})
+	}
+}
+
+// BenchmarkTrafficTenantStorm runs the tenant-storm scenario end to end:
+// the multi-tenant admission path (merge, token buckets, per-tenant
+// accounting) under a full Basic simulation. NEW relative to
+// BENCH_SEED.json; bench-gate skips it until the seed is regenerated.
+func BenchmarkTrafficTenantStorm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := pcs.Run(pcs.Options{
+			Technique:   pcs.Basic,
+			Scenario:    "tenant-storm",
+			Seed:        int64(i + 1),
+			ArrivalRate: 90,
+			Requests:    5000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Tenants) != 3 {
+			b.Fatalf("expected 3 tenant breakdowns, got %d", len(res.Tenants))
+		}
 	}
 }
 

@@ -112,6 +112,62 @@ func parseBench(r io.Reader) ([]Benchmark, error) {
 	return out, nil
 }
 
+// gate compares a parsed benchmark run against the seed snapshot and
+// returns how many benchmarks regressed beyond maxRatio. A benchmark in
+// the run but absent from the seed is reported as NEW and never fails the
+// gate — a newly added benchmark (e.g. the BenchmarkTraffic* family) must
+// not fail the board that predates it; the seed picks it up when it is
+// next regenerated.
+func gate(w io.Writer, benches, seed []Benchmark, maxRatio, minNs float64, calibrate bool) int {
+	seedBy := make(map[string]Benchmark, len(seed))
+	for _, b := range seed {
+		seedBy[b.Name] = b
+	}
+
+	// Machine-speed calibration: the median pr/seed ratio over the
+	// benchmarks eligible for gating.
+	factor := 1.0
+	if calibrate {
+		var ratios []float64
+		for _, b := range benches {
+			if ref, ok := seedBy[b.Name]; ok && ref.NsPerOp >= minNs {
+				ratios = append(ratios, b.NsPerOp/ref.NsPerOp)
+			}
+		}
+		if len(ratios) > 0 {
+			sort.Float64s(ratios)
+			factor = ratios[len(ratios)/2]
+			fmt.Fprintf(w, "bench-gate: machine-speed factor %.2fx (median of %d ratios)\n", factor, len(ratios))
+		}
+	}
+
+	var failed int
+	seen := make(map[string]bool, len(benches))
+	for _, b := range benches {
+		seen[b.Name] = true
+		ref, ok := seedBy[b.Name]
+		switch {
+		case !ok:
+			fmt.Fprintf(w, "NEW   %-60s %14.0f ns/op (not in seed, skipped)\n", b.Name, b.NsPerOp)
+		case ref.NsPerOp < minNs:
+			fmt.Fprintf(w, "SKIP  %-60s %14.0f ns/op (seed %.0f below -min-ns)\n", b.Name, b.NsPerOp, ref.NsPerOp)
+		case b.NsPerOp > ref.NsPerOp*factor*maxRatio:
+			failed++
+			fmt.Fprintf(w, "FAIL  %-60s %14.0f ns/op vs seed %.0f (%.2fx > %.2fx allowed)\n",
+				b.Name, b.NsPerOp, ref.NsPerOp, b.NsPerOp/(ref.NsPerOp*factor), maxRatio)
+		default:
+			fmt.Fprintf(w, "ok    %-60s %14.0f ns/op vs seed %.0f (%.2fx)\n",
+				b.Name, b.NsPerOp, ref.NsPerOp, b.NsPerOp/(ref.NsPerOp*factor))
+		}
+	}
+	for _, b := range seed {
+		if !seen[b.Name] {
+			fmt.Fprintf(w, "GONE  %-60s (in seed, not in this run)\n", b.Name)
+		}
+	}
+	return failed
+}
+
 func main() {
 	log.SetFlags(0)
 	var (
@@ -160,52 +216,8 @@ func main() {
 	if err := json.Unmarshal(seedData, &seed); err != nil {
 		log.Fatalf("bench-gate: parsing %s: %v", *seedPath, err)
 	}
-	seedBy := make(map[string]Benchmark, len(seed.Benchmarks))
-	for _, b := range seed.Benchmarks {
-		seedBy[b.Name] = b
-	}
 
-	// Machine-speed calibration: the median pr/seed ratio over the
-	// benchmarks eligible for gating.
-	factor := 1.0
-	if *calibrate {
-		var ratios []float64
-		for _, b := range benches {
-			if ref, ok := seedBy[b.Name]; ok && ref.NsPerOp >= *minNs {
-				ratios = append(ratios, b.NsPerOp/ref.NsPerOp)
-			}
-		}
-		if len(ratios) > 0 {
-			sort.Float64s(ratios)
-			factor = ratios[len(ratios)/2]
-			fmt.Printf("bench-gate: machine-speed factor %.2fx (median of %d ratios)\n", factor, len(ratios))
-		}
-	}
-
-	var failed int
-	seen := make(map[string]bool, len(benches))
-	for _, b := range benches {
-		seen[b.Name] = true
-		ref, ok := seedBy[b.Name]
-		switch {
-		case !ok:
-			fmt.Printf("NEW   %-60s %14.0f ns/op (not in seed, skipped)\n", b.Name, b.NsPerOp)
-		case ref.NsPerOp < *minNs:
-			fmt.Printf("SKIP  %-60s %14.0f ns/op (seed %.0f below -min-ns)\n", b.Name, b.NsPerOp, ref.NsPerOp)
-		case b.NsPerOp > ref.NsPerOp*factor**maxRatio:
-			failed++
-			fmt.Printf("FAIL  %-60s %14.0f ns/op vs seed %.0f (%.2fx > %.2fx allowed)\n",
-				b.Name, b.NsPerOp, ref.NsPerOp, b.NsPerOp/(ref.NsPerOp*factor), *maxRatio)
-		default:
-			fmt.Printf("ok    %-60s %14.0f ns/op vs seed %.0f (%.2fx)\n",
-				b.Name, b.NsPerOp, ref.NsPerOp, b.NsPerOp/(ref.NsPerOp*factor))
-		}
-	}
-	for _, b := range seed.Benchmarks {
-		if !seen[b.Name] {
-			fmt.Printf("GONE  %-60s (in seed, not in this run)\n", b.Name)
-		}
-	}
+	failed := gate(os.Stdout, benches, seed.Benchmarks, *maxRatio, *minNs, *calibrate)
 	if failed > 0 {
 		log.Fatalf("bench-gate: %d benchmark(s) regressed more than %.0f%% vs %s",
 			failed, (*maxRatio-1)*100, *seedPath)

@@ -58,6 +58,57 @@ func TestParseBench(t *testing.T) {
 	}
 }
 
+func TestGateSkipsBenchmarksAbsentFromSeed(t *testing.T) {
+	seed := []Benchmark{
+		{Name: "BenchmarkFig6ServicePerformance/Basic/λ=10", NsPerOp: 1e9},
+	}
+	run := []Benchmark{
+		{Name: "BenchmarkFig6ServicePerformance/Basic/λ=10", NsPerOp: 1.1e9},
+		// Postdates the seed (the BenchmarkTraffic* family): reported as
+		// NEW, never failed, however slow it is.
+		{Name: "BenchmarkTrafficTenantStorm", NsPerOp: 9e12},
+	}
+	var out strings.Builder
+	if failed := gate(&out, run, seed, 1.25, 1e6, false); failed != 0 {
+		t.Fatalf("gate failed %d benchmark(s) on a run with only NEW additions:\n%s", failed, out.String())
+	}
+	if !strings.Contains(out.String(), "NEW   BenchmarkTrafficTenantStorm") {
+		t.Fatalf("NEW benchmark not reported:\n%s", out.String())
+	}
+
+	// The same benchmark present in the seed is gated normally.
+	seed = append(seed, Benchmark{Name: "BenchmarkTrafficTenantStorm", NsPerOp: 1e9})
+	out.Reset()
+	if failed := gate(&out, run, seed, 1.25, 1e6, false); failed != 1 {
+		t.Fatalf("gate passed a 9000x regression once seeded:\n%s", out.String())
+	}
+}
+
+func TestGateCalibratesMachineSpeed(t *testing.T) {
+	// A uniformly 2x slower runner must not fail the board: the median
+	// ratio is divided out before gating.
+	seed := []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1e9},
+		{Name: "BenchmarkB", NsPerOp: 2e9},
+		{Name: "BenchmarkC", NsPerOp: 3e9},
+	}
+	run := []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 2e9},
+		{Name: "BenchmarkB", NsPerOp: 4e9},
+		{Name: "BenchmarkC", NsPerOp: 6e9},
+	}
+	var out strings.Builder
+	if failed := gate(&out, run, seed, 1.25, 1e6, true); failed != 0 {
+		t.Fatalf("uniform 2x slowdown failed the calibrated gate:\n%s", out.String())
+	}
+	// One benchmark regressing far beyond the machine factor still fails.
+	run[1].NsPerOp = 20e9
+	out.Reset()
+	if failed := gate(&out, run, seed, 1.25, 1e6, true); failed != 1 {
+		t.Fatalf("isolated regression hidden by calibration (failed=%d):\n%s", failed, out.String())
+	}
+}
+
 func TestParseBenchEmpty(t *testing.T) {
 	benches, err := parseBench(strings.NewReader("PASS\nok \trepro\t1.0s\n"))
 	if err != nil {

@@ -12,15 +12,15 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
-	"repro/pcs"
 )
 
 func main() {
 	log.SetFlags(0)
 	var (
 		seed         = flag.Int64("seed", 1, "random seed")
-		scenarioName = flag.String("scenario", "", pcs.ScenarioFlagUsage())
+		scenarioName = cliutil.AddScenario(flag.CommandLine)
 		hadoop       = flag.Int("hadoop-sizes", 20, "number of Hadoop input sizes (50MB..4GB)")
 		spark        = flag.Int("spark-sizes", 10, "number of Spark input sizes (200MB..7GB)")
 		probes       = flag.Int("probes", 100, "probe requests per measurement")

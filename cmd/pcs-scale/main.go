@@ -10,15 +10,15 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
-	"repro/pcs"
 )
 
 func main() {
 	log.SetFlags(0)
 	var (
 		seed         = flag.Int64("seed", 1, "random seed")
-		scenarioName = flag.String("scenario", "", pcs.ScenarioFlagUsage())
+		scenarioName = cliutil.AddScenario(flag.CommandLine)
 		repeats      = flag.Int("repeats", 3, "timing repetitions per point")
 		window       = flag.Int("window", 10, "monitor window length per node")
 		lambda       = flag.Float64("lambda", 100, "assumed arrival rate")

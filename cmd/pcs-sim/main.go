@@ -22,6 +22,7 @@ import (
 	"os"
 	"text/tabwriter"
 
+	"repro/internal/cliutil"
 	"repro/internal/metrics"
 	"repro/pcs"
 )
@@ -29,9 +30,10 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		technique    = flag.String("technique", "PCS", "execution technique: Basic, RED-3, RED-5, RI-90, RI-99 or PCS")
-		scenarioName = flag.String("scenario", "", pcs.ScenarioFlagUsage())
-		policyName   = flag.String("policy", "", pcs.PolicyFlagUsage())
+		technique    = cliutil.AddTechnique(flag.CommandLine)
+		scenarioName = cliutil.AddScenario(flag.CommandLine)
+		policyName   = cliutil.AddPolicy(flag.CommandLine)
+		traffic      = cliutil.AddTraffic(flag.CommandLine)
 		rate         = flag.Float64("rate", 100, "request arrival rate (requests/second)")
 		requests     = flag.Int("requests", 20000, "number of requests to simulate")
 		nodes        = flag.Int("nodes", 0, "cluster size (0 = scenario default)")
@@ -70,10 +72,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	tspec, err := traffic.Spec()
+	if err != nil {
+		log.Fatal(err)
+	}
 	opts := pcs.Options{
 		Technique:          tech,
 		Scenario:           *scenarioName,
 		Policy:             *policyName,
+		Traffic:            tspec,
 		ArrivalRate:        *rate,
 		Requests:           *requests,
 		Nodes:              *nodes,

@@ -24,24 +24,24 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"strconv"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
-	"repro/pcs"
 )
 
 func main() {
 	log.SetFlags(0)
 	var (
 		seed         = flag.Int64("seed", 1, "random seed")
-		scenarioName = flag.String("scenario", "", pcs.ScenarioFlagUsage())
+		scenarioName = cliutil.AddScenario(flag.CommandLine)
 		requests     = flag.Int("requests", 20000, "requests per run (runs last ≥90 virtual seconds regardless)")
 		nodes        = flag.Int("nodes", 0, "cluster size (0 = scenario default)")
 		fanOut       = flag.Int("search-components", 0, "dominant-stage fan-out (0 = scenario default)")
 		rates        = flag.String("rates", "10,20,50,100,200,500", "comma-separated arrival rates")
 		techniques   = flag.String("techniques", "", "comma-separated technique subset (empty = all six)")
-		policyName   = flag.String("policy", "", pcs.PolicyFlagUsage())
+		policyName   = cliutil.AddPolicy(flag.CommandLine)
+		traffic      = cliutil.AddTraffic(flag.CommandLine)
 		policyList   = flag.String("policies", "", "run the closed-loop policy comparison instead of the Fig. 6 sweep:\ncomma-separated policies × techniques on the first -rates value\n(\"none\" is the open-loop baseline; \"all\" selects none + every\nregistered policy)")
 		replications = flag.Int("replications", 1, "independent replications per (technique, rate) cell; >1 reports mean±CI95")
 		workers      = flag.Int("workers", 0, "parallel simulation workers (0 = all cores); never affects the results")
@@ -50,23 +50,17 @@ func main() {
 	)
 	flag.Parse()
 
-	var rateList []float64
-	for _, s := range strings.Split(*rates, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
-		if err != nil {
-			log.Fatalf("bad rate %q: %v", s, err)
-		}
-		rateList = append(rateList, v)
+	rateList, err := cliutil.ParseRates(*rates)
+	if err != nil {
+		log.Fatal(err)
 	}
-	var techList []pcs.Technique
-	if *techniques != "" {
-		for _, s := range strings.Split(*techniques, ",") {
-			t, err := pcs.ParseTechnique(s)
-			if err != nil {
-				log.Fatal(err)
-			}
-			techList = append(techList, t)
-		}
+	techList, err := cliutil.ParseTechniques(*techniques)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tspec, err := traffic.Spec()
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	if *policyList != "" {
@@ -79,6 +73,7 @@ func main() {
 		cfg := experiments.PolicyGridConfig{
 			Seed:             *seed,
 			Scenario:         *scenarioName,
+			Traffic:          tspec,
 			Policies:         pols,
 			Techniques:       techList,
 			Rate:             rateList[0],
@@ -111,6 +106,7 @@ func main() {
 	cfg := experiments.Fig6Config{
 		Seed:             *seed,
 		Scenario:         *scenarioName,
+		Traffic:          tspec,
 		Policy:           *policyName,
 		Rates:            rateList,
 		Techniques:       techList,

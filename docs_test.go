@@ -130,11 +130,11 @@ func slugify(heading string) string {
 }
 
 // godocCoveredDirs are the package directories whose exported identifiers
-// must carry doc comments: the public API, plus the two internal packages
-// docs/policies.md and the scenario registry present as authoring
-// surfaces — a policy or scenario author reads their godoc, so it must
-// exist.
-var godocCoveredDirs = []string{"pcs", "internal/policy", "internal/scenario"}
+// must carry doc comments: the public API, plus the internal packages
+// docs/policies.md, docs/traffic.md and the scenario registry present as
+// authoring surfaces — a policy, traffic-source or scenario author reads
+// their godoc, so it must exist.
+var godocCoveredDirs = []string{"pcs", "internal/policy", "internal/scenario", "internal/traffic"}
 
 func TestDocsExportedIdentifiersDocumented(t *testing.T) {
 	var missing []string

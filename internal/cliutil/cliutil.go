@@ -1,0 +1,153 @@
+// Package cliutil holds the flag wiring the cmd/ binaries share: the
+// technique/scenario/policy selectors, the comma-separated list parsers,
+// and the production-shaped traffic flags (-trace-file, -tenants). Six
+// CLIs registering the same flags by hand drifted in usage text and
+// validation; this package is the single copy.
+//
+// Helpers take an explicit *flag.FlagSet so tests can build throwaway
+// sets; the binaries pass flag.CommandLine.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/pcs"
+)
+
+// AddTechnique registers the -technique selector and returns its value.
+func AddTechnique(fs *flag.FlagSet) *string {
+	return fs.String("technique", "PCS", "execution technique: Basic, RED-3, RED-5, RI-90, RI-99 or PCS")
+}
+
+// AddScenario registers the -scenario selector, whose usage text lists
+// every registered scenario, and returns its value.
+func AddScenario(fs *flag.FlagSet) *string {
+	return fs.String("scenario", "", pcs.ScenarioFlagUsage())
+}
+
+// AddPolicy registers the -policy selector, whose usage text lists every
+// registered closed-loop policy, and returns its value.
+func AddPolicy(fs *flag.FlagSet) *string {
+	return fs.String("policy", "", pcs.PolicyFlagUsage())
+}
+
+// ParseTechniques parses a comma-separated technique list ("Basic,PCS").
+// The empty string parses to nil, which the experiment drivers read as
+// "all six".
+func ParseTechniques(csv string) ([]pcs.Technique, error) {
+	if strings.TrimSpace(csv) == "" {
+		return nil, nil
+	}
+	var out []pcs.Technique
+	for _, s := range strings.Split(csv, ",") {
+		t, err := pcs.ParseTechnique(strings.TrimSpace(s))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// ParseRates parses a comma-separated arrival-rate list ("10,20,50").
+func ParseRates(csv string) ([]float64, error) {
+	var out []float64
+	for _, s := range strings.Split(csv, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad rate %q: %v", strings.TrimSpace(s), err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// TrafficFlags carries the production-shaped traffic selectors shared by
+// pcs-sim, pcs-sweep and pcs-live. Register with AddTraffic, then call
+// Spec after flag.Parse.
+type TrafficFlags struct {
+	// TraceFile replays a recorded arrival trace ("trace" kind).
+	TraceFile *string
+	// Tenants composes Poisson tenants under token-bucket admission
+	// ("multi-tenant" kind).
+	Tenants *string
+}
+
+// AddTraffic registers -trace-file and -tenants and returns their values.
+func AddTraffic(fs *flag.FlagSet) TrafficFlags {
+	return TrafficFlags{
+		TraceFile: fs.String("trace-file", "", "replay arrivals from this trace file instead of generating them:\n"+
+			"NDJSON {\"t\": seconds, \"tenant\": \"...\"} lines or CSV t[,tenant[,class]]\n"+
+			"rows (format inferred from the extension). -rate rescales the replay's\n"+
+			"pacing; mutually exclusive with -tenants"),
+		Tenants: fs.String("tenants", "", "multi-tenant Poisson mix: comma-separated name:rate[:admitRate[:burst]]\n"+
+			"entries, e.g. \"search:60,feed:25:40:20\". admitRate caps the tenant's\n"+
+			"admitted req/s via a deterministic token bucket of depth burst;\n"+
+			"mutually exclusive with -trace-file"),
+	}
+}
+
+// Spec translates the parsed traffic flags into an Options.Traffic value.
+// Nil (with a nil error) means neither flag was given: the run keeps the
+// scenario's scripted traffic or the scalar Poisson path.
+func (tf TrafficFlags) Spec() (*pcs.TrafficSpec, error) {
+	trace := strings.TrimSpace(*tf.TraceFile)
+	tenants := strings.TrimSpace(*tf.Tenants)
+	switch {
+	case trace == "" && tenants == "":
+		return nil, nil
+	case trace != "" && tenants != "":
+		return nil, fmt.Errorf("-trace-file and -tenants are mutually exclusive: a run has one arrival source\n" +
+			"(tenant mixes that include traces can be scripted as a scenario traffic.Spec)")
+	case trace != "":
+		return &pcs.TrafficSpec{Kind: "trace", Path: trace}, nil
+	}
+	spec := &pcs.TrafficSpec{Kind: "multi-tenant"}
+	for _, entry := range strings.Split(tenants, ",") {
+		t, err := parseTenant(strings.TrimSpace(entry))
+		if err != nil {
+			return nil, err
+		}
+		spec.Tenants = append(spec.Tenants, t)
+	}
+	return spec, nil
+}
+
+// parseTenant parses one -tenants entry: name:rate[:admitRate[:burst]].
+func parseTenant(entry string) (pcs.TenantTraffic, error) {
+	fail := func(msg string) (pcs.TenantTraffic, error) {
+		return pcs.TenantTraffic{}, fmt.Errorf(
+			"bad -tenants entry %q: %s (want name:rate[:admitRate[:burst]])", entry, msg)
+	}
+	parts := strings.Split(entry, ":")
+	if len(parts) < 2 || len(parts) > 4 {
+		return fail("wrong number of fields")
+	}
+	if parts[0] == "" {
+		return fail("empty tenant name")
+	}
+	t := pcs.TenantTraffic{Name: parts[0], Source: pcs.TrafficSpec{Kind: "poisson"}}
+	rate, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil || rate <= 0 {
+		return fail("rate must be a positive number")
+	}
+	t.Source.Rate = rate
+	if len(parts) >= 3 {
+		admit, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || admit < 0 {
+			return fail("admitRate must be a non-negative number")
+		}
+		t.AdmitRate = admit
+	}
+	if len(parts) == 4 {
+		burst, err := strconv.Atoi(parts[3])
+		if err != nil || burst < 0 {
+			return fail("burst must be a non-negative integer")
+		}
+		t.Burst = burst
+	}
+	return t, nil
+}

@@ -1,0 +1,112 @@
+package cliutil
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/pcs"
+)
+
+func newSet() *flag.FlagSet {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+func TestSelectorsRegister(t *testing.T) {
+	fs := newSet()
+	tech := AddTechnique(fs)
+	sc := AddScenario(fs)
+	pol := AddPolicy(fs)
+	if err := fs.Parse([]string{"-technique", "Basic", "-scenario", "ecommerce", "-policy", "none"}); err != nil {
+		t.Fatal(err)
+	}
+	if *tech != "Basic" || *sc != "ecommerce" || *pol != "none" {
+		t.Fatalf("parsed %q/%q/%q", *tech, *sc, *pol)
+	}
+	// The scenario usage text must list the registry so -h stays in sync
+	// with what Register saw.
+	if u := fs.Lookup("scenario").Usage; !strings.Contains(u, "tenant-storm") {
+		t.Fatalf("scenario usage does not list the registry: %q", u)
+	}
+}
+
+func TestParseTechniques(t *testing.T) {
+	got, err := ParseTechniques(" Basic, PCS ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != pcs.Basic || got[1] != pcs.PCS {
+		t.Fatalf("ParseTechniques = %v", got)
+	}
+	if got, err := ParseTechniques(""); err != nil || got != nil {
+		t.Fatalf("empty list parsed to %v, %v", got, err)
+	}
+	if _, err := ParseTechniques("Basic,warp"); err == nil {
+		t.Fatal("unknown technique accepted")
+	}
+}
+
+func TestParseRates(t *testing.T) {
+	got, err := ParseRates("10, 20,50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 10 || got[1] != 20 || got[2] != 50 {
+		t.Fatalf("ParseRates = %v", got)
+	}
+	if _, err := ParseRates("10,fast"); err == nil {
+		t.Fatal("non-numeric rate accepted")
+	}
+}
+
+func trafficFlags(t *testing.T, args ...string) TrafficFlags {
+	t.Helper()
+	fs := newSet()
+	tf := AddTraffic(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return tf
+}
+
+func TestTrafficFlagsSpec(t *testing.T) {
+	// Neither flag: nil spec, keep the scenario/scalar path.
+	spec, err := trafficFlags(t).Spec()
+	if err != nil || spec != nil {
+		t.Fatalf("no flags gave %+v, %v", spec, err)
+	}
+
+	spec, err = trafficFlags(t, "-trace-file", "arrivals.ndjson").Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Kind != "trace" || spec.Path != "arrivals.ndjson" {
+		t.Fatalf("-trace-file spec %+v", spec)
+	}
+
+	spec, err = trafficFlags(t, "-tenants", "search:60,feed:25:40:20,crawler:5:30").Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Kind != "multi-tenant" || len(spec.Tenants) != 3 {
+		t.Fatalf("-tenants spec %+v", spec)
+	}
+	feed := spec.Tenants[1]
+	if feed.Name != "feed" || feed.Source.Rate != 25 || feed.AdmitRate != 40 || feed.Burst != 20 {
+		t.Fatalf("feed tenant %+v", feed)
+	}
+	if c := spec.Tenants[2]; c.AdmitRate != 30 || c.Burst != 0 {
+		t.Fatalf("crawler tenant %+v", c)
+	}
+	if _, err := trafficFlags(t, "-trace-file", "a.ndjson", "-tenants", "x:1").Spec(); err == nil {
+		t.Fatal("-trace-file with -tenants accepted")
+	}
+	for _, bad := range []string{"search", "search:-2", ":5", "a:1:2:3:4", "a:1:x", "a:1:2:-1"} {
+		if _, err := trafficFlags(t, "-tenants", bad).Spec(); err == nil {
+			t.Fatalf("bad -tenants entry %q accepted", bad)
+		}
+	}
+}

@@ -28,6 +28,11 @@ type Fig6Config struct {
 	// Policy, when set, runs every cell under the named closed-loop policy
 	// ("none" forces the scenario's scripted policy off; empty keeps it).
 	Policy string
+	// Traffic, when non-nil, runs every cell under this arrival process
+	// instead of the scenario's scripted traffic or the scalar Poisson
+	// stream (pcs.Options.Traffic); each rate still sets the nominal
+	// intensity the source is scaled to.
+	Traffic *pcs.TrafficSpec
 	// Requests per run; the run's virtual duration is Requests/λ.
 	Requests int
 	// Nodes and SearchComponents size the deployment; 0 selects the
@@ -141,6 +146,7 @@ func RunFig6(cfg Fig6Config) (Fig6Result, error) {
 				Technique:        tech,
 				Scenario:         c.Scenario,
 				Policy:           c.Policy,
+				Traffic:          c.Traffic,
 				Seed:             c.Seed ^ int64(rate)<<16 ^ int64(tech)<<8,
 				Nodes:            c.Nodes,
 				SearchComponents: c.SearchComponents,

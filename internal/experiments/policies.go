@@ -28,6 +28,10 @@ type PolicyGridConfig struct {
 	// Policies are the closed-loop policies to compare; "none" is the
 	// open-loop baseline. Nil selects "none" plus every registered policy.
 	Policies []string
+	// Traffic, when non-nil, runs every cell under this arrival process
+	// instead of the scenario's scripted traffic or the scalar Poisson
+	// stream (pcs.Options.Traffic).
+	Traffic *pcs.TrafficSpec
 	// Techniques to run each policy under; nil means Basic and PCS (the
 	// two wirings: no control loop vs the paper's scheduler, each with
 	// and without the closed loop on top).
@@ -145,6 +149,7 @@ func RunPolicyGrid(cfg PolicyGridConfig) (PolicyGridResult, error) {
 				Technique:        tech,
 				Scenario:         c.Scenario,
 				Policy:           pol,
+				Traffic:          c.Traffic,
 				Seed:             c.Seed ^ int64(tech)<<16,
 				Nodes:            c.Nodes,
 				SearchComponents: c.SearchComponents,

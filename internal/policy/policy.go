@@ -47,6 +47,12 @@ type Observation struct {
 	// AdmissionFactor is the admission throttle's current position in
 	// (0, 1]: ArrivalRate = OfferedArrivalRate × AdmissionFactor.
 	AdmissionFactor float64
+	// AdmissionDrops counts arrivals the traffic layer's per-tenant token
+	// buckets have denied so far (0 for unthrottled traffic). It is the
+	// hard-admission counterpart of the AdmissionFactor soft throttle: a
+	// rising count means some tenant is offering more than its bucket
+	// admits.
+	AdmissionDrops int
 	// Arrivals, Completed and InFlight count requests so far.
 	Arrivals, Completed, InFlight int
 	// QueuedExecutions counts executions waiting in instance queues across

@@ -6,6 +6,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/policy"
 	"repro/internal/service"
+	"repro/internal/traffic"
 )
 
 // The built-in scenarios. "nutch-search" and "ecommerce" promote the
@@ -160,6 +161,59 @@ func init() {
 			RateSteps: []RateStep{{At: 0.15, Factor: 3}},
 		},
 		Policy: &policy.Spec{Kind: "brownout"},
+	})
+	// The two traffic scenarios exercise the production-shaped arrival
+	// layer (traffic.Spec): multi-tenant admission control, and load that
+	// emerges from a session population instead of a rate constant.
+	mustRegister(Scenario{
+		Name: "tenant-storm",
+		Description: "nutch-search shared by three tenants — steady search traffic, a " +
+			"bucket-limited feed, and a bursty MMPP crawler whose storms blow through its " +
+			"admission budget — per-tenant p99 and drop counts expose who pays for the storm",
+		Topology:      service.NutchTopology,
+		DominantStage: 1,
+		Nodes:         30,
+		Workload: WorkloadDefaults{
+			BatchConcurrency: 2,
+			MinInputMB:       1,
+			MaxInputMB:       10 * 1024,
+		},
+		Traffic: &traffic.Spec{
+			Kind: traffic.KindMultiTenant,
+			Tenants: []traffic.TenantSpec{
+				{Name: "search", Source: traffic.Spec{Kind: traffic.KindPoisson, Rate: 60}},
+				{Name: "feed", Source: traffic.Spec{Kind: traffic.KindPoisson, Rate: 25},
+					AdmitRate: 40, Burst: 20},
+				{Name: "crawler", Source: traffic.Spec{
+					Kind:     traffic.KindMMPP,
+					Rates:    []float64{5, 180},
+					Sojourns: []float64{20, 4},
+				}, AdmitRate: 30, Burst: 15},
+			},
+		},
+	})
+	mustRegister(Scenario{
+		Name: "session-diurnal",
+		Description: "nutch-search driven by 400 concurrent user sessions with lognormal " +
+			"think time, compressed and stretched through two diurnal cycles — offered load " +
+			"emerges from the population instead of a rate constant",
+		Topology:      service.NutchTopology,
+		DominantStage: 1,
+		Nodes:         30,
+		Workload: WorkloadDefaults{
+			BatchConcurrency: 2,
+			MinInputMB:       1,
+			MaxInputMB:       10 * 1024,
+		},
+		Traffic: &traffic.Spec{
+			Kind:         traffic.KindSessions,
+			Users:        400,
+			ThinkSeconds: 4,
+			ThinkSigma:   0.6,
+		},
+		Steering: &Steering{
+			Diurnal: &Diurnal{Cycles: 2, Amplitude: 0.5},
+		},
 	})
 	mustRegister(Scenario{
 		Name: "social-feed",

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/policy"
 	"repro/internal/service"
+	"repro/internal/traffic"
 )
 
 // Default is the scenario selected when none is named: the paper's own
@@ -152,6 +153,12 @@ type Scenario struct {
 	// pure-data policy.Spec the simulation layer builds a fresh controller
 	// from on every run. The -policy flag overrides it ("none" disables).
 	Policy *policy.Spec
+	// Traffic, if non-nil, scripts the scenario's arrival process: a
+	// pure-data traffic.Spec the simulation layer builds a fresh source
+	// from on every run (sessions, traces, bursty MMPP, multi-tenant
+	// mixes). Nil keeps the scalar Poisson workload at the run's
+	// ArrivalRate; Options.Traffic overrides a scripted spec.
+	Traffic *traffic.Spec
 }
 
 func (s Scenario) validate() error {
@@ -183,6 +190,11 @@ func (s Scenario) validate() error {
 	}
 	if s.Policy != nil {
 		if err := s.Policy.Validate(); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+	}
+	if s.Traffic != nil {
+		if err := s.Traffic.Validate(); err != nil {
 			return fmt.Errorf("scenario %q: %w", s.Name, err)
 		}
 	}

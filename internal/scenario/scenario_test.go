@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/policy"
 	"repro/internal/service"
+	"repro/internal/traffic"
 )
 
 func TestBuiltinsRegistered(t *testing.T) {
@@ -243,8 +244,8 @@ func TestPolicySpecValidation(t *testing.T) {
 }
 
 func TestBuiltinPolicyScenariosPresent(t *testing.T) {
-	if n := len(Names()); n != 9 {
-		t.Fatalf("registry holds %d scenarios, want 9: %v", n, Names())
+	if n := len(Names()); n != 11 {
+		t.Fatalf("registry holds %d scenarios, want 11: %v", n, Names())
 	}
 	wantKind := map[string]string{
 		"autoscale-burst":   "autoscale",
@@ -258,5 +259,50 @@ func TestBuiltinPolicyScenariosPresent(t *testing.T) {
 		if sc.Steering == nil || len(sc.Steering.RateSteps) == 0 {
 			t.Fatalf("%s: no rate-step disturbance scripted", name)
 		}
+	}
+}
+
+func TestBuiltinTrafficScenariosPresent(t *testing.T) {
+	storm := MustGet("tenant-storm")
+	if storm.Traffic == nil || storm.Traffic.Kind != traffic.KindMultiTenant {
+		t.Fatalf("tenant-storm traffic script %+v, want multi-tenant", storm.Traffic)
+	}
+	if n := len(storm.Traffic.Tenants); n != 3 {
+		t.Fatalf("tenant-storm scripts %d tenants, want 3", n)
+	}
+	throttled := 0
+	for _, ten := range storm.Traffic.Tenants {
+		if ten.AdmitRate > 0 {
+			throttled++
+		}
+	}
+	if throttled == 0 {
+		t.Fatal("tenant-storm scripts no admission-limited tenant")
+	}
+
+	sd := MustGet("session-diurnal")
+	if sd.Traffic == nil || sd.Traffic.Kind != traffic.KindSessions {
+		t.Fatalf("session-diurnal traffic script %+v, want sessions", sd.Traffic)
+	}
+	if sd.Steering == nil || sd.Steering.Diurnal == nil {
+		t.Fatal("session-diurnal scripts no diurnal steering")
+	}
+}
+
+func TestTrafficSpecValidation(t *testing.T) {
+	s := Scenario{
+		Name:        "traffic-test",
+		Description: "x",
+		Topology:    service.NutchTopology,
+		Nodes:       4,
+		Workload:    WorkloadDefaults{BatchConcurrency: 1, MinInputMB: 1, MaxInputMB: 10},
+		Traffic:     &traffic.Spec{Kind: "warp-drive"},
+	}
+	if err := s.validate(); err == nil {
+		t.Fatal("unknown traffic kind accepted")
+	}
+	s.Traffic = &traffic.Spec{Kind: traffic.KindSessions, Users: 10, ThinkSeconds: 1}
+	if err := s.validate(); err != nil {
+		t.Fatalf("valid traffic spec rejected: %v", err)
 	}
 }

@@ -7,6 +7,13 @@ package service
 type Request struct {
 	ID        int
 	ArrivedAt float64
+	// Tenant names the tenant the request arrived under ("" for
+	// untenanted traffic); completion records the latency under the
+	// tenant's breakdown as well as the overall distribution.
+	Tenant string
+	// Class is the request class carried by trace metadata, recorded but
+	// not acted on.
+	Class string
 
 	svc        *Service
 	stage      int

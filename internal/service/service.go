@@ -7,6 +7,7 @@ import (
 	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/traffic"
 	"repro/internal/xrand"
 )
 
@@ -75,15 +76,16 @@ type Service struct {
 	// brownout actuator; 1 is full fidelity.
 	workFactor float64
 	// offeredRate is the arrival rate the workload offers (set by
-	// StartArrivals and moved by steering: rate steps, diurnal
-	// modulation); admissionFactor in (0, 1] is the throttle actuator.
-	// The arrival process always runs at offeredRate × admissionFactor,
-	// so throttling composes with — never overwrites — scripted load.
+	// StartTraffic/StartArrivals and moved by steering: rate steps,
+	// diurnal modulation); admissionFactor in (0, 1] is the throttle
+	// actuator. The traffic source always runs at offeredRate ×
+	// admissionFactor, so throttling composes with — never overwrites —
+	// scripted load.
 	offeredRate     float64
 	admissionFactor float64
-	// arrivalProc is the open-loop arrival process once StartArrivals has
-	// run; steering adjusts its rate mid-run.
-	arrivalProc *xrand.ArrivalProcess
+	// src is the arrival source once StartTraffic has run; steering
+	// retargets its rate mid-run through SetRate.
+	src traffic.Source
 
 	collector *trace.Collector
 
@@ -91,6 +93,14 @@ type Service struct {
 	completed  int
 	nextReqID  int
 	migrations int
+
+	// admissionDrops counts arrivals the traffic layer denied (a tenant's
+	// token bucket ran dry); tenantArrivals/tenantDrops break admitted and
+	// denied counts down by tenant, allocated lazily on first tenanted
+	// arrival.
+	admissionDrops int
+	tenantArrivals map[string]int
+	tenantDrops    map[string]int
 
 	// OnArrival, if set, is called at every request arrival (the monitor
 	// uses it to estimate λ, as the paper's monitor does from service
@@ -359,12 +369,23 @@ func (s *Service) Completed() int { return s.completed }
 // Migrations reports how many component migrations have landed.
 func (s *Service) Migrations() int { return s.migrations }
 
-// InjectRequest admits one request now.
+// InjectRequest admits one untenanted request now.
 func (s *Service) InjectRequest() *Request {
+	return s.injectArrival(traffic.Meta{})
+}
+
+// injectArrival admits one request carrying the arrival's metadata.
+func (s *Service) injectArrival(meta traffic.Meta) *Request {
 	now := s.engine.Now()
-	r := &Request{ID: s.nextReqID, ArrivedAt: now, svc: s}
+	r := &Request{ID: s.nextReqID, ArrivedAt: now, Tenant: meta.Tenant, Class: meta.Class, svc: s}
 	s.nextReqID++
 	s.arrivals++
+	if meta.Tenant != "" {
+		if s.tenantArrivals == nil {
+			s.tenantArrivals = make(map[string]int)
+		}
+		s.tenantArrivals[meta.Tenant]++
+	}
 	if s.OnArrival != nil {
 		s.OnArrival(now)
 	}
@@ -372,52 +393,90 @@ func (s *Service) InjectRequest() *Request {
 	return r
 }
 
-// StartArrivals schedules an open-loop Poisson arrival stream at rate
-// requests/second until either maxRequests arrivals (0 = unlimited) or the
-// engine's horizon ends the run.
-func (s *Service) StartArrivals(rate float64, maxRequests int) {
-	s.offeredRate = rate
-	proc := xrand.NewArrivalProcess(s.rng.Fork(), rate*s.admissionFactor)
-	s.arrivalProc = proc
-	var schedule func()
+// recordDrop accounts one arrival the traffic layer denied admission.
+func (s *Service) recordDrop(tenant string) {
+	s.admissionDrops++
+	if tenant != "" {
+		if s.tenantDrops == nil {
+			s.tenantDrops = make(map[string]int)
+		}
+		s.tenantDrops[tenant]++
+	}
+}
+
+// StartTraffic drives the run's arrivals from a traffic source until
+// either maxRequests arrivals (0 = unlimited, denied arrivals count) or
+// source exhaustion or the engine's horizon ends the run. The source is
+// pulled from the engine's own event chain — each arrival's event asks
+// for the next one — so any deterministic Source composes with slicing,
+// sharding and steering untouched. Arrivals the source marks Denied are
+// counted as admission drops and never enter the service.
+func (s *Service) StartTraffic(src traffic.Source, maxRequests int) {
+	s.src = src
+	s.offeredRate = src.Rate()
+	var schedule func(prev float64)
 	count := 0
-	schedule = func() {
-		t := proc.Next()
-		s.engine.At(t, func(float64) {
-			s.InjectRequest()
+	schedule = func(prev float64) {
+		a, ok := src.Next(prev)
+		if !ok {
+			return
+		}
+		s.engine.At(a.At, func(float64) {
+			if a.Meta.Denied {
+				s.recordDrop(a.Meta.Tenant)
+			} else {
+				s.injectArrival(a.Meta)
+			}
 			count++
 			if maxRequests == 0 || count < maxRequests {
-				schedule()
+				schedule(a.At)
 			}
 		})
 	}
-	schedule()
+	schedule(0)
 }
 
-// ArrivalRate reports the arrival process's current rate λ in
-// requests/second, 0 before StartArrivals.
+// StartArrivals schedules an open-loop Poisson arrival stream at rate
+// requests/second until either maxRequests arrivals (0 = unlimited) or the
+// engine's horizon ends the run. It is the scalar compat path: the Poisson
+// source is constructed from the same stream fork, at the same rate
+// product, as before the traffic.Source redesign, so scalar-configured
+// runs reproduce pre-redesign reports byte for byte.
+func (s *Service) StartArrivals(rate float64, maxRequests int) {
+	s.StartTraffic(traffic.NewPoisson(s.rng.Fork(), rate*s.admissionFactor), maxRequests)
+	s.offeredRate = rate
+}
+
+// Traffic returns the active arrival source, nil before StartTraffic.
+func (s *Service) Traffic() traffic.Source { return s.src }
+
+// ArrivalRate reports the traffic source's current admitted intensity in
+// requests/second, 0 before StartTraffic.
 func (s *Service) ArrivalRate() float64 {
-	if s.arrivalProc == nil {
+	if s.src == nil {
 		return 0
 	}
-	return s.arrivalProc.Rate()
+	return s.src.Rate()
 }
 
-// SetArrivalRate changes the offered λ for interarrival draws made after
-// the next already-scheduled arrival (one arrival is always in flight).
-// The admitted rate is offered × admission factor, so steering the
-// offered load composes with an active admission throttle. The rate must
-// be positive; steering that wants "off" should instead let the request
-// budget run out.
+// SetArrivalRate changes the offered rate for arrivals generated after
+// the next already-scheduled one (one arrival is always in flight). The
+// admitted rate is offered × admission factor, so steering the offered
+// load composes with an active admission throttle; non-Poisson sources
+// interpret the product as a speed factor against their nominal intensity
+// (see traffic.Source.SetRate). The rate must be positive; steering that
+// wants "off" should instead let the request budget run out.
 func (s *Service) SetArrivalRate(rate float64) error {
-	if s.arrivalProc == nil {
+	if s.src == nil {
 		return fmt.Errorf("service: arrivals not started")
 	}
 	if rate <= 0 {
 		return fmt.Errorf("service: arrival rate must be positive, got %g", rate)
 	}
+	if err := s.src.SetRate(rate * s.admissionFactor); err != nil {
+		return err
+	}
 	s.offeredRate = rate
-	s.arrivalProc.SetRate(rate * s.admissionFactor)
 	return nil
 }
 
@@ -430,7 +489,7 @@ func (s *Service) OfferedArrivalRate() float64 { return s.offeredRate }
 func (s *Service) AdmissionFactor() float64 { return s.admissionFactor }
 
 // SetAdmissionFactor sets the admission throttle: from the next
-// interarrival draw on, the arrival process runs at offered × f. f is a
+// interarrival draw on, the traffic source runs at offered × f. f is a
 // fraction in (0, 1]; 1 admits everything. The throttle multiplies the
 // offered rate rather than replacing it, so it composes with rate-step
 // and diurnal steering instead of overwriting their script.
@@ -439,11 +498,24 @@ func (s *Service) SetAdmissionFactor(f float64) error {
 		return fmt.Errorf("service: admission factor must be in (0, 1], got %g", f)
 	}
 	s.admissionFactor = f
-	if s.arrivalProc != nil {
-		s.arrivalProc.SetRate(s.offeredRate * f)
+	if s.src != nil {
+		return s.src.SetRate(s.offeredRate * f)
 	}
 	return nil
 }
+
+// AdmissionDrops reports how many arrivals the traffic layer denied
+// (per-tenant token buckets); 0 for unthrottled sources.
+func (s *Service) AdmissionDrops() int { return s.admissionDrops }
+
+// TenantArrivals reports admitted request counts by tenant, nil for
+// untenanted traffic. The returned map is the live counter — read, don't
+// mutate.
+func (s *Service) TenantArrivals() map[string]int { return s.tenantArrivals }
+
+// TenantDrops reports denied request counts by tenant, nil when nothing
+// was denied.
+func (s *Service) TenantDrops() map[string]int { return s.tenantDrops }
 
 // QueuedExecutions reports the number of executions waiting in instance
 // queues across the whole deployment (excluding the ones in service,
@@ -476,6 +548,9 @@ func (s *Service) BusyInstances() int {
 func (s *Service) completeRequest(r *Request, now float64) {
 	s.completed++
 	s.collector.RecordOverall(now, now-r.ArrivedAt)
+	if r.Tenant != "" {
+		s.collector.RecordTenantOverall(r.Tenant, now, now-r.ArrivedAt)
+	}
 }
 
 // Allocation returns the current component→node allocation array (the

@@ -20,6 +20,13 @@ type Collector struct {
 	component *Reservoir
 	perStage  []stats.Welford
 
+	// tenants maps tenant name → retained overall latencies for tenanted
+	// requests. Plain slices, allocated lazily on the first tenanted
+	// request: per-tenant recording draws no randomness and costs nothing
+	// when traffic is untenanted, so tenanted breakdowns never perturb —
+	// and untenanted runs never pay for — the shared streams.
+	tenants map[string][]float64
+
 	droppedOverall   int
 	droppedComponent int
 }
@@ -42,6 +49,23 @@ func (c *Collector) RecordOverall(now, latency float64) {
 	}
 	c.overall = append(c.overall, latency)
 }
+
+// RecordTenantOverall records one request's end-to-end latency under its
+// tenant's breakdown; callers pair it with RecordOverall for tenanted
+// requests (the overall distribution always includes every request).
+func (c *Collector) RecordTenantOverall(tenant string, now, latency float64) {
+	if now < c.WarmupUntil {
+		return
+	}
+	if c.tenants == nil {
+		c.tenants = make(map[string][]float64)
+	}
+	c.tenants[tenant] = append(c.tenants[tenant], latency)
+}
+
+// TenantLatencies returns the retained per-tenant end-to-end latencies in
+// seconds, nil when no tenanted request completed.
+func (c *Collector) TenantLatencies() map[string][]float64 { return c.tenants }
 
 // RecordComponent records one winning sub-request latency for a component
 // in the given stage.

@@ -1,0 +1,206 @@
+package traffic
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// Spec kinds. Kind selects which Source a Spec constructs.
+const (
+	// KindPoisson is the memoryless constant-rate process (the paper's
+	// default workload).
+	KindPoisson = "poisson"
+	// KindTrace replays a recorded NDJSON/CSV arrival trace from Path.
+	KindTrace = "trace"
+	// KindSessions derives load from a closed population of Users flows
+	// with think time.
+	KindSessions = "sessions"
+	// KindMMPP is the bursty Markov-modulated process over Rates/Sojourns
+	// states.
+	KindMMPP = "mmpp"
+	// KindMultiTenant composes Tenants into one stream with per-tenant
+	// admission buckets.
+	KindMultiTenant = "multi-tenant"
+)
+
+// Spec is the pure-data description of a traffic source, mirroring the
+// policy.Spec pattern: scenarios and Options carry Specs, and every
+// replication constructs a fresh Source from its own stream — sources are
+// stateful and must never be shared across runs. Fields beyond Kind apply
+// per kind; Validate rejects mixtures that don't parse.
+type Spec struct {
+	// Kind selects the source: one of the Kind constants.
+	Kind string
+
+	// Rate is the Poisson λ, or the nominal pacing rate of a trace
+	// replay; 0 defers to the run's ArrivalRate. Sessions and MMPP derive
+	// their intensity from their own fields and ignore Rate.
+	Rate float64
+
+	// Path and Format configure KindTrace: Path is the trace file,
+	// Format one of FormatAuto/FormatNDJSON/FormatCSV.
+	Path   string
+	Format string
+
+	// Users, ThinkSeconds and ThinkSigma configure KindSessions: Users
+	// concurrent flows with lognormal(ThinkSeconds, ThinkSigma) think
+	// times (sigma 0 selects 0.5).
+	Users        int
+	ThinkSeconds float64
+	ThinkSigma   float64
+
+	// Rates, Sojourns and HeavyTail configure KindMMPP: state i runs at
+	// Rates[i] arrivals/second for a mean of Sojourns[i] seconds;
+	// HeavyTail draws sojourns from a bounded Pareto instead of an
+	// exponential.
+	Rates     []float64
+	Sojourns  []float64
+	HeavyTail bool
+
+	// Tenants configures KindMultiTenant.
+	Tenants []TenantSpec
+}
+
+// TenantSpec is one tenant inside a KindMultiTenant spec.
+type TenantSpec struct {
+	// Name tags the tenant's arrivals; unique and non-empty.
+	Name string
+	// Source describes the tenant's own arrival process; nesting another
+	// multi-tenant is rejected.
+	Source Spec
+	// AdmitRate and Burst configure the tenant's token bucket: at most
+	// AdmitRate admitted requests/second with Burst depth. AdmitRate 0
+	// means unlimited.
+	AdmitRate float64
+	Burst     int
+}
+
+// Validate checks the spec is well-formed without constructing anything.
+func (s *Spec) Validate() error {
+	switch s.Kind {
+	case KindPoisson:
+		if s.Rate < 0 {
+			return fmt.Errorf("traffic: poisson rate must be non-negative, got %g", s.Rate)
+		}
+	case KindTrace:
+		if s.Path == "" {
+			return fmt.Errorf("traffic: trace spec needs a path")
+		}
+		switch s.Format {
+		case FormatAuto, FormatNDJSON, FormatCSV:
+		default:
+			return fmt.Errorf("traffic: unknown trace format %q", s.Format)
+		}
+		if s.Rate < 0 {
+			return fmt.Errorf("traffic: trace nominal rate must be non-negative, got %g", s.Rate)
+		}
+	case KindSessions:
+		if s.Users < 1 {
+			return fmt.Errorf("traffic: sessions need at least 1 user, got %d", s.Users)
+		}
+		if s.ThinkSeconds <= 0 {
+			return fmt.Errorf("traffic: sessions think time must be positive, got %g", s.ThinkSeconds)
+		}
+		if s.ThinkSigma < 0 {
+			return fmt.Errorf("traffic: sessions think sigma must be non-negative, got %g", s.ThinkSigma)
+		}
+	case KindMMPP:
+		if len(s.Rates) < 2 {
+			return fmt.Errorf("traffic: mmpp needs at least 2 states, got %d", len(s.Rates))
+		}
+		if len(s.Sojourns) != len(s.Rates) {
+			return fmt.Errorf("traffic: mmpp has %d rates but %d sojourns", len(s.Rates), len(s.Sojourns))
+		}
+		for i := range s.Rates {
+			if s.Rates[i] <= 0 {
+				return fmt.Errorf("traffic: mmpp state %d rate must be positive, got %g", i, s.Rates[i])
+			}
+			if s.Sojourns[i] <= 0 {
+				return fmt.Errorf("traffic: mmpp state %d sojourn must be positive, got %g", i, s.Sojourns[i])
+			}
+		}
+	case KindMultiTenant:
+		if len(s.Tenants) == 0 {
+			return fmt.Errorf("traffic: multi-tenant spec needs at least one tenant")
+		}
+		seen := make(map[string]bool)
+		for i, t := range s.Tenants {
+			if t.Name == "" {
+				return fmt.Errorf("traffic: tenant %d has no name", i)
+			}
+			if seen[t.Name] {
+				return fmt.Errorf("traffic: duplicate tenant %q", t.Name)
+			}
+			seen[t.Name] = true
+			if t.Source.Kind == KindMultiTenant {
+				return fmt.Errorf("traffic: tenant %q nests a multi-tenant source", t.Name)
+			}
+			if err := t.Source.Validate(); err != nil {
+				return fmt.Errorf("traffic: tenant %q: %w", t.Name, err)
+			}
+			if t.AdmitRate < 0 {
+				return fmt.Errorf("traffic: tenant %q admit rate must be non-negative, got %g", t.Name, t.AdmitRate)
+			}
+			if t.AdmitRate == 0 && t.Burst != 0 {
+				return fmt.Errorf("traffic: tenant %q sets burst without an admit rate", t.Name)
+			}
+			if t.Burst < 0 {
+				return fmt.Errorf("traffic: tenant %q burst must be non-negative, got %d", t.Name, t.Burst)
+			}
+		}
+	case "":
+		return fmt.Errorf("traffic: spec has no kind")
+	default:
+		return fmt.Errorf("traffic: unknown traffic kind %q", s.Kind)
+	}
+	return nil
+}
+
+// New constructs a fresh Source from the spec. src is the source's random
+// stream — the top-level source consumes it directly (so an explicit
+// poisson spec lands on the exact stream the scalar compat shim uses);
+// multi-tenant children each get a fork, taken in tenant order. nominal
+// is the run's ArrivalRate, the fallback intensity for kinds whose Rate
+// field is 0.
+func (s *Spec) New(src *xrand.Source, nominal float64) (Source, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	rate := s.Rate
+	if rate == 0 {
+		rate = nominal
+	}
+	switch s.Kind {
+	case KindPoisson:
+		if rate <= 0 {
+			return nil, fmt.Errorf("traffic: poisson needs a positive rate (spec rate %g, run rate %g)", s.Rate, nominal)
+		}
+		return NewPoisson(src, rate), nil
+	case KindTrace:
+		if rate <= 0 {
+			return nil, fmt.Errorf("traffic: trace needs a positive nominal rate (spec rate %g, run rate %g)", s.Rate, nominal)
+		}
+		return NewTraceReplay(s.Path, s.Format, rate)
+	case KindSessions:
+		return NewSessions(src, s.Users, s.ThinkSeconds, s.ThinkSigma)
+	case KindMMPP:
+		return NewMMPP(src, s.Rates, s.Sojourns, s.HeavyTail)
+	case KindMultiTenant:
+		tenants := make([]Tenant, 0, len(s.Tenants))
+		for _, ts := range s.Tenants {
+			child, err := ts.Source.New(src.Fork(), nominal)
+			if err != nil {
+				return nil, fmt.Errorf("traffic: tenant %q: %w", ts.Name, err)
+			}
+			tenants = append(tenants, Tenant{
+				Name:      ts.Name,
+				Source:    child,
+				AdmitRate: ts.AdmitRate,
+				Burst:     ts.Burst,
+			})
+		}
+		return NewMultiTenant(tenants)
+	}
+	return nil, fmt.Errorf("traffic: unknown traffic kind %q", s.Kind)
+}

@@ -1,0 +1,224 @@
+package traffic
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// tokenScale is the fixed-point scale of the admission bucket: one token
+// is 1e6 micro-tokens, and refill arithmetic happens on int64 micro-token
+// counts so bucket state never accumulates float error — two shards
+// replaying the same arrival times always make the same admit/deny
+// decisions (the inference-sim PR4 token-bucket design).
+const tokenScale = 1e6
+
+// tokenBucket is a deterministic token bucket: capacity burst tokens,
+// refilled at rate tokens/second, integer micro-token arithmetic.
+type tokenBucket struct {
+	rate  float64 // tokens per second
+	cap   int64   // micro-tokens
+	level int64   // micro-tokens
+	last  float64 // virtual time of last refill
+}
+
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	b := &tokenBucket{rate: rate, cap: int64(burst) * tokenScale}
+	b.level = b.cap // start full: a fresh tenant can burst immediately
+	return b
+}
+
+// admit refills the bucket to virtual time now and spends one token if
+// available, reporting whether the request is admitted.
+func (b *tokenBucket) admit(now float64) bool {
+	if now > b.last {
+		b.level += int64((now - b.last) * b.rate * tokenScale)
+		if b.level > b.cap {
+			b.level = b.cap
+		}
+		b.last = now
+	}
+	if b.level >= tokenScale {
+		b.level -= tokenScale
+		return true
+	}
+	return false
+}
+
+// Tenant is one tenant inside a MultiTenant source: a named child source
+// with an optional token-bucket admission limit.
+type Tenant struct {
+	// Name tags every arrival of this tenant; per-tenant latency and drop
+	// breakdowns key on it. Must be unique within the composition.
+	Name string
+	// Source generates this tenant's arrivals; its own Meta.Tenant is
+	// overwritten with Name.
+	Source Source
+	// AdmitRate caps the tenant at this many admitted requests/second via
+	// a token bucket; 0 means unlimited (no bucket).
+	AdmitRate float64
+	// Burst is the bucket depth in requests (how far above AdmitRate a
+	// tenant may spike before denials start); 0 with a positive AdmitRate
+	// selects a depth of 1.
+	Burst int
+}
+
+// MultiTenant interleaves per-tenant child sources into one arrival
+// stream with per-tenant token-bucket admission. Each arrival is tagged
+// with its tenant's name; arrivals that find the tenant's bucket empty
+// are emitted with Meta.Denied set — the service counts them as
+// admission drops without ever starting them, so a noisy tenant's storm
+// shows up as its own drop count instead of as everyone's latency.
+//
+// Merging is deterministic: each child's next arrival is buffered, and
+// the earliest timestamp wins, tenant index breaking ties. Children draw
+// from their own streams (forked in tenant order by Spec.New), so one
+// tenant's behavior never perturbs another's draws.
+type MultiTenant struct {
+	tenants []mtTenant
+	nominal float64 // sum of child rates at construction
+	speed   float64
+	drops   map[string]int
+}
+
+type mtTenant struct {
+	name    string
+	src     Source
+	bucket  *tokenBucket
+	nominal float64 // child's Rate at construction
+	pending Arrival
+	ok      bool
+}
+
+// NewMultiTenant composes tenants into one source. Tenant names must be
+// non-empty and unique; each child is immediately asked for its first
+// arrival so merging starts with every tenant buffered.
+func NewMultiTenant(tenants []Tenant) (*MultiTenant, error) {
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("traffic: multi-tenant needs at least one tenant")
+	}
+	m := &MultiTenant{speed: 1, drops: make(map[string]int)}
+	seen := make(map[string]bool)
+	for i, t := range tenants {
+		if t.Name == "" {
+			return nil, fmt.Errorf("traffic: tenant %d has no name", i)
+		}
+		if seen[t.Name] {
+			return nil, fmt.Errorf("traffic: duplicate tenant %q", t.Name)
+		}
+		seen[t.Name] = true
+		if t.Source == nil {
+			return nil, fmt.Errorf("traffic: tenant %q has no source", t.Name)
+		}
+		var bucket *tokenBucket
+		if t.AdmitRate > 0 {
+			burst := t.Burst
+			if burst <= 0 {
+				burst = 1
+			}
+			bucket = newTokenBucket(t.AdmitRate, burst)
+		} else if t.Burst != 0 {
+			return nil, fmt.Errorf("traffic: tenant %q sets burst without an admit rate", t.Name)
+		}
+		mt := mtTenant{name: t.Name, src: t.Source, bucket: bucket, nominal: t.Source.Rate()}
+		mt.pending, mt.ok = t.Source.Next(0)
+		m.nominal += mt.nominal
+		m.tenants = append(m.tenants, mt)
+	}
+	return m, nil
+}
+
+// Name implements Source.
+func (m *MultiTenant) Name() string {
+	names := make([]string, len(m.tenants))
+	for i, t := range m.tenants {
+		names[i] = t.name
+	}
+	return "tenants:" + strings.Join(names, "+")
+}
+
+// Next implements Source: emit the earliest buffered child arrival
+// (tenant index breaks timestamp ties), stamped with the tenant name and
+// the bucket's admit/deny decision, then refill that child's buffer.
+func (m *MultiTenant) Next(now float64) (Arrival, bool) {
+	best := -1
+	for i := range m.tenants {
+		t := &m.tenants[i]
+		if !t.ok {
+			continue
+		}
+		if best < 0 || t.pending.At < m.tenants[best].pending.At {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Arrival{}, false
+	}
+	t := &m.tenants[best]
+	a := t.pending
+	a.Meta.Tenant = t.name
+	if t.bucket != nil && !t.bucket.admit(a.At) {
+		a.Meta.Denied = true
+		m.drops[t.name]++
+	}
+	t.pending, t.ok = t.src.Next(a.At)
+	return a, true
+}
+
+// Rate implements Source: the sum of live children's current offered
+// rates.
+func (m *MultiTenant) Rate() float64 {
+	var sum float64
+	for i := range m.tenants {
+		if m.tenants[i].ok {
+			sum += m.tenants[i].src.Rate()
+		}
+	}
+	return sum
+}
+
+// SetRate implements Source: scales every tenant proportionally — each
+// child is retargeted to its construction-time share of the new total, so
+// steering the composition preserves the tenant mix.
+func (m *MultiTenant) SetRate(rate float64) error {
+	if rate <= 0 {
+		return fmt.Errorf("traffic: multi-tenant rate must be positive, got %g", rate)
+	}
+	m.speed = rate / m.nominal
+	for i := range m.tenants {
+		t := &m.tenants[i]
+		if err := t.src.SetRate(t.nominal * m.speed); err != nil {
+			return fmt.Errorf("traffic: tenant %q: %w", t.name, err)
+		}
+	}
+	return nil
+}
+
+// Drops reports per-tenant denied-arrival counts so far.
+func (m *MultiTenant) Drops() map[string]int { return m.drops }
+
+// Err reports the first child error (a tenant's trace replay broke), nil
+// otherwise.
+func (m *MultiTenant) Err() error {
+	for i := range m.tenants {
+		if e, ok := m.tenants[i].src.(interface{ Err() error }); ok {
+			if err := e.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Close closes every child source that holds resources (trace replays).
+func (m *MultiTenant) Close() error {
+	var first error
+	for i := range m.tenants {
+		if c, ok := m.tenants[i].src.(io.Closer); ok {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

@@ -1,0 +1,279 @@
+package traffic
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Trace file formats. The zero value asks NewTraceReplay to infer the
+// format from the file extension.
+const (
+	// FormatAuto infers NDJSON vs CSV from the path's extension.
+	FormatAuto = ""
+	// FormatNDJSON is one JSON object per line:
+	// {"t": 1.25, "tenant": "search", "class": "query"} — t is the
+	// absolute arrival time in seconds; tenant and class are optional.
+	FormatNDJSON = "ndjson"
+	// FormatCSV is comma-separated t[,tenant[,class]] lines; blank lines
+	// and lines starting with '#' are skipped, as is a leading header
+	// whose first field is not a number.
+	FormatCSV = "csv"
+)
+
+// rateWindow is how many recent arrivals the Rate estimate spans.
+const rateWindow = 64
+
+// TraceReplay replays recorded arrivals from an NDJSON or CSV trace. The
+// file is streamed line by line through a small buffer — a multi-gigabyte
+// trace costs the same memory as a 1k-line fixture — and each record's
+// tenant/class metadata rides on the arrival. Replay is deterministic by
+// construction (no randomness at all); SetRate time-compresses or
+// stretches the recorded gaps around the configured nominal rate, so rate
+// steps and diurnal steering compose with replayed shape instead of being
+// silently ignored.
+//
+// A malformed or non-monotone record stops replay at that point: the
+// source reports exhausted and Err returns the parse error, so a run over
+// a truncated trace finishes cleanly and the caller can distinguish "trace
+// ended" from "trace broke".
+type TraceReplay struct {
+	name    string
+	format  string
+	nominal float64
+	speed   float64 // virtual seconds of trace per second of run
+
+	closer io.Closer
+	scan   *bufio.Scanner
+	line   int
+	err    error
+	// pending is the one-record lookahead buffer between peek and Next.
+	pending *traceRecord
+
+	sawHeader bool // CSV: a non-numeric first line was consumed
+
+	lastIn  float64 // last record timestamp read from the trace
+	lastOut float64 // last arrival timestamp emitted
+	started bool
+
+	// recent is a ring of the last emitted arrival times backing the
+	// windowed Rate estimate.
+	recent [rateWindow]float64
+	count  int
+}
+
+// NewTraceReplay opens a trace file for streamed replay. format is one of
+// the Format constants (FormatAuto infers from the extension: .csv is CSV,
+// anything else NDJSON). nominal is the rate SetRate scales against — a
+// SetRate(nominal) leaves recorded gaps untouched; it must be positive.
+// The first record is parsed eagerly so an unreadable or malformed trace
+// fails at construction, not silently mid-run.
+func NewTraceReplay(path, format string, nominal float64) (*TraceReplay, error) {
+	if format == FormatAuto {
+		if strings.EqualFold(filepath.Ext(path), ".csv") {
+			format = FormatCSV
+		} else {
+			format = FormatNDJSON
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("traffic: %w", err)
+	}
+	tr, err := NewTraceReplayReader(f, format, "trace:"+filepath.Base(path), nominal)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	tr.closer = f
+	return tr, nil
+}
+
+// NewTraceReplayReader is NewTraceReplay over an arbitrary reader (tests
+// and embedded traces). format must be FormatNDJSON or FormatCSV; name is
+// what Name reports. The reader is not closed by the source unless it was
+// opened by NewTraceReplay.
+func NewTraceReplayReader(r io.Reader, format, name string, nominal float64) (*TraceReplay, error) {
+	if format != FormatNDJSON && format != FormatCSV {
+		return nil, fmt.Errorf("traffic: unknown trace format %q", format)
+	}
+	if nominal <= 0 {
+		return nil, fmt.Errorf("traffic: trace nominal rate must be positive, got %g", nominal)
+	}
+	tr := &TraceReplay{
+		name:    name,
+		format:  format,
+		nominal: nominal,
+		speed:   1,
+		scan:    bufio.NewScanner(r),
+	}
+	tr.scan.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	// Validate eagerly: an empty or immediately-broken trace is a
+	// construction error, not a zero-arrival run.
+	if _, _, ok := tr.peek(); !ok {
+		if tr.err != nil {
+			return nil, tr.err
+		}
+		return nil, fmt.Errorf("traffic: trace %s has no records", name)
+	}
+	return tr, nil
+}
+
+// traceRecord is one parsed trace line.
+type traceRecord struct {
+	T      float64 `json:"t"`
+	Tenant string  `json:"tenant"`
+	Class  string  `json:"class"`
+}
+
+// peek parses the next record into tr.pending without emitting it.
+func (tr *TraceReplay) peek() (float64, Meta, bool) {
+	if tr.pending != nil {
+		return tr.pending.T, Meta{Tenant: tr.pending.Tenant, Class: tr.pending.Class}, true
+	}
+	if tr.err != nil {
+		return 0, Meta{}, false
+	}
+	for tr.scan.Scan() {
+		tr.line++
+		raw := strings.TrimSpace(tr.scan.Text())
+		if raw == "" || strings.HasPrefix(raw, "#") {
+			continue
+		}
+		rec, err := tr.parseLine(raw)
+		if err != nil {
+			if err == errSkipLine {
+				continue
+			}
+			tr.err = fmt.Errorf("traffic: %s line %d: %w", tr.name, tr.line, err)
+			return 0, Meta{}, false
+		}
+		if tr.started && rec.T < tr.lastIn {
+			tr.err = fmt.Errorf("traffic: %s line %d: timestamp %g before previous %g (trace must be non-decreasing)",
+				tr.name, tr.line, rec.T, tr.lastIn)
+			return 0, Meta{}, false
+		}
+		tr.pending = rec
+		return rec.T, Meta{Tenant: rec.Tenant, Class: rec.Class}, true
+	}
+	if err := tr.scan.Err(); err != nil {
+		tr.err = fmt.Errorf("traffic: %s: %w", tr.name, err)
+	}
+	return 0, Meta{}, false
+}
+
+// errSkipLine marks a line peek should silently skip (a CSV header).
+var errSkipLine = fmt.Errorf("skip")
+
+func (tr *TraceReplay) parseLine(raw string) (*traceRecord, error) {
+	switch tr.format {
+	case FormatNDJSON:
+		rec := &traceRecord{T: -1}
+		if err := json.Unmarshal([]byte(raw), rec); err != nil {
+			return nil, fmt.Errorf("bad NDJSON record: %w", err)
+		}
+		if rec.T < 0 {
+			return nil, fmt.Errorf("record missing non-negative \"t\"")
+		}
+		return rec, nil
+	case FormatCSV:
+		fields := strings.Split(raw, ",")
+		t, err := strconv.ParseFloat(strings.TrimSpace(fields[0]), 64)
+		if err != nil {
+			if !tr.sawHeader && !tr.started {
+				tr.sawHeader = true
+				return nil, errSkipLine
+			}
+			return nil, fmt.Errorf("bad timestamp %q", fields[0])
+		}
+		if t < 0 {
+			return nil, fmt.Errorf("negative timestamp %g", t)
+		}
+		rec := &traceRecord{T: t}
+		if len(fields) > 1 {
+			rec.Tenant = strings.TrimSpace(fields[1])
+		}
+		if len(fields) > 2 {
+			rec.Class = strings.TrimSpace(fields[2])
+		}
+		return rec, nil
+	}
+	return nil, fmt.Errorf("unknown format %q", tr.format)
+}
+
+// Name implements Source.
+func (tr *TraceReplay) Name() string { return tr.name }
+
+// Next implements Source: the next recorded arrival, with its gap from the
+// previous record divided by the current speed factor. The emitted clock
+// is rebuilt from emitted time + scaled gap (not recorded time ÷ speed) so
+// a mid-run SetRate only reshapes the future, never rewrites the past.
+func (tr *TraceReplay) Next(now float64) (Arrival, bool) {
+	t, meta, ok := tr.peek()
+	if !ok {
+		return Arrival{}, false
+	}
+	tr.pending = nil
+	var out float64
+	if !tr.started {
+		// The first record lands at its scaled recorded offset.
+		out = t / tr.speed
+		tr.started = true
+	} else {
+		out = tr.lastOut + (t-tr.lastIn)/tr.speed
+	}
+	tr.lastIn = t
+	tr.lastOut = out
+	tr.recent[tr.count%rateWindow] = out
+	tr.count++
+	return Arrival{At: out, Meta: meta}, true
+}
+
+// Rate implements Source: a windowed estimate over the last emitted
+// arrivals (nominal × speed before enough arrivals exist, or when the
+// window spans zero time).
+func (tr *TraceReplay) Rate() float64 {
+	n := tr.count
+	if n > rateWindow {
+		n = rateWindow
+	}
+	if n >= 2 {
+		newest := tr.recent[(tr.count-1)%rateWindow]
+		oldest := tr.recent[(tr.count-n)%rateWindow]
+		if span := newest - oldest; span > 0 {
+			return float64(n-1) / span
+		}
+	}
+	return tr.nominal * tr.speed
+}
+
+// SetRate implements Source: replay speed becomes rate/nominal, scaling
+// every future gap. SetRate(nominal) restores recorded pacing.
+func (tr *TraceReplay) SetRate(rate float64) error {
+	if rate <= 0 {
+		return fmt.Errorf("traffic: trace replay rate must be positive, got %g", rate)
+	}
+	tr.speed = rate / tr.nominal
+	return nil
+}
+
+// Err reports the parse or I/O error that stopped replay, nil after a
+// clean end of trace. Check it when a run admits fewer requests than the
+// trace should supply.
+func (tr *TraceReplay) Err() error { return tr.err }
+
+// Close releases the underlying file when the source was opened from a
+// path; it is a no-op for reader-backed sources.
+func (tr *TraceReplay) Close() error {
+	if tr.closer == nil {
+		return nil
+	}
+	c := tr.closer
+	tr.closer = nil
+	return c.Close()
+}

@@ -156,8 +156,20 @@ type Options struct {
 	// are sized by the scenario's topology.
 	SearchComponents int
 	// ArrivalRate is the request arrival rate λ in requests/second
-	// (default 100).
+	// (default 100). When Traffic is nil it is the whole workload
+	// description — the scalar compat path, which constructs a Poisson
+	// source exactly as every release before the traffic redesign did
+	// (byte-identical reports, pinned by tests). With a Traffic spec in
+	// play it remains the run's nominal intensity: the horizon and
+	// steering base, and the fallback rate for spec kinds whose Rate
+	// field is 0.
 	ArrivalRate float64
+	// Traffic, when non-nil, describes the arrival process — trace
+	// replay, session populations, bursty MMPP, multi-tenant mixes with
+	// admission control — instead of the scalar Poisson λ. It overrides
+	// the scenario's scripted traffic, if any. See TrafficSpec for the
+	// kinds and docs/traffic.md for the authoring guide.
+	Traffic *TrafficSpec
 	// Requests is the number of arrivals to generate (default 20000).
 	Requests int
 	// Shards is the number of worker shards a single simulation fans its
@@ -352,6 +364,18 @@ type Result struct {
 	SchedulingIntervals int
 	BatchJobsStarted    int
 	VirtualSeconds      float64
+
+	// Traffic names the arrival source when the run was driven by a
+	// TrafficSpec (e.g. "trace:arrivals.ndjson", "sessions:400",
+	// "tenants:search+feed"); empty for the scalar Poisson path — these
+	// trailing fields are omitted from JSON when zero so scalar-run
+	// reports keep their exact pre-redesign encoding.
+	Traffic string `json:",omitempty"`
+	// AdmissionDrops counts arrivals denied by per-tenant token buckets.
+	AdmissionDrops int `json:",omitempty"`
+	// Tenants breaks request accounting and latency down by tenant,
+	// sorted by name; nil for untenanted traffic.
+	Tenants []TenantResult `json:",omitempty"`
 }
 
 // Run executes one simulation to its horizon and reports its latency

@@ -93,6 +93,7 @@ func (s *Simulation) evalPolicy(now float64) {
 		OfferedArrivalRate:  s.svc.OfferedArrivalRate(),
 		BaseArrivalRate:     s.opts.ArrivalRate,
 		AdmissionFactor:     s.svc.AdmissionFactor(),
+		AdmissionDrops:      snap.AdmissionDrops,
 		Arrivals:            snap.Arrivals,
 		Completed:           snap.Completed,
 		InFlight:            snap.InFlight,

@@ -13,10 +13,16 @@ func (r Result) WriteReport(w io.Writer) {
 	fmt.Fprintf(w, "technique           %s\n", r.Technique)
 	fmt.Fprintf(w, "scenario            %s\n", r.Scenario)
 	fmt.Fprintf(w, "arrival rate        %.0f req/s\n", r.ArrivalRate)
+	if r.Traffic != "" {
+		fmt.Fprintf(w, "traffic             %s\n", r.Traffic)
+	}
 	if r.Policy != "" {
 		fmt.Fprintf(w, "policy              %s (%d actions)\n", r.Policy, r.PolicyActions)
 	}
 	fmt.Fprintf(w, "requests            %d arrived, %d completed\n", r.Arrivals, r.Completed)
+	if r.AdmissionDrops > 0 {
+		fmt.Fprintf(w, "admission drops     %d\n", r.AdmissionDrops)
+	}
 	fmt.Fprintf(w, "virtual time        %.1f s\n", r.VirtualSeconds)
 	fmt.Fprintf(w, "batch jobs          %d started\n", r.BatchJobsStarted)
 	fmt.Fprintln(w)
@@ -32,5 +38,14 @@ func (r Result) WriteReport(w io.Writer) {
 		fmt.Fprintln(w)
 		fmt.Fprintf(w, "scheduling intervals      %d\n", r.SchedulingIntervals)
 		fmt.Fprintf(w, "migrations enforced       %d\n", r.Migrations)
+	}
+	if len(r.Tenants) > 0 {
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "%-12s %9s %9s %9s %10s %10s %10s\n",
+			"tenant", "offered", "admitted", "dropped", "avg ms", "p50 ms", "p99 ms")
+		for _, t := range r.Tenants {
+			fmt.Fprintf(w, "%-12s %9d %9d %9d %10.3f %10.3f %10.3f\n",
+				t.Name, t.Offered, t.Admitted, t.Dropped, t.AvgMs, t.P50Ms, t.P99Ms)
+		}
 	}
 }

@@ -2,6 +2,7 @@ package pcs
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"repro/internal/cluster"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/service"
 	"repro/internal/shard"
 	"repro/internal/sim"
+	"repro/internal/traffic"
 	"repro/internal/workload"
 	"repro/internal/xrand"
 )
@@ -41,6 +43,11 @@ type Simulation struct {
 	// actions it applied.
 	pol       policy.Policy
 	policyLog []PolicyAction
+
+	// trafficName is the arrival source's name when the run was built
+	// from a TrafficSpec, "" on the scalar compat path (Result.Traffic
+	// must stay absent there to keep scalar reports byte-identical).
+	trafficName string
 
 	horizon  float64
 	finished bool
@@ -155,19 +162,35 @@ func NewSimulation(opts Options) (*Simulation, error) {
 	if ctrl != nil {
 		ctrl.Start()
 	}
-	svc.StartArrivals(o.ArrivalRate, o.Requests)
+	// The arrival path: an Options.Traffic spec wins, then the scenario's
+	// scripted traffic, then the scalar compat shim. The spec's source is
+	// built from the same service-stream fork StartArrivals takes, so an
+	// explicit {Kind: "poisson"} spec reproduces the scalar path's draws
+	// exactly.
+	trafficName := ""
+	if tspec := resolveTraffic(o, sc); tspec == nil {
+		svc.StartArrivals(o.ArrivalRate, o.Requests)
+	} else {
+		src, err := tspec.New(svc.RNG().Fork(), o.ArrivalRate)
+		if err != nil {
+			return fail(fmt.Errorf("pcs: %w", err))
+		}
+		svc.StartTraffic(src, o.Requests)
+		trafficName = src.Name()
+	}
 
 	s := &Simulation{
-		opts:    o,
-		sc:      sc,
-		engine:  engine,
-		cluster: cl,
-		gen:     gen,
-		svc:     svc,
-		mon:     mon,
-		ctrl:    ctrl,
-		pool:    pool,
-		horizon: duration + o.DrainSeconds,
+		opts:        o,
+		sc:          sc,
+		engine:      engine,
+		cluster:     cl,
+		gen:         gen,
+		svc:         svc,
+		mon:         mon,
+		ctrl:        ctrl,
+		pool:        pool,
+		horizon:     duration + o.DrainSeconds,
+		trafficName: trafficName,
 	}
 	if err := s.applySteering(duration); err != nil {
 		return fail(err)
@@ -179,6 +202,16 @@ func NewSimulation(opts Options) (*Simulation, error) {
 	s.pol = pol
 	s.startPolicy()
 	return s, nil
+}
+
+// resolveTraffic picks the run's traffic spec: Options.Traffic wins, then
+// the scenario's scripted traffic; nil selects the scalar compat path.
+func resolveTraffic(o Options, sc scenario.Scenario) *traffic.Spec {
+	if o.Traffic != nil {
+		spec := o.Traffic.toSpec()
+		return &spec
+	}
+	return sc.Traffic
 }
 
 // applySteering translates the scenario's steering script (if any) into
@@ -344,9 +377,25 @@ type Snapshot struct {
 	// AvgOverallMs and P99ComponentMs are the paper's two metrics over
 	// the post-warmup observations recorded so far.
 	AvgOverallMs, P99ComponentMs float64
-	// ArrivalRate is the arrival process's current λ in requests/second —
-	// it moves under diurnal steering.
+	// OfferedRate is the intensity the workload currently offers in
+	// requests/second — what rate steps and diurnal steering move.
+	// AdmittedRate is the intensity the traffic source actually runs at:
+	// offered × AdmissionFactor. The two gauges are named explicitly
+	// because they genuinely differ whenever an admission policy
+	// throttles.
+	OfferedRate, AdmittedRate float64
+	// ArrivalRate is the admitted rate again, kept under the old name so
+	// existing dashboards and policies keep reading the value they always
+	// did.
+	//
+	// Deprecated: read AdmittedRate (or OfferedRate for the pre-throttle
+	// intensity); this alias will not grow new semantics.
 	ArrivalRate float64
+	// AdmissionDrops counts arrivals denied by per-tenant token buckets
+	// so far (0 for unthrottled traffic). This is the traffic layer's
+	// hard admission control; AdmissionFactor below is the closed-loop
+	// soft throttle — they compose.
+	AdmissionDrops int
 	// QueuedExecutions counts executions waiting in instance queues across
 	// the deployment; BusyInstances counts occupied servers. Together they
 	// are the instantaneous service-pressure gauges of the live dashboard.
@@ -362,7 +411,7 @@ type Snapshot struct {
 	// the closed-loop actuator positions. ActiveReplicas starts at the
 	// technique's deployed count (1 for Basic/PCS, k for RED-k, 2 for
 	// reissue); the factors are 1 unless a policy or steering moves them.
-	// ArrivalRate above is the admitted rate: offered × AdmissionFactor.
+	// AdmittedRate above is OfferedRate × AdmissionFactor.
 	ActiveReplicas  int
 	WorkFactor      float64
 	AdmissionFactor float64
@@ -386,7 +435,10 @@ func (s *Simulation) Snapshot() Snapshot {
 		FiredEvents:      s.engine.Fired(),
 		AvgOverallMs:     rep.AvgOverallMs,
 		P99ComponentMs:   rep.P99ComponentMs,
+		OfferedRate:      s.svc.OfferedArrivalRate(),
+		AdmittedRate:     s.svc.ArrivalRate(),
 		ArrivalRate:      s.svc.ArrivalRate(),
+		AdmissionDrops:   s.svc.AdmissionDrops(),
 		QueuedExecutions: s.svc.QueuedExecutions(),
 		BusyInstances:    s.svc.BusyInstances(),
 		FailedNodes:      s.cluster.FailedNodes(),
@@ -439,21 +491,50 @@ func (s *Simulation) Finish() Result {
 		Migrations:       s.svc.Migrations(),
 		BatchJobsStarted: s.gen.Started(),
 		VirtualSeconds:   s.engine.Now(),
+		Traffic:          s.trafficName,
+		AdmissionDrops:   s.svc.AdmissionDrops(),
+		Tenants:          s.tenantResults(),
 	}
 	if s.ctrl != nil {
 		res.SchedulingIntervals = s.ctrl.Intervals
 	}
 	s.finished = true
 	s.result = res
-	// The run is over; release the shard workers. Late observers —
-	// Snapshot, a re-entrant Finish — only read, and a closed pool would
-	// degrade any further region to inline execution anyway.
+	// The run is over; release the shard workers and the traffic source's
+	// file handle, if it holds one. Late observers — Snapshot, a
+	// re-entrant Finish — only read, and a closed pool would degrade any
+	// further region to inline execution anyway.
 	s.pool.Close()
+	s.closeTraffic()
 	return res
 }
 
-// Close releases the simulation's shard workers without running it to the
-// horizon — for callers abandoning a run mid-flight. Finish closes them
-// itself; closing twice is a no-op, and a closed simulation can still be
-// advanced (regions just run inline, with identical results).
-func (s *Simulation) Close() { s.pool.Close() }
+// closeTraffic releases resources held by the traffic source (a trace
+// replay's file handle); sources without resources ignore it.
+func (s *Simulation) closeTraffic() {
+	if c, ok := s.svc.Traffic().(io.Closer); ok {
+		c.Close()
+	}
+}
+
+// TrafficErr reports the error that stopped the traffic source early — a
+// trace file that broke mid-replay — or nil for sources that cannot fail
+// or have not. A run whose Arrivals fall short of Requests should check
+// it to distinguish "trace ended" from "trace broke".
+func (s *Simulation) TrafficErr() error {
+	if e, ok := s.svc.Traffic().(interface{ Err() error }); ok {
+		return e.Err()
+	}
+	return nil
+}
+
+// Close releases the simulation's shard workers and the traffic source's
+// resources without running it to the horizon — for callers abandoning a
+// run mid-flight. Finish closes them itself; closing twice is a no-op,
+// and a closed simulation can still be advanced (regions just run inline,
+// with identical results — though a closed trace replay stops supplying
+// arrivals).
+func (s *Simulation) Close() {
+	s.pool.Close()
+	s.closeTraffic()
+}

@@ -1,0 +1,141 @@
+package pcs
+
+import (
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// TrafficSpec describes the run's arrival process — the production-shaped
+// replacement for the scalar Options.ArrivalRate. It mirrors the policy
+// authoring surface: pure data, validated up front, constructed fresh for
+// every replication so runs stay bit-reproducible. Kinds:
+//
+//   - "poisson": memoryless arrivals at Rate (0 defers to ArrivalRate) —
+//     the paper's own workload, now explicit.
+//   - "trace": replay a recorded NDJSON/CSV arrival trace from Path,
+//     streamed so multi-gigabyte traces never load into memory. NDJSON
+//     records are {"t": seconds, "tenant": "...", "class": "..."} per
+//     line; CSV rows are t[,tenant[,class]]. Rate is the nominal pacing
+//     rate steering scales against (0 defers to ArrivalRate).
+//   - "sessions": a closed population of Users flows, each issuing a
+//     request then thinking for a lognormal(ThinkSeconds, ThinkSigma)
+//     think time — offered load emerges from population size.
+//   - "mmpp": Markov-modulated Poisson burstiness cycling through
+//     Rates[i]-intensity states held for mean Sojourns[i] seconds;
+//     HeavyTail gives spike durations a power-law tail.
+//   - "multi-tenant": compose per-tenant sources with token-bucket
+//     admission and per-tenant latency/drop breakdowns in the Result.
+//
+// The determinism contract and trace file format are documented in
+// docs/traffic.md.
+type TrafficSpec struct {
+	// Kind selects the source, one of the kinds listed above.
+	Kind string
+	// Rate is the Poisson λ or trace nominal pacing rate; 0 defers to
+	// Options.ArrivalRate.
+	Rate float64
+	// Path and Format configure "trace": the trace file, and "ndjson",
+	// "csv" or "" to infer from the extension.
+	Path   string
+	Format string
+	// Users, ThinkSeconds and ThinkSigma configure "sessions".
+	Users        int
+	ThinkSeconds float64
+	ThinkSigma   float64
+	// Rates, Sojourns and HeavyTail configure "mmpp".
+	Rates     []float64
+	Sojourns  []float64
+	HeavyTail bool
+	// Tenants configures "multi-tenant".
+	Tenants []TenantTraffic
+}
+
+// TenantTraffic is one tenant inside a "multi-tenant" TrafficSpec.
+type TenantTraffic struct {
+	// Name tags the tenant's requests; it keys the per-tenant breakdown
+	// in Result.Tenants. Unique and non-empty.
+	Name string
+	// Source is the tenant's own arrival process (any kind but
+	// "multi-tenant").
+	Source TrafficSpec
+	// AdmitRate caps the tenant at this many admitted requests/second
+	// via a deterministic token bucket; 0 admits everything.
+	AdmitRate float64
+	// Burst is the bucket depth in requests — how far above AdmitRate
+	// the tenant may spike before denials start (0 with a positive
+	// AdmitRate selects 1).
+	Burst int
+}
+
+// toSpec converts the public spec into the internal traffic package's.
+func (ts *TrafficSpec) toSpec() traffic.Spec {
+	spec := traffic.Spec{
+		Kind:         ts.Kind,
+		Rate:         ts.Rate,
+		Path:         ts.Path,
+		Format:       ts.Format,
+		Users:        ts.Users,
+		ThinkSeconds: ts.ThinkSeconds,
+		ThinkSigma:   ts.ThinkSigma,
+		Rates:        ts.Rates,
+		Sojourns:     ts.Sojourns,
+		HeavyTail:    ts.HeavyTail,
+	}
+	for _, t := range ts.Tenants {
+		spec.Tenants = append(spec.Tenants, traffic.TenantSpec{
+			Name:      t.Name,
+			Source:    t.Source.toSpec(),
+			AdmitRate: t.AdmitRate,
+			Burst:     t.Burst,
+		})
+	}
+	return spec
+}
+
+// TenantResult is one tenant's slice of a run: request accounting and the
+// tenant's own end-to-end latency distribution. Offered counts every
+// arrival the tenant generated inside the request budget; Admitted counts
+// the ones that entered the service, Dropped the ones its token bucket
+// denied. Latency percentiles cover the tenant's post-warmup completions.
+type TenantResult struct {
+	Name                       string
+	Offered, Admitted, Dropped int
+	AvgMs, P50Ms, P99Ms        float64
+}
+
+// tenantResults assembles the sorted per-tenant breakdown from the
+// service's counters and the collector's per-tenant latencies, nil for
+// untenanted traffic (keeping scalar-run Results byte-identical).
+func (s *Simulation) tenantResults() []TenantResult {
+	arrivals := s.svc.TenantArrivals()
+	drops := s.svc.TenantDrops()
+	if len(arrivals) == 0 && len(drops) == 0 {
+		return nil
+	}
+	names := make(map[string]bool)
+	for name := range arrivals {
+		names[name] = true
+	}
+	for name := range drops {
+		names[name] = true
+	}
+	lats := s.svc.Collector().TenantLatencies()
+	out := make([]TenantResult, 0, len(names))
+	for name := range names {
+		sum := stats.Summarize(lats[name])
+		out = append(out, TenantResult{
+			Name:     name,
+			Offered:  arrivals[name] + drops[name],
+			Admitted: arrivals[name],
+			Dropped:  drops[name],
+			AvgMs:    sum.Mean * 1000,
+			P50Ms:    sum.P50 * 1000,
+			P99Ms:    sum.P99 * 1000,
+		})
+	}
+	// Map iteration is unordered; reports are not. Sort by name.
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
