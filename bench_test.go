@@ -295,12 +295,97 @@ func BenchmarkShardedRun(b *testing.B) {
 					speedup, runtime.GOMAXPROCS(0))
 			}
 		}
+		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
 	})
 	// A -bench filter may select only one sub-benchmark; compare only when
 	// both actually ran.
 	if ranSeq && ranSharded && !reflect.DeepEqual(sequential, sharded) {
 		b.Fatalf("sharded result diverged from sequential:\nsharded:    %+v\nsequential: %+v",
 			sharded, sequential)
+	}
+}
+
+// BenchmarkLanedRun is the laned data plane's acceptance benchmark: the
+// same large-cluster PCS run as BenchmarkShardedRun executed with the
+// affinity-laned conservative engine at 1, 4 and 8 lanes. All lane counts
+// must produce the identical Result (determinism invariant #10 — lane
+// count only moves the wall clock); on a machine with the cores to back
+// them, 4 lanes must run ≥ 1.8× and 8 lanes ≥ 2.5× faster than 1 lane.
+// The ratio is reported everywhere but, like BenchmarkShardedRun's, only
+// enforced where the cores exist and the timing is averaged over more
+// than one iteration.
+func BenchmarkLanedRun(b *testing.B) {
+	opts := pcs.Options{
+		Technique:          pcs.PCS,
+		Scenario:           "large-cluster",
+		Seed:               1,
+		ArrivalRate:        100,
+		Requests:           2000,
+		SchedulingInterval: 2,
+		TrainingMixes:      60,
+		ProfilingProbes:    150,
+	}
+	run := func(b *testing.B, lanes int) pcs.Result {
+		var res pcs.Result
+		for i := 0; i < b.N; i++ {
+			o := opts
+			o.Lanes = lanes
+			var err error
+			res, err = pcs.Run(o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.AvgOverallMs, "avg-overall-ms")
+		}
+		return res
+	}
+	// Sub-benchmark names carry the lane count without a trailing -digits
+	// suffix (bench-gate strips `go test`'s -GOMAXPROCS suffix by regex).
+	cases := []struct {
+		name    string
+		lanes   int
+		minGain float64 // enforced floor vs lanes1, 0 = none
+	}{
+		{"lanes1", 1, 0},
+		{"lanes4", 4, 1.8},
+		{"lanes8", 8, 2.5},
+	}
+	results := make(map[string]pcs.Result)
+	var baseNs float64
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			start := time.Now()
+			results[c.name] = run(b, c.lanes)
+			ns := float64(time.Since(start).Nanoseconds()) / float64(b.N)
+			if c.lanes == 1 {
+				baseNs = ns
+				return
+			}
+			if baseNs > 0 && ns > 0 {
+				speedup := baseNs / ns
+				b.ReportMetric(speedup, "speedup-x")
+				// Self-skip the ratio where the cores to parallelise across
+				// don't exist, or at -benchtime 1x where one wall-clock
+				// sample on a shared runner is too noisy to gate on.
+				if runtime.GOMAXPROCS(0) >= c.lanes && b.N > 1 && speedup < c.minGain {
+					b.Errorf("%d-lane run speedup %.2fx < %.1fx on a %d-core machine",
+						c.lanes, speedup, c.minGain, runtime.GOMAXPROCS(0))
+				}
+			}
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+		})
+	}
+	// A -bench filter may select a subset; compare whichever cells ran.
+	base, ok := results["lanes1"]
+	if ok {
+		for _, c := range cases[1:] {
+			res, ran := results[c.name]
+			if ran && !reflect.DeepEqual(res, base) {
+				b.Fatalf("%s result diverged from lanes1 (invariant #10):\n%s: %+v\nlanes1: %+v",
+					c.name, c.name, res, base)
+			}
+		}
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 	"log"
 	"os"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -197,8 +198,22 @@ func main() {
 		log.Fatal("bench-gate: no benchmark result lines found in input")
 	}
 
+	// The environment header travels with the snapshot so a seed regenerated
+	// on a different machine is legible: speedup-asserting benchmarks
+	// (BenchmarkShardedRun, BenchmarkLanedRun, BenchmarkParallelSweep)
+	// self-skip their ratio checks when the recorded core count is below the
+	// parallelism they exercise, and a reader of BENCH_SEED.json can tell a
+	// 1-core seed's ~1x speedups from a regression.
+	fmt.Printf("bench-gate: %s, %d cores (GOMAXPROCS), %d cpus\n",
+		runtime.Version(), runtime.GOMAXPROCS(0), runtime.NumCPU())
+
 	if *outPath != "" {
-		snap := Snapshot{Command: "go test -bench . -benchtime 1x -run ^$ ./...", Benchmarks: benches}
+		snap := Snapshot{
+			Command:    "go test -bench . -benchtime 1x -run ^$ ./...",
+			GoVersion:  runtime.Version(),
+			Cores:      runtime.GOMAXPROCS(0),
+			Benchmarks: benches,
+		}
 		data, err := json.MarshalIndent(snap, "", "  ")
 		if err != nil {
 			log.Fatal(err)

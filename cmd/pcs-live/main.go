@@ -47,6 +47,7 @@ func main() {
 		plain        = flag.Bool("plain", false, "no ANSI dashboard: print one line per sample (default when stdout is not a terminal)")
 		width        = flag.Int("width", 48, "sparkline width in columns")
 		shards       = flag.Int("shards", 1, "intra-run shard workers per simulation (-1 = all cores); never affects the results")
+		lanes        = cliutil.AddLanes(flag.CommandLine)
 		listOnly     = flag.Bool("list-scenarios", false, "print the registered scenario names, one per line, and exit\n(lets scripts — like the CI smoke — iterate the registry)")
 	)
 	flag.Parse()
@@ -77,6 +78,7 @@ func main() {
 		SearchComponents: *fanOut,
 		Seed:             *seed,
 		Shards:           *shards,
+		Lanes:            *lanes,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -152,8 +154,8 @@ func (d *dashboard) plainLine(sn pcs.Snapshot) {
 		a := log[d.loggedActions]
 		fmt.Printf("t=%8.2fs policy %s: %s=%g (%s)\n", a.T, d.sim.PolicyName(), a.Kind, a.Value, a.Reason)
 	}
-	fmt.Printf("t=%8.2fs λ=%6.1f arrived=%7d done=%7d inflight=%5d queued=%5d util=%.2f/%.2f failed=%d avg=%7.3fms p99c=%7.3fms",
-		sn.Now, sn.ArrivalRate, sn.Arrivals, sn.Completed, sn.InFlight,
+	fmt.Printf("t=%8.2fs λadm=%6.1f arrived=%7d done=%7d inflight=%5d queued=%5d util=%.2f/%.2f failed=%d avg=%7.3fms p99c=%7.3fms",
+		sn.Now, sn.AdmittedRate, sn.Arrivals, sn.Completed, sn.InFlight,
 		sn.QueuedExecutions, sn.MeanCoreUtilization, sn.MaxCoreUtilization,
 		sn.FailedNodes, sn.AvgOverallMs, sn.P99ComponentMs)
 	if d.sim.PolicyName() != "" {
@@ -189,8 +191,8 @@ func (d *dashboard) frame() {
 	row := func(name string, vals []float64, cur string) {
 		line("%-16s %s  %s", name, metrics.Sparkline(vals, d.width), cur)
 	}
-	row("λ req/s", metrics.Values(samples, func(s pcs.Snapshot) float64 { return s.ArrivalRate }),
-		fmt.Sprintf("%7.1f", last.ArrivalRate))
+	row("λ adm req/s", metrics.Values(samples, func(s pcs.Snapshot) float64 { return s.AdmittedRate }),
+		fmt.Sprintf("%7.1f", last.AdmittedRate))
 	thr := metrics.Rates(samples, func(s pcs.Snapshot) float64 { return float64(s.Completed) })
 	row("done req/s", thr, fmt.Sprintf("%7.1f", thr[len(thr)-1]))
 	row("avg overall ms", metrics.Values(samples, func(s pcs.Snapshot) float64 { return s.AvgOverallMs }),

@@ -47,11 +47,19 @@ func main() {
 		maxReps      = flag.Int("max-replications", 64, "hard replication cap for -ci-target")
 		workers      = flag.Int("workers", 0, "parallel simulation workers (0 = all cores); never affects the results")
 		shards       = flag.Int("shards", 1, "intra-run shard workers per simulation: profiling, matrix construction,\nmonitor sampling and demand ticks fan out across this many cores\n(-1 = all cores); results are bit-identical at any value")
+		lanes        = cliutil.AddLanes(flag.CommandLine)
+		prof         = cliutil.AddProfile(flag.CommandLine)
 		sampleEvery  = flag.Float64("sample-interval", 0, "sample a Snapshot every this many virtual seconds during a single run\nand print the time-series after the report; 0 disables. Sampling never\nchanges the results")
 		streamPath   = flag.String("stream", "", "with -replications or -ci-target: write each replication's result to this\nfile as NDJSON instead of holding all of them in memory")
 		mergePath    = flag.String("merge", "", "aggregate an NDJSON file written by pcs-sim -stream and exit (no simulation).\npcs-sweep -stream files are per-cell records with repeating replication\nindices and are not mergeable here")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	if *mergePath != "" {
 		f, err := os.Open(*mergePath)
@@ -90,6 +98,7 @@ func main() {
 		EpsilonSeconds:     *epsilon,
 		QueueModel:         *queue,
 		Shards:             *shards,
+		Lanes:              *lanes,
 	}
 	if *sampleEvery > 0 && (*replications > 1 || *ciTarget > 0) {
 		log.Fatal("-sample-interval applies to a single run: drop -replications/-ci-target " +
@@ -202,14 +211,14 @@ func printSeries(series *metrics.Series[pcs.Snapshot]) {
 	}
 	fmt.Printf("\ntime-series (%d samples retained of %d taken)\n", series.Len(), series.Offered())
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "t(s)\tλ\tarrived\tdone\tin-flight\tqueued\tutil µ/max\tavg ms\tp99 comp ms")
+	fmt.Fprintln(tw, "t(s)\tλ adm\tarrived\tdone\tin-flight\tqueued\tutil µ/max\tavg ms\tp99 comp ms")
 	step := 1
 	if len(samples) > 16 {
 		step = (len(samples) + 15) / 16
 	}
 	row := func(sn pcs.Snapshot) {
 		fmt.Fprintf(tw, "%.1f\t%.0f\t%d\t%d\t%d\t%d\t%.2f/%.2f\t%.3f\t%.3f\n",
-			sn.Now, sn.ArrivalRate, sn.Arrivals, sn.Completed, sn.InFlight,
+			sn.Now, sn.AdmittedRate, sn.Arrivals, sn.Completed, sn.InFlight,
 			sn.QueuedExecutions, sn.MeanCoreUtilization, sn.MaxCoreUtilization,
 			sn.AvgOverallMs, sn.P99ComponentMs)
 	}

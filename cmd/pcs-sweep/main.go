@@ -46,6 +46,7 @@ func main() {
 		replications = flag.Int("replications", 1, "independent replications per (technique, rate) cell; >1 reports mean±CI95")
 		workers      = flag.Int("workers", 0, "parallel simulation workers (0 = all cores); never affects the results")
 		shards       = flag.Int("shards", 1, "intra-run shard workers per simulation (-1 = all cores); never affects the results")
+		lanes        = cliutil.AddLanes(flag.CommandLine)
 		streamPath   = flag.String("stream", "", "write every run of the sweep (cell coordinates, seed, full result) to this\nfile as NDJSON, alongside the aggregated tables")
 	)
 	flag.Parse()
@@ -83,6 +84,7 @@ func main() {
 			Replications:     *replications,
 			Workers:          *workers,
 			Shards:           *shards,
+			Lanes:            *lanes,
 		}
 		if *streamPath != "" {
 			f, err := os.Create(*streamPath)
@@ -116,6 +118,7 @@ func main() {
 		Replications:     *replications,
 		Workers:          *workers,
 		Shards:           *shards,
+		Lanes:            *lanes,
 	}
 	if *streamPath != "" {
 		f, err := os.Create(*streamPath)

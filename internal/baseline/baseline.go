@@ -32,8 +32,8 @@ func (Basic) Replicas() int { return 1 }
 // or, when closed-loop autoscaling has activated extra replicas, to the
 // least-loaded active instance (a deterministic choice; with one active
 // replica it is exactly the primary, the historical behavior).
-func (Basic) Dispatch(svc *service.Service, sub *service.SubRequest) {
-	sub.IssueTo(svc.PickInstance(sub.Comp))
+func (Basic) Dispatch(svc *service.Service, sub *service.SubRequest, now float64) {
+	sub.IssueTo(svc.PickInstance(sub.Comp), now)
 }
 
 // Redundancy is the RED-k policy of [27], [11], [26]: create k replicas of
@@ -69,10 +69,10 @@ func (p *Redundancy) Replicas() int { return p.K }
 // cancel-on-start semantics: the first K active instances, which is every
 // deployed replica unless autoscaling has activated more (RED-k stays
 // k-way redundant regardless of the scale).
-func (p *Redundancy) Dispatch(_ *service.Service, sub *service.SubRequest) {
+func (p *Redundancy) Dispatch(_ *service.Service, sub *service.SubRequest, now float64) {
 	sub.EnableCancelOnStart(p.CancelDelay)
 	for _, in := range sub.Comp.ActiveInstances()[:p.K] {
-		sub.IssueTo(in)
+		sub.IssueTo(in, now)
 	}
 }
 
@@ -104,18 +104,20 @@ func (p *Reissue) Name() string { return fmt.Sprintf("RI-%d", int(p.Percentile))
 // Replicas implements service.Policy: a primary plus one backup.
 func (p *Reissue) Replicas() int { return 2 }
 
-// Dispatch sends to the primary and arms the reissue timer.
-func (p *Reissue) Dispatch(svc *service.Service, sub *service.SubRequest) {
+// Dispatch sends to the primary and arms the reissue timer. The timer
+// runs on the request path's root context (service.AfterData), so it
+// reads sub.Done and reissues safely in laned mode too.
+func (p *Reissue) Dispatch(svc *service.Service, sub *service.SubRequest, now float64) {
 	stage := sub.Comp.Stage
 	for len(p.est) <= stage {
 		p.est = append(p.est, newQuantileEstimator(2048, 256))
 	}
 	est := p.est[stage]
 
-	sub.OnDone = func(_ *service.Execution, now float64) {
-		est.Add(now - sub.IssuedAt)
+	sub.OnDone = func(_ *service.Execution, doneNow float64) {
+		est.Add(doneNow - sub.IssuedAt)
 	}
-	sub.IssueTo(sub.Comp.Primary())
+	sub.IssueTo(sub.Comp.Primary(), now)
 
 	timeout, ok := est.Quantile(p.Percentile)
 	if !ok {
@@ -125,11 +127,11 @@ func (p *Reissue) Dispatch(svc *service.Service, sub *service.SubRequest) {
 		}
 		timeout = sub.Comp.Spec.BaseServiceTime * f
 	}
-	svc.Engine().After(timeout, func(float64) {
+	svc.AfterData(now, timeout, func(fireNow float64) {
 		if sub.Done() {
 			return
 		}
 		backup := sub.Comp.Instances[1]
-		sub.IssueTo(backup)
+		sub.IssueTo(backup, fireNow)
 	})
 }

@@ -34,6 +34,15 @@ func AddPolicy(fs *flag.FlagSet) *string {
 	return fs.String("policy", "", pcs.PolicyFlagUsage())
 }
 
+// AddLanes registers the -lanes selector for the parallel data plane and
+// returns its value.
+func AddLanes(fs *flag.FlagSet) *int {
+	return fs.Int("lanes", 0, "parallel data-plane lanes: 0 runs the sequential engine (default\n"+
+		"physics), N >= 1 runs the affinity-laned conservative engine — reports\n"+
+		"are byte-identical at any lane count, so pick the core count; -1 uses\n"+
+		"all cores")
+}
+
 // ParseTechniques parses a comma-separated technique list ("Basic,PCS").
 // The empty string parses to nil, which the experiment drivers read as
 // "all six".

@@ -1,0 +1,73 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// ProfileFlags carries the stdlib pprof selectors. Register with
+// AddProfile, then call Start after flag.Parse and defer the returned
+// stop function.
+type ProfileFlags struct {
+	// CPU is the path the CPU profile is written to ("" = off).
+	CPU *string
+	// Mem is the path the heap profile is written to ("" = off).
+	Mem *string
+}
+
+// AddProfile registers -cpuprofile and -memprofile and returns their
+// values.
+func AddProfile(fs *flag.FlagSet) ProfileFlags {
+	return ProfileFlags{
+		CPU: fs.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)"),
+		Mem: fs.String("memprofile", "", "write a heap profile to this file on exit (inspect with go tool pprof)"),
+	}
+}
+
+// Start begins CPU profiling if requested and returns a stop function
+// that finishes the CPU profile and writes the heap profile. The stop
+// function must run on every exit path — defer it right after Start:
+//
+//	stop, err := prof.Start()
+//	if err != nil { ... }
+//	defer stop()
+//
+// Profiling failures after startup (e.g. an unwritable heap-profile path
+// discovered at exit) are reported on stderr rather than returned; by
+// then the run's real output has already been produced.
+func (pf ProfileFlags) Start() (stop func(), err error) {
+	var cpuFile *os.File
+	if *pf.CPU != "" {
+		cpuFile, err = os.Create(*pf.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("-cpuprofile: %v", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "warning: closing CPU profile: %v\n", err)
+			}
+		}
+		if *pf.Mem != "" {
+			f, err := os.Create(*pf.Mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "warning: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "warning: -memprofile: %v\n", err)
+			}
+		}
+	}, nil
+}

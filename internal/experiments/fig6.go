@@ -50,6 +50,12 @@ type Fig6Config struct {
 	// Shards is the per-run intra-simulation shard count
 	// (pcs.Options.Shards); results are bit-identical at any value.
 	Shards int
+	// Lanes is the per-run parallel data-plane lane count
+	// (pcs.Options.Lanes); 0 keeps the sequential engine. Laned runs are
+	// byte-identical at any lane count ≥ 1 but are a different physical
+	// model from Lanes == 0 (network-transit delays), so a sweep must not
+	// mix the two.
+	Lanes int
 	// Stream, when non-nil, receives every run of the sweep as one NDJSON
 	// line (Fig6StreamedRun) in deterministic (cell, replication) order,
 	// so huge sweeps leave a per-run record on disk alongside the
@@ -153,6 +159,7 @@ func RunFig6(cfg Fig6Config) (Fig6Result, error) {
 				ArrivalRate:      rate,
 				Requests:         requests,
 				Shards:           c.Shards,
+				Lanes:            c.Lanes,
 			}})
 		}
 	}

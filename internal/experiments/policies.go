@@ -53,6 +53,11 @@ type PolicyGridConfig struct {
 	// Shards is the per-run intra-simulation shard count; results are
 	// bit-identical at any value.
 	Shards int
+	// Lanes is the per-run parallel data-plane lane count
+	// (pcs.Options.Lanes); 0 keeps the sequential engine. Laned runs are
+	// byte-identical at any lane count ≥ 1 but are a different physical
+	// model from Lanes == 0, so a grid must not mix the two.
+	Lanes int
 	// Stream, when non-nil, receives every run as one NDJSON line
 	// (PolicyStreamedRun) in deterministic (cell, replication) order.
 	Stream io.Writer
@@ -156,6 +161,7 @@ func RunPolicyGrid(cfg PolicyGridConfig) (PolicyGridResult, error) {
 				ArrivalRate:      c.Rate,
 				Requests:         c.Requests,
 				Shards:           c.Shards,
+				Lanes:            c.Lanes,
 			}})
 		}
 	}

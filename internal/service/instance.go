@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/xrand"
 )
 
 // ExecState tracks one execution of a sub-request on one instance.
@@ -83,6 +84,16 @@ type Instance struct {
 	queue     []*Execution
 	migrating bool
 
+	// rng is the instance's private service-time stream in laned mode
+	// (created lazily from the service's laneSeed and the instance's
+	// affinity class); sequential mode draws from the shared svc.rng.
+	rng *xrand.Source
+	// rootOutstanding is the root class's ledger of executions sent to
+	// this instance and not yet heard back about (completed or cancelled).
+	// Only root-class events touch it; PickInstance reads it as the laned
+	// load signal.
+	rootOutstanding int
+
 	// Served counts completed executions (including losers); Cancelled
 	// counts executions removed from the queue by cancellation messages.
 	Served    int
@@ -104,6 +115,31 @@ type Instance struct {
 
 // ProgramID implements cluster.Program.
 func (in *Instance) ProgramID() string { return in.id }
+
+// classID returns the instance's affinity class: 1 + replica×components +
+// global component index. The root class is 0; every instance — including
+// ones autoscaling conjures mid-run — gets a stable class that is a pure
+// function of the topology, never of lane count or creation time (the
+// component list is final before the first event runs; scaling only adds
+// replicas).
+func (in *Instance) classID() int {
+	return 1 + in.Replica*len(in.svc.components) + in.Comp.Global
+}
+
+// serviceRNG returns the stream service-time draws come from: the shared
+// service stream in sequential mode, the instance's private pre-seeded
+// stream in laned mode. The private stream's seed depends only on the
+// run's lane seed and the instance's class, so the draw sequence each
+// instance sees is identical at any lane count.
+func (in *Instance) serviceRNG() *xrand.Source {
+	if in.svc.lanes == nil {
+		return in.svc.rng
+	}
+	if in.rng == nil {
+		in.rng = xrand.New(xrand.StreamSeed(in.svc.laneSeed, in.classID()+1))
+	}
+	return in.rng
+}
 
 // Demand implements cluster.Program: the stage's nominal VM demand scaled
 // by the instance's recent server utilisation (plus a small idle floor for
@@ -164,21 +200,23 @@ func (in *Instance) QueueLen() int { return len(in.queue) }
 // Busy reports whether the server is occupied.
 func (in *Instance) Busy() bool { return in.busy }
 
-// enqueue admits an execution; if the server is idle it starts immediately.
-func (in *Instance) enqueue(e *Execution) {
+// enqueue admits an execution at virtual time now; if the server is idle
+// it starts immediately.
+func (in *Instance) enqueue(e *Execution, now float64) {
 	if in.busy {
 		e.State = ExecQueued
 		in.queue = append(in.queue, e)
 		return
 	}
-	in.start(e)
+	in.start(e, now)
 }
 
-// start begins service for e. The service time is drawn from the
-// ground-truth law using the background contention the instance currently
-// experiences (everything on the node except itself).
-func (in *Instance) start(e *Execution) {
-	now := in.svc.engine.Now()
+// start begins service for e at virtual time now. The service time is
+// drawn from the ground-truth law using the background contention the
+// instance currently experiences (everything on the node except itself —
+// a concurrent-read of node aggregates that only change at engine events,
+// when every lane is parked).
+func (in *Instance) start(e *Execution, now float64) {
 	in.busy = true
 	e.State = ExecRunning
 	e.StartAt = now
@@ -189,30 +227,62 @@ func (in *Instance) start(e *Execution) {
 	// degradation); the draw itself consumes the same stream position
 	// either way, so toggling brownout never renumbers later draws.
 	base := in.Comp.Spec.BaseServiceTime * in.svc.workFactor
-	x := in.svc.law.Sample(base, background, in.svc.rng)
+	x := in.svc.law.Sample(base, background, in.serviceRNG())
+
+	if in.svc.lanes != nil {
+		cls := in.classID()
+		if e.Sub.cancelOnStart > 0 {
+			// The start notice reaches the root class one transit delay
+			// late; the root relays cancellations timed from the true
+			// start (see SubRequest.onStartLaned).
+			startedAt := now
+			in.svc.scheduleData(cls, rootClass, now+LaneTransitDelay, func(noticeNow float64) {
+				e.Sub.onStartLaned(e, startedAt, noticeNow)
+			})
+		}
+		in.svc.scheduleData(cls, cls, now+x, func(endNow float64) {
+			in.finish(e, x, endNow)
+		})
+		return
+	}
 
 	e.Sub.onStart(e)
-
 	in.svc.engine.After(x, func(endNow float64) {
-		e.State = ExecDone
-		e.EndAt = endNow
-		in.Served++
-		in.BusyTime += x
-		e.Sub.onComplete(e, endNow)
-		in.next()
+		in.finish(e, x, endNow)
 	})
+}
+
+// finish retires a completed execution and pulls the next one from the
+// queue. In laned mode the completion notice travels back to the root
+// class (first-completion arbitration, stage advancement, the
+// outstanding-work ledger) one transit delay later; the server itself
+// moves on immediately.
+func (in *Instance) finish(e *Execution, x, endNow float64) {
+	e.State = ExecDone
+	e.EndAt = endNow
+	in.Served++
+	in.BusyTime += x
+	if in.svc.lanes != nil {
+		in.svc.scheduleData(in.classID(), rootClass, endNow+LaneTransitDelay, func(now float64) {
+			in.rootOutstanding--
+			e.Sub.onComplete(e, now)
+		})
+	} else {
+		e.Sub.onComplete(e, endNow)
+	}
+	in.next(endNow)
 }
 
 // next pops the queue, skipping cancelled executions, and either starts the
 // next execution or idles.
-func (in *Instance) next() {
+func (in *Instance) next(now float64) {
 	for len(in.queue) > 0 {
 		e := in.queue[0]
 		in.queue = in.queue[1:]
 		if e.State == ExecCancelled {
 			continue
 		}
-		in.start(e)
+		in.start(e, now)
 		return
 	}
 	in.busy = false
@@ -221,11 +291,19 @@ func (in *Instance) next() {
 // cancelQueued marks a queued execution cancelled so the server skips it.
 // Running or finished executions are unaffected (cancellation messages
 // cannot claw back started work — paper §VI-C's imperfect-cancellation
-// discussion).
-func (in *Instance) cancelQueued(e *Execution) {
+// discussion). In laned mode the instance reports the cancellation back
+// to the root class so the outstanding-work ledger stays balanced: every
+// issued execution is answered exactly once, by a completion or a
+// cancellation notice.
+func (in *Instance) cancelQueued(e *Execution, now float64) {
 	if e.State == ExecQueued {
 		e.State = ExecCancelled
 		in.Cancelled++
+		if in.svc.lanes != nil {
+			in.svc.scheduleData(in.classID(), rootClass, now+LaneTransitDelay, func(float64) {
+				in.rootOutstanding--
+			})
+		}
 	}
 }
 

@@ -62,36 +62,82 @@ func (sub *SubRequest) Executions() []*Execution { return sub.execs }
 // given message delay.
 func (sub *SubRequest) EnableCancelOnStart(delay float64) { sub.cancelOnStart = delay }
 
-// IssueTo dispatches the sub-request to an instance, creating an execution
-// and enqueueing it. Policies call this one or more times per sub-request.
-func (sub *SubRequest) IssueTo(in *Instance) *Execution {
-	e := &Execution{Sub: sub, Inst: in, IssuedAt: sub.svc().engine.Now()}
+// IssueTo dispatches the sub-request to an instance at virtual time now,
+// creating an execution and enqueueing it. Policies call this one or more
+// times per sub-request, always from root-class context. In laned mode the
+// dispatch message pays the network transit delay before reaching the
+// instance's lane, and the root's outstanding-execution ledger for the
+// instance (PickInstance's load signal) is charged at send time.
+func (sub *SubRequest) IssueTo(in *Instance, now float64) *Execution {
+	e := &Execution{Sub: sub, Inst: in, IssuedAt: now}
 	sub.execs = append(sub.execs, e)
-	in.enqueue(e)
+	svc := sub.svc()
+	if svc.lanes != nil {
+		in.rootOutstanding++
+		svc.scheduleData(rootClass, in.classID(), now+LaneTransitDelay, func(arriveNow float64) {
+			in.enqueue(e, arriveNow)
+		})
+		return e
+	}
+	in.enqueue(e, now)
 	return e
 }
 
 func (sub *SubRequest) svc() *Service { return sub.Req.svc }
 
-// onStart is invoked when any execution of this sub-request begins service.
-// With cancellation enabled, it sends cancel messages to sibling executions;
-// they land after the configured network delay, and only affect executions
-// still queued at that point. Two replicas that start within the delay
-// window both run to completion — the paper's "cancellation messages both
-// in flight" effect.
+// onStart is invoked when any execution of this sub-request begins service
+// (sequential mode only). With cancellation enabled, it sends cancel
+// messages to sibling executions; they land after the configured network
+// delay, and only affect executions still queued at that point. Two
+// replicas that start within the delay window both run to completion — the
+// paper's "cancellation messages both in flight" effect.
 func (sub *SubRequest) onStart(started *Execution) {
 	if sub.cancelOnStart <= 0 || sub.cancelSent {
 		return
 	}
 	sub.cancelSent = true
 	svc := sub.svc()
-	svc.engine.After(sub.cancelOnStart, func(float64) {
+	svc.engine.After(sub.cancelOnStart, func(now float64) {
 		for _, e := range sub.execs {
 			if e != started && e.State == ExecQueued {
-				e.Inst.cancelQueued(e)
+				e.Inst.cancelQueued(e, now)
 			}
 		}
 	})
+}
+
+// onStartLaned is the laned counterpart of onStart: it runs on the root
+// class when an instance's start notice arrives (one LaneTransitDelay
+// after service began at startedAt). The root relays cancellation
+// messages to every sibling's instance class, timed from the true start —
+// they land startedAt+cancelOnStart, exactly when the sequential physics
+// would land them relative to the start. Because the notice already
+// consumed one transit delay, the relay needs cancelOnStart ≥
+// 2×LaneTransitDelay to respect the plane's lookahead; the simulation
+// validates that at construction. Whether a sibling is still queued is
+// decided by its own lane when the message lands — the root never peeks
+// at queue state it doesn't own.
+func (sub *SubRequest) onStartLaned(started *Execution, startedAt, now float64) {
+	if sub.cancelSent {
+		return
+	}
+	sub.cancelSent = true
+	svc := sub.svc()
+	fire := startedAt + sub.cancelOnStart
+	// cancelOnStart ≥ 2×LaneTransitDelay is validated at construction;
+	// the clamp only absorbs the one-ulp rounding of the equality case.
+	if min := now + LaneTransitDelay; fire < min {
+		fire = min
+	}
+	for _, e := range sub.execs {
+		if e == started {
+			continue
+		}
+		e := e
+		svc.scheduleData(rootClass, e.Inst.classID(), fire, func(cancelNow float64) {
+			e.Inst.cancelQueued(e, cancelNow)
+		})
+	}
 }
 
 // onComplete is invoked when any execution finishes. The first completion
@@ -120,7 +166,7 @@ func (r *Request) startStage(now float64) {
 	r.pending = len(comps)
 	for _, c := range comps {
 		sub := &SubRequest{Req: r, Comp: c, IssuedAt: now}
-		svc.policy.Dispatch(svc, sub)
+		svc.policy.Dispatch(svc, sub, now)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/lane"
 	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -20,9 +21,36 @@ type Policy interface {
 	// Replicas returns how many instances each component needs under this
 	// policy (1 for Basic/PCS, k for RED-k, 2 for reissue).
 	Replicas() int
-	// Dispatch issues the sub-request to one or more instances and may
-	// schedule reissue timers on the service's engine.
-	Dispatch(svc *Service, sub *SubRequest)
+	// Dispatch issues the sub-request to one or more instances at virtual
+	// time now and may schedule reissue timers via Service.AfterData.
+	// Dispatch always runs in root-class context (request bookkeeping), so
+	// it may read sub-request state and issue freely.
+	Dispatch(svc *Service, sub *SubRequest, now float64)
+}
+
+// LaneTransitDelay is the network transit lower bound (seconds) every
+// cross-class data-plane message pays in laned mode: dispatch reaching an
+// instance, a completion or start notice reaching the request's root
+// bookkeeping. It is the manufactured lookahead conservative parallel
+// execution synchronizes on — 0.2 ms, well under the 3 ms
+// cancellation-message delay and the millisecond-scale service times, so
+// it perturbs the modeled physics far less than the queueing it enables
+// us to simulate faster. Sequential runs (no Config.Lanes) pay no delay
+// at all: their physics are byte-for-byte the pre-lane ones.
+const LaneTransitDelay = 0.0002
+
+// rootClass is the affinity class owning request/sub-request bookkeeping:
+// dispatch, first-completion-wins arbitration, stage advancement, reissue
+// timers and the load counters PickInstance reads. Each component
+// instance gets its own class (see Instance.classID).
+const rootClass = 0
+
+// MaxLaneClasses bounds the affinity-class space of a deployment: the
+// root class plus one class per potential instance. Replica r of a
+// component can exist for r up to nodes-1 (replicas of a component never
+// share a node), whether placed at deployment or conjured by autoscaling.
+func MaxLaneClasses(t Topology, nodes int) int {
+	return 1 + t.NumComponents()*nodes
 }
 
 // Config assembles a service deployment.
@@ -49,6 +77,13 @@ type Config struct {
 	// per-entity work with frozen inputs, so the tick is bit-identical at
 	// any shard count. Nil ticks inline.
 	Pool *shard.Pool
+	// Lanes, when non-nil, runs the request path on the laned data plane:
+	// dispatch, start/completion notices and cancellations become
+	// timestamped inter-class messages (each paying LaneTransitDelay) and
+	// execute in conservative parallel windows. Results are byte-identical
+	// at any lane count but differ from the nil (sequential) physics,
+	// which stay exactly the historical ones.
+	Lanes *lane.Plane
 }
 
 // Service wires a topology onto a cluster and runs the open-loop request
@@ -61,6 +96,14 @@ type Service struct {
 	law     InterferenceLaw
 	rng     *xrand.Source
 	policy  Policy
+
+	// lanes is the laned data plane when configured; laneSeed roots the
+	// per-instance service-time RNG streams (xrand.StreamSeed(laneSeed,
+	// classID+1)) that replace the shared svc.rng consumption order —
+	// stream identity is a pure function of the instance's class, so draws
+	// are identical at any lane count.
+	lanes    *lane.Plane
+	laneSeed int64
 
 	components      []*Component // dense, Global index order
 	stageComponents [][]*Component
@@ -155,6 +198,13 @@ func New(e *sim.Engine, cl *cluster.Cluster, src *xrand.Source, policy Policy, c
 	}
 	svc.collector = trace.NewCollector(len(cfg.Topology.Stages), cfg.ComponentLatencyReservoir, src.Fork())
 	svc.collector.WarmupUntil = cfg.Warmup
+	if cfg.Lanes != nil {
+		// The per-instance stream root is drawn only in laned mode, after
+		// the collector's fork, so sequential deployments consume exactly
+		// the historical draw sequence.
+		svc.lanes = cfg.Lanes
+		svc.laneSeed = src.Int63()
+	}
 
 	global := 0
 	nodeCursor := 0
@@ -323,11 +373,23 @@ func (s *Service) SetWorkFactor(f float64) error {
 // deployment-time behavior, untouched by this feature), otherwise the
 // least-loaded active instance — shortest queue, idle server breaking
 // ties, lowest replica index breaking the rest. The choice reads only
-// deterministic queue state, never randomness.
+// deterministic queue state, never randomness. In laned mode the load
+// signal is the root class's own outstanding-execution ledger instead of
+// the instances' queue state, which belongs to other lanes mid-window —
+// the ledger is what a real load balancer sees: work it sent minus
+// completions it heard back about.
 func (s *Service) PickInstance(comp *Component) *Instance {
 	active := comp.ActiveInstances()
 	best := active[0]
 	if len(active) == 1 {
+		return best
+	}
+	if s.lanes != nil {
+		for _, in := range active[1:] {
+			if in.rootOutstanding < best.rootOutstanding {
+				best = in
+			}
+		}
 		return best
 	}
 	bestLoad := best.QueueLen()
@@ -348,6 +410,30 @@ func (s *Service) PickInstance(comp *Component) *Instance {
 
 // Engine returns the simulation engine the service runs on.
 func (s *Service) Engine() *sim.Engine { return s.engine }
+
+// scheduleData schedules a data-plane event at absolute time at, sent by
+// affinity class src to class dst. Sequential deployments fall back to
+// the engine — called from inside an event, engine.At(at, fn) with
+// at = now + d is exactly engine.After(d, fn), so the facade is
+// physics-neutral there. Laned deployments route through the plane,
+// where cross-class sends must keep at ≥ now + LaneTransitDelay.
+func (s *Service) scheduleData(src, dst int, at float64, fn sim.Event) {
+	if s.lanes == nil {
+		s.engine.At(at, fn)
+		return
+	}
+	s.lanes.Schedule(src, dst, at, fn)
+}
+
+// AfterData schedules fn at now+d on the request path's root affinity
+// class. Policies use it for reissue timers and any other root-context
+// follow-up: in sequential mode it is engine.After; in laned mode the
+// timer stays on the root class's own lane, so it needs no transit delay
+// and fires in canonical order with the rest of the request bookkeeping.
+// now must be the virtual time of the event calling AfterData.
+func (s *Service) AfterData(now, d float64, fn func(now float64)) {
+	s.scheduleData(rootClass, rootClass, now+d, fn)
+}
 
 // Cluster returns the hosting cluster.
 func (s *Service) Cluster() *cluster.Cluster { return s.cluster }

@@ -13,9 +13,11 @@ import (
 // baseline.Basic without the import cycle).
 type basicPolicy struct{}
 
-func (basicPolicy) Name() string                         { return "test-basic" }
-func (basicPolicy) Replicas() int                        { return 1 }
-func (basicPolicy) Dispatch(_ *Service, sub *SubRequest) { sub.IssueTo(sub.Comp.Primary()) }
+func (basicPolicy) Name() string  { return "test-basic" }
+func (basicPolicy) Replicas() int { return 1 }
+func (basicPolicy) Dispatch(_ *Service, sub *SubRequest, now float64) {
+	sub.IssueTo(sub.Comp.Primary(), now)
+}
 
 // fanoutPolicy dispatches to all replicas with cancellation, like RED-k.
 type fanoutPolicy struct {
@@ -25,10 +27,10 @@ type fanoutPolicy struct {
 
 func (p fanoutPolicy) Name() string  { return "test-fanout" }
 func (p fanoutPolicy) Replicas() int { return p.k }
-func (p fanoutPolicy) Dispatch(_ *Service, sub *SubRequest) {
+func (p fanoutPolicy) Dispatch(_ *Service, sub *SubRequest, now float64) {
 	sub.EnableCancelOnStart(p.delay)
 	for _, in := range sub.Comp.Instances {
-		sub.IssueTo(in)
+		sub.IssueTo(in, now)
 	}
 }
 

@@ -181,6 +181,19 @@ type Options struct {
 	// runners budget their worker count against Shards so shards ×
 	// concurrent replications stays within the machine.
 	Shards int
+	// Lanes selects the laned data plane: the request path (dispatch,
+	// queueing, service, cancellation, completion) runs as a conservative
+	// parallel discrete-event system with one affinity class per component
+	// instance, partitioned across this many lanes. Cross-class messages
+	// pay a 0.2 ms network transit delay (service.LaneTransitDelay) — the
+	// manufactured lookahead lanes synchronize on — so laned physics
+	// differ from the sequential ones, but reports are byte-identical at
+	// ANY lane count (determinism invariant #10): 1 lane is the cheap way
+	// to run the laned physics, 8 lanes the fast way. 0 (the default)
+	// keeps the sequential data plane and its exact historical reports;
+	// negative selects all usable cores. Requires CancelDelaySeconds ≥
+	// 2×LaneTransitDelay (or cancellation disabled).
+	Lanes int
 	// WarmupFraction of the run's duration is excluded from metrics
 	// (default 0.15; -1 disables warmup exclusion entirely).
 	WarmupFraction float64
@@ -261,6 +274,12 @@ func (o Options) withDefaults() Options {
 		o.Shards = runtime.GOMAXPROCS(0)
 	} else if o.Shards == 0 {
 		o.Shards = 1
+	}
+	if o.Lanes < 0 {
+		o.Lanes = runtime.GOMAXPROCS(0)
+		if o.Lanes < 1 {
+			o.Lanes = 1
+		}
 	}
 	if o.Requests <= 0 {
 		o.Requests = 20000
@@ -376,6 +395,13 @@ type Result struct {
 	// Tenants breaks request accounting and latency down by tenant,
 	// sorted by name; nil for untenanted traffic.
 	Tenants []TenantResult `json:",omitempty"`
+	// DataPlane names the request path's execution mode: "laned" when the
+	// run used the conservative parallel data plane (Options.Lanes ≥ 1),
+	// empty for the sequential engine loop. The value depends only on the
+	// mode — never on the lane count — so it never breaks byte-identity
+	// across lane counts, and sequential reports keep their exact
+	// pre-lane encoding.
+	DataPlane string `json:",omitempty"`
 }
 
 // Run executes one simulation to its horizon and reports its latency

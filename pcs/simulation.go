@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/cluster"
+	"repro/internal/lane"
 	"repro/internal/monitor"
 	"repro/internal/policy"
 	"repro/internal/profiling"
@@ -36,7 +37,8 @@ type Simulation struct {
 	svc     *service.Service
 	mon     *monitor.Monitor
 	ctrl    *scheduler.Controller // nil unless Technique == PCS
-	pool    *shard.Pool           // nil unless Options.Shards > 1
+	pool    *shard.Pool           // nil unless max(Shards, Lanes) > 1
+	plane   *lane.Plane           // nil unless Options.Lanes > 0
 
 	// pol, when non-nil, is the run's closed-loop policy, evaluated by an
 	// engine ticker at PolicyInterval cadence; policyLog records the
@@ -75,12 +77,17 @@ func NewSimulation(opts Options) (*Simulation, error) {
 	o = o.applyScenario(sc)
 	root := xrand.New(o.Seed ^ 0x5ca1ab1e)
 
-	// The shard pool parallelises the run's window-barrier work. A nil
-	// pool (Shards <= 1) is the sequential path; every consumer treats it
-	// so, which keeps single-shard runs on the exact pre-sharding code.
+	// The shard pool parallelises the run's window-barrier work — and, in
+	// laned mode, the data plane's windows. Lanes > 1 therefore implies a
+	// pool even when Shards is 1: sharding the control plane is
+	// result-neutral (invariant #7), and the control plane dominates
+	// large-cluster runtime, so a laned run that left it sequential would
+	// throw away most of its speedup. A nil pool (both ≤ 1) is the
+	// sequential path; every consumer treats it so, which keeps
+	// single-shard runs on the exact pre-sharding code.
 	var pool *shard.Pool
-	if o.Shards > 1 {
-		pool = shard.NewPool(o.Shards)
+	if workers := max(o.Shards, o.Lanes); workers > 1 {
+		pool = shard.NewPool(workers)
 	}
 	fail := func(err error) (*Simulation, error) {
 		pool.Close()
@@ -104,10 +111,30 @@ func NewSimulation(opts Options) (*Simulation, error) {
 
 	duration := float64(o.Requests) / o.ArrivalRate
 	topo := sc.Topology(o.SearchComponents)
+
+	// The laned data plane needs its conservative lookahead to hold for
+	// every cross-class message; the only configurable one is the
+	// cancellation delay, which is relayed through the root class and so
+	// consumes two transits.
+	var plane *lane.Plane
+	if o.Lanes > 0 {
+		if o.CancelDelaySeconds > 0 && o.CancelDelaySeconds < 2*service.LaneTransitDelay {
+			return fail(fmt.Errorf(
+				"pcs: laned execution needs CancelDelaySeconds >= %g (two network transits) or cancellation disabled, got %g",
+				2*service.LaneTransitDelay, o.CancelDelaySeconds))
+		}
+		plane, err = lane.New(o.Lanes, service.LaneTransitDelay,
+			service.MaxLaneClasses(topo, o.Nodes), pool)
+		if err != nil {
+			return fail(err)
+		}
+	}
+
 	svc, err := service.New(engine, cl, root.Fork(), policy, service.Config{
 		Topology: topo,
 		Warmup:   duration * o.WarmupFraction,
 		Pool:     pool,
+		Lanes:    plane,
 	})
 	if err != nil {
 		return fail(err)
@@ -189,6 +216,7 @@ func NewSimulation(opts Options) (*Simulation, error) {
 		mon:         mon,
 		ctrl:        ctrl,
 		pool:        pool,
+		plane:       plane,
 		horizon:     duration + o.DrainSeconds,
 		trafficName: trafficName,
 	}
@@ -265,9 +293,28 @@ func (s *Simulation) Horizon() float64 { return s.horizon }
 // scheduling in their own setups (the examples drive it directly).
 func (s *Simulation) Service() *service.Service { return s.svc }
 
-// NextEventTime reports the virtual time of the next pending event, false
-// if the world has none left.
-func (s *Simulation) NextEventTime() (float64, bool) { return s.engine.PeekNextTime() }
+// NextEventTime reports the virtual time of the next pending event —
+// control-plane or, in laned mode, data-plane — false if the world has
+// none left.
+func (s *Simulation) NextEventTime() (float64, bool) {
+	at, ok := s.engine.PeekNextTime()
+	if s.plane != nil {
+		if pat, pok := s.plane.NextEventTime(); pok && (!ok || pat < at) {
+			at, ok = pat, true
+		}
+	}
+	return at, ok
+}
+
+// advance moves the whole world — engine and, in laned mode, the data
+// plane — to virtual time t.
+func (s *Simulation) advance(t float64) float64 {
+	if s.plane != nil {
+		s.plane.Advance(s.engine, t)
+		return s.engine.Now()
+	}
+	return s.engine.Run(t)
+}
 
 // SampleEvery installs a sampling callback: from now on, fn observes a
 // Snapshot every interval seconds of virtual time as the clock advances
@@ -314,12 +361,27 @@ func (s *Simulation) takeDueSamples() {
 	}
 }
 
-// Step executes exactly one pending event, advancing the clock to it. It
-// returns false — executing nothing — once the next event lies beyond the
-// horizon or no events remain. A loop over Step executes exactly the
-// events RunTo(Horizon()) would; the clock then rests at the last executed
-// event rather than the horizon until Finish (or RunTo) rounds it up.
+// Step executes exactly one pending event, advancing the clock to it. In
+// laned mode the granularity is one event *time* instead: every
+// data-plane and control-plane event at the next pending instant executes
+// together (the laned clock is per-lane inside a window, so "one event"
+// is not an observable unit there). Step returns false — executing
+// nothing — once the next event lies beyond the horizon or no events
+// remain. A loop over Step executes exactly the events RunTo(Horizon())
+// would; the clock then rests at the last executed event rather than the
+// horizon until Finish (or RunTo) rounds it up.
 func (s *Simulation) Step() bool {
+	if s.plane != nil {
+		next, ok := s.NextEventTime()
+		if !ok || next > s.horizon {
+			return false
+		}
+		s.advance(next)
+		if s.onSample != nil {
+			s.takeDueSamples()
+		}
+		return true
+	}
 	next, ok := s.engine.PeekNextTime()
 	if !ok || next > s.horizon {
 		return false
@@ -345,14 +407,14 @@ func (s *Simulation) RunTo(t float64) float64 {
 		return s.engine.Now()
 	}
 	if s.onSample == nil {
-		return s.engine.Run(t)
+		return s.advance(t)
 	}
 	for s.engine.Now() < t {
 		stop := t
 		if s.nextSample < stop {
 			stop = s.nextSample
 		}
-		s.engine.Run(stop)
+		s.advance(stop)
 		s.takeDueSamples()
 	}
 	return s.engine.Now()
@@ -371,9 +433,16 @@ type Snapshot struct {
 	Migrations, SchedulingIntervals int
 	// BatchJobsStarted counts interference jobs so far.
 	BatchJobsStarted int
-	// PendingEvents and FiredEvents describe the engine queue.
+	// PendingEvents and FiredEvents describe the world's event queues: the
+	// engine's plus, in laned mode, the data plane's lane heaps — both
+	// counts are lane-count-independent because the executed event set is.
 	PendingEvents int
 	FiredEvents   uint64
+	// DataPlane names the request path's execution mode: "laned" for the
+	// conservative parallel data plane, empty for the sequential engine
+	// loop (omitted from JSON then, so sequential snapshot encodings stay
+	// exactly as before — see Result.DataPlane).
+	DataPlane string `json:",omitempty"`
 	// AvgOverallMs and P99ComponentMs are the paper's two metrics over
 	// the post-warmup observations recorded so far.
 	AvgOverallMs, P99ComponentMs float64
@@ -447,6 +516,11 @@ func (s *Simulation) Snapshot() Snapshot {
 		AdmissionFactor:  s.svc.AdmissionFactor(),
 		PolicyActions:    len(s.policyLog),
 	}
+	if s.plane != nil {
+		snap.DataPlane = "laned"
+		snap.PendingEvents += s.plane.Pending()
+		snap.FiredEvents += s.plane.Fired()
+	}
 	var sum float64
 	for _, n := range s.cluster.Nodes() {
 		u := n.Utilization(cluster.Core)
@@ -494,6 +568,9 @@ func (s *Simulation) Finish() Result {
 		Traffic:          s.trafficName,
 		AdmissionDrops:   s.svc.AdmissionDrops(),
 		Tenants:          s.tenantResults(),
+	}
+	if s.plane != nil {
+		res.DataPlane = "laned"
 	}
 	if s.ctrl != nil {
 		res.SchedulingIntervals = s.ctrl.Intervals
