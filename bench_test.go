@@ -528,3 +528,65 @@ func BenchmarkSimulationThroughput(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkDAGRun measures service-graph execution: the four DAG
+// scenarios (fan-out with retries, storage tiers, a breaker storm, a
+// timeout-bounded aggregation) each simulated end to end, plus the
+// fanout-retry world on the laned data plane at 1 and 4 lanes. Every
+// cell asserts invariant #11's accounting (admitted = completed +
+// failed + timed out, graph counters present) and iterations must be
+// bit-identical; the laned cells must additionally match each other
+// exactly (invariant #10 extended to DAG runs).
+func BenchmarkDAGRun(b *testing.B) {
+	opts := func(scenario string, lanes int) pcs.Options {
+		return pcs.Options{
+			Technique:   pcs.Basic,
+			Scenario:    scenario,
+			Seed:        1,
+			ArrivalRate: 150,
+			Requests:    4000,
+			Lanes:       lanes,
+		}
+	}
+	run := func(b *testing.B, o pcs.Options) pcs.Result {
+		var first pcs.Result
+		for i := 0; i < b.N; i++ {
+			res, err := pcs.Run(o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Graph == nil {
+				b.Fatal("report carries no graph counters")
+			}
+			if res.Arrivals != res.Completed+res.Failed+res.TimedOut {
+				b.Fatalf("conservation violated: %d arrived, %d completed + %d failed + %d timed out",
+					res.Arrivals, res.Completed, res.Failed, res.TimedOut)
+			}
+			if i == 0 {
+				first = res
+			} else if !reflect.DeepEqual(res, first) {
+				b.Fatal("iterations diverged: DAG run is not deterministic")
+			}
+			b.ReportMetric(res.AvgOverallMs, "avg-overall-ms")
+			b.ReportMetric(float64(res.Graph.Retries), "retries")
+		}
+		return first
+	}
+	for _, scenario := range []string{"fanout-retry", "storage-cache", "circuit-storm", "dag-timeout"} {
+		scenario := scenario
+		b.Run(scenario, func(b *testing.B) { run(b, opts(scenario, 0)) })
+	}
+	laned := make(map[int]pcs.Result)
+	for _, lanes := range []int{1, 4} {
+		lanes := lanes
+		b.Run(fmt.Sprintf("fanout-retry-lanes%d", lanes), func(b *testing.B) {
+			laned[lanes] = run(b, opts("fanout-retry", lanes))
+		})
+	}
+	// A -bench filter may select a subset; compare only when both ran.
+	if r1, ok1 := laned[1]; ok1 {
+		if r4, ok4 := laned[4]; ok4 && !reflect.DeepEqual(r4, r1) {
+			b.Fatalf("laned DAG run diverged across lane counts:\nlanes4: %+v\nlanes1: %+v", r4, r1)
+		}
+	}
+}

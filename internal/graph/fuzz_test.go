@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzSpecValidate pins the authoring surface against arbitrary JSON: a
+// decoded Spec either fails Validate with an error, or compiles all the
+// way — Plan succeeds, the plan keeps the spec's shape with at least one
+// entry node, and the derived topology is itself valid at any fan-out.
+// Nothing on this path may panic, whatever the bytes say.
+func FuzzSpecValidate(f *testing.F) {
+	f.Add([]byte(`{"Name":"g","Nodes":[
+		{"Name":"a","Components":2,"BaseServiceTime":0.001,
+		 "Calls":[{"To":"b","Prob":0.5,"Retries":2,"Backoff":0.002},{"To":"c","Async":true}]},
+		{"Name":"b","Components":4,"BaseServiceTime":0.002,"Timeout":0.01,
+		 "Breaker":{"Failures":3,"Cooldown":0.5}},
+		{"Name":"c","Components":1,
+		 "Storage":{"HitRatio":0.9,"HitTime":0.0001,"MissTime":0.001,"WriteFraction":0.2,"WriteTime":0.0005}}]}`))
+	f.Add([]byte(`{"Name":"loop","Nodes":[
+		{"Name":"a","Components":1,"BaseServiceTime":1,"Calls":[{"To":"b"}]},
+		{"Name":"b","Components":1,"BaseServiceTime":1,"Calls":[{"To":"a"}]}]}`))
+	f.Add([]byte(`{"Name":"bad","Nodes":[{"Name":"a","Components":1,"BaseServiceTime":1,
+		"Storage":{"HitRatio":2}}]}`))
+	f.Add([]byte(`{"Name":"demand","Dominant":"a","Nodes":[
+		{"Name":"a","Components":8,"BaseServiceTime":0.003,"Demand":[0.5,3,1,7]}]}`))
+	f.Add([]byte(`{"Nodes":[]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Spec
+		if json.Unmarshal(data, &s) != nil {
+			return
+		}
+		if s.Validate() != nil {
+			return
+		}
+		p, err := s.Plan()
+		if err != nil {
+			t.Fatalf("spec passed Validate but Plan failed: %v", err)
+		}
+		if len(p.Nodes) != len(s.Nodes) {
+			t.Fatalf("plan has %d nodes for a %d-node spec", len(p.Nodes), len(s.Nodes))
+		}
+		if len(p.Entries) == 0 {
+			t.Fatal("acyclic graph compiled with no entry nodes")
+		}
+		for _, n := range p.Nodes {
+			for _, c := range n.Calls {
+				if !(c.Prob > 0 && c.Prob <= 1) {
+					t.Fatalf("plan call carries unusable probability %g", c.Prob)
+				}
+				if c.Retries > 0 && c.Backoff <= 0 {
+					t.Fatalf("plan call has %d retries but backoff %g", c.Retries, c.Backoff)
+				}
+			}
+		}
+		for _, fan := range []int{0, 8} {
+			topo := s.Topology(fan)
+			if err := topo.Validate(); err != nil {
+				t.Fatalf("valid spec produced invalid topology at fanOut %d: %v", fan, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,405 @@
+// Package graph is the pure-data authoring surface for service-DAG
+// scenarios: a Spec describes nodes (stages) wired by calls with
+// branching probabilities, sync/async fan-out, per-edge retries with
+// exponential backoff, per-node timeouts and circuit breakers, and
+// storage-backend nodes whose per-operation service times depend on a
+// cache hit ratio and a read/write mix. Specs mirror policy.Spec and
+// traffic.Spec: plain data with Validate, compiled by Plan into the
+// runtime service.GraphPlan and by Topology into the deployment's stage
+// list, so a DAG scenario registers and runs like any other.
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/service"
+)
+
+// Authoring bounds and defaults. Validate enforces the bounds; Plan
+// applies the defaults, so a Spec stays plain data with meaningful zero
+// values.
+const (
+	// MaxNodes bounds a graph's node count.
+	MaxNodes = 64
+	// MaxComponents bounds one node's component fan-out.
+	MaxComponents = 1024
+	// MaxRetries bounds one call's retry budget.
+	MaxRetries = 8
+	// DefaultBackoff is the first-retry delay (seconds) for calls that
+	// set Retries but leave Backoff zero.
+	DefaultBackoff = 0.005
+	// DefaultBreakerFailures and DefaultBreakerCooldown fill a Breaker's
+	// zero fields: trip after 5 consecutive failures, hold open 1 s.
+	DefaultBreakerFailures = 5
+	DefaultBreakerCooldown = 1.0
+)
+
+// defaultDemand is the VM footprint used for nodes that leave Demand
+// zero — a mid-weight tier comparable to the built-in topologies.
+var defaultDemand = cluster.Vector{
+	cluster.Core: 0.6, cluster.Cache: 4, cluster.DiskBW: 3, cluster.NetBW: 4,
+}
+
+// Spec is a declarative service DAG. Node order is stage order: node i of
+// the spec executes as stage i of the deployment's topology.
+type Spec struct {
+	// Name identifies the graph in errors and reports.
+	Name string
+	// Dominant names the node whose fan-out the run's -components knob
+	// resizes (the nutch "searching" role); empty selects the widest
+	// node.
+	Dominant string
+	// Nodes are the DAG's nodes; calls reference them by name.
+	Nodes []Node
+}
+
+// Node is one DAG node: a service tier with failure semantics and
+// out-edges.
+type Node struct {
+	// Name identifies the node; unique within the spec and non-empty.
+	Name string
+	// Components is the node's parallel fan-out (the stage's component
+	// count).
+	Components int
+	// BaseServiceTime is the mean nominal service time in seconds of one
+	// sub-request; required unless Storage is set (which derives it from
+	// the operation mix), in which case it must stay zero.
+	BaseServiceTime float64
+	// Demand is the VM footprint of one component instance; the zero
+	// vector selects a mid-weight default.
+	Demand cluster.Vector
+	// Timeout is the visit deadline in seconds; 0 disables it.
+	Timeout float64
+	// Breaker, when non-nil, puts a circuit breaker in front of the
+	// node; zero fields take the package defaults.
+	Breaker *Breaker
+	// Storage, when non-nil, makes the node a storage backend with
+	// per-operation service times.
+	Storage *Storage
+	// Calls are the node's out-edges, followed when a visit to it
+	// succeeds.
+	Calls []Call
+}
+
+// Call is one out-edge of a node.
+type Call struct {
+	// To names the callee node.
+	To string
+	// Prob is the branching probability; 0 means 1 (always call),
+	// otherwise it must lie in (0, 1].
+	Prob float64
+	// Async marks the call fire-and-forget: the request never waits for
+	// it and failures below it are swallowed.
+	Async bool
+	// Retries is how many times a failed visit over this edge is retried
+	// (0..MaxRetries).
+	Retries int
+	// Backoff is the delay in seconds before the first retry, doubling
+	// each further attempt; 0 with Retries set selects DefaultBackoff.
+	Backoff float64
+}
+
+// Breaker configures a node's circuit breaker.
+type Breaker struct {
+	// Failures is the consecutive-failure count that opens the circuit;
+	// 0 selects DefaultBreakerFailures.
+	Failures int
+	// Cooldown is the seconds an open circuit waits before admitting a
+	// half-open probe; 0 selects DefaultBreakerCooldown.
+	Cooldown float64
+}
+
+// Storage configures a storage-backend node. Each sub-request draws one
+// operation: a write with probability WriteFraction, otherwise a read
+// that hits the cache tier with probability HitRatio.
+type Storage struct {
+	// HitRatio is the cache hit probability of a read, in [0, 1].
+	HitRatio float64
+	// HitTime and MissTime are the nominal service times in seconds of a
+	// cache hit and of a read falling through to the backing store.
+	HitTime  float64
+	MissTime float64
+	// WriteFraction is the probability an operation is a write, in
+	// [0, 1); WriteTime is a write's nominal service time, required when
+	// WriteFraction is positive.
+	WriteFraction float64
+	WriteTime     float64
+}
+
+// posFinite reports whether x is a positive finite number (rejects NaN
+// and infinities, which JSON-authored specs can smuggle in).
+func posFinite(x float64) bool { return x > 0 && !math.IsInf(x, 1) }
+
+// finiteInUnit reports whether x lies in [0, 1] (NaN fails).
+func finiteInUnit(x float64) bool { return x >= 0 && x <= 1 }
+
+// Validate checks the spec is a well-formed DAG without constructing
+// anything. Errors name the graph, node and field at fault.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("graph: spec has no name")
+	}
+	if len(s.Nodes) == 0 {
+		return fmt.Errorf("graph %q: no nodes", s.Name)
+	}
+	if len(s.Nodes) > MaxNodes {
+		return fmt.Errorf("graph %q: %d nodes exceed the %d-node bound", s.Name, len(s.Nodes), MaxNodes)
+	}
+	index := make(map[string]int, len(s.Nodes))
+	for i, n := range s.Nodes {
+		if n.Name == "" {
+			return fmt.Errorf("graph %q: node %d has no name", s.Name, i)
+		}
+		if _, dup := index[n.Name]; dup {
+			return fmt.Errorf("graph %q: duplicate node %q", s.Name, n.Name)
+		}
+		index[n.Name] = i
+	}
+	if s.Dominant != "" {
+		if _, ok := index[s.Dominant]; !ok {
+			return fmt.Errorf("graph %q: dominant node %q does not exist", s.Name, s.Dominant)
+		}
+	}
+	for _, n := range s.Nodes {
+		if err := n.validate(s.Name, index); err != nil {
+			return err
+		}
+	}
+	return s.checkAcyclic(index)
+}
+
+// validate checks one node's fields and edges.
+func (n *Node) validate(graphName string, index map[string]int) error {
+	at := func(format string, args ...any) error {
+		return fmt.Errorf("graph %q: node %q: %s", graphName, n.Name, fmt.Sprintf(format, args...))
+	}
+	if n.Components < 1 || n.Components > MaxComponents {
+		return at("components must be in [1, %d], got %d", MaxComponents, n.Components)
+	}
+	if st := n.Storage; st != nil {
+		if n.BaseServiceTime != 0 {
+			return at("sets both a base service time and a storage profile; storage nodes derive their mean from the operation mix")
+		}
+		if !finiteInUnit(st.HitRatio) {
+			return at("storage hit ratio must be in [0, 1], got %g", st.HitRatio)
+		}
+		if !posFinite(st.HitTime) {
+			return at("storage hit time must be positive, got %g", st.HitTime)
+		}
+		if !posFinite(st.MissTime) {
+			return at("storage miss time must be positive, got %g", st.MissTime)
+		}
+		if !(st.WriteFraction >= 0 && st.WriteFraction < 1) {
+			return at("storage write fraction must be in [0, 1), got %g", st.WriteFraction)
+		}
+		if st.WriteFraction > 0 && !posFinite(st.WriteTime) {
+			return at("storage write time must be positive when writes occur, got %g", st.WriteTime)
+		}
+		if st.WriteFraction == 0 && st.WriteTime != 0 {
+			return at("storage sets a write time without a write fraction")
+		}
+	} else if !posFinite(n.BaseServiceTime) {
+		return at("base service time must be positive, got %g", n.BaseServiceTime)
+	}
+	if !(n.Timeout >= 0) || math.IsInf(n.Timeout, 1) {
+		return at("timeout must be a finite non-negative number of seconds, got %g", n.Timeout)
+	}
+	for _, d := range n.Demand {
+		if !(d >= 0) || math.IsInf(d, 1) {
+			return at("demand entries must be finite and non-negative, got %v", n.Demand)
+		}
+	}
+	if b := n.Breaker; b != nil {
+		if b.Failures < 0 {
+			return at("breaker failure threshold must be non-negative, got %d", b.Failures)
+		}
+		if !(b.Cooldown >= 0) || math.IsInf(b.Cooldown, 1) {
+			return at("breaker cooldown must be a finite non-negative number of seconds, got %g", b.Cooldown)
+		}
+	}
+	for ci, c := range n.Calls {
+		atc := func(format string, args ...any) error {
+			return fmt.Errorf("graph %q: node %q: call %d → %q: %s",
+				graphName, n.Name, ci, c.To, fmt.Sprintf(format, args...))
+		}
+		if c.To == "" {
+			return atc("no callee")
+		}
+		if _, ok := index[c.To]; !ok {
+			return atc("callee does not exist")
+		}
+		if c.To == n.Name {
+			return atc("a node cannot call itself")
+		}
+		if !finiteInUnit(c.Prob) {
+			return atc("probability must be in [0, 1] (0 means always), got %g", c.Prob)
+		}
+		if c.Retries < 0 || c.Retries > MaxRetries {
+			return atc("retries must be in [0, %d], got %d", MaxRetries, c.Retries)
+		}
+		if !(c.Backoff >= 0) || math.IsInf(c.Backoff, 1) {
+			return atc("backoff must be a finite non-negative number of seconds, got %g", c.Backoff)
+		}
+		if c.Backoff > 0 && c.Retries == 0 {
+			return atc("sets a backoff without retries")
+		}
+	}
+	return nil
+}
+
+// checkAcyclic rejects call cycles via Kahn's algorithm; any node left
+// with incoming edges after peeling sits on a cycle.
+func (s *Spec) checkAcyclic(index map[string]int) error {
+	indeg := make([]int, len(s.Nodes))
+	for _, n := range s.Nodes {
+		for _, c := range n.Calls {
+			indeg[index[c.To]]++
+		}
+	}
+	var queue []int
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, c := range s.Nodes[i].Calls {
+			j := index[c.To]
+			if indeg[j]--; indeg[j] == 0 {
+				queue = append(queue, j)
+			}
+		}
+	}
+	if seen != len(s.Nodes) {
+		for i, d := range indeg {
+			if d > 0 {
+				return fmt.Errorf("graph %q: call cycle through node %q", s.Name, s.Nodes[i].Name)
+			}
+		}
+	}
+	return nil
+}
+
+// DominantIndex returns the stage index the -components knob resizes: the
+// Dominant node if named, otherwise the widest node (first wins on ties).
+// The spec must be valid.
+func (s *Spec) DominantIndex() int {
+	if s.Dominant != "" {
+		for i, n := range s.Nodes {
+			if n.Name == s.Dominant {
+				return i
+			}
+		}
+	}
+	best := 0
+	for i, n := range s.Nodes {
+		if n.Components > s.Nodes[best].Components {
+			best = i
+		}
+	}
+	return best
+}
+
+// nominalServiceTime is the node's mean nominal work: the base service
+// time, or the storage profile's expected operation time.
+func (n *Node) nominalServiceTime() float64 {
+	if n.Storage != nil {
+		rt := service.GraphStorage(*n.Storage)
+		return rt.ExpectedServiceTime()
+	}
+	return n.BaseServiceTime
+}
+
+// Topology compiles the spec's nodes into the deployment's stage list,
+// one stage per node in spec order. fanOut, when positive, resizes the
+// dominant node's component count (the run's -components knob); storage
+// nodes publish their expected mean as the stage's base service time so
+// profiling and reissue estimates see the true average work. The spec
+// must be valid (Plan and the scenario registry validate first).
+func (s *Spec) Topology(fanOut int) service.Topology {
+	dom := s.DominantIndex()
+	stages := make([]service.StageSpec, len(s.Nodes))
+	for i := range s.Nodes {
+		n := &s.Nodes[i]
+		comps := n.Components
+		if i == dom && fanOut > 0 {
+			comps = fanOut
+		}
+		demand := n.Demand
+		if demand == (cluster.Vector{}) {
+			demand = defaultDemand
+		}
+		stages[i] = service.StageSpec{
+			Name:            n.Name,
+			Components:      comps,
+			BaseServiceTime: n.nominalServiceTime(),
+			Demand:          demand,
+		}
+	}
+	return service.Topology{Name: s.Name, Stages: stages}
+}
+
+// Plan validates the spec and compiles it into the runtime
+// service.GraphPlan, applying the package defaults (branch probability 0
+// → 1, backoff 0 → DefaultBackoff, zero breaker fields → the default
+// trip threshold and cooldown) and resolving call names to node indices.
+func (s *Spec) Plan() (*service.GraphPlan, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	index := make(map[string]int, len(s.Nodes))
+	for i, n := range s.Nodes {
+		index[n.Name] = i
+	}
+	p := &service.GraphPlan{Name: s.Name, Nodes: make([]service.GraphNode, len(s.Nodes))}
+	callee := make([]bool, len(s.Nodes))
+	for i := range s.Nodes {
+		n := &s.Nodes[i]
+		rn := service.GraphNode{Name: n.Name, Timeout: n.Timeout}
+		if b := n.Breaker; b != nil {
+			rb := service.GraphBreaker{Failures: b.Failures, Cooldown: b.Cooldown}
+			if rb.Failures == 0 {
+				rb.Failures = DefaultBreakerFailures
+			}
+			if rb.Cooldown == 0 {
+				rb.Cooldown = DefaultBreakerCooldown
+			}
+			rn.Breaker = &rb
+		}
+		if st := n.Storage; st != nil {
+			rs := service.GraphStorage(*st)
+			rn.Storage = &rs
+		}
+		rn.Calls = make([]service.GraphCall, len(n.Calls))
+		for ci, c := range n.Calls {
+			rc := service.GraphCall{
+				To:      index[c.To],
+				Prob:    c.Prob,
+				Async:   c.Async,
+				Retries: c.Retries,
+				Backoff: c.Backoff,
+			}
+			if rc.Prob == 0 {
+				rc.Prob = 1
+			}
+			if rc.Retries > 0 && rc.Backoff == 0 {
+				rc.Backoff = DefaultBackoff
+			}
+			callee[rc.To] = true
+			rn.Calls[ci] = rc
+		}
+		p.Nodes[i] = rn
+	}
+	for i, c := range callee {
+		if !c {
+			p.Entries = append(p.Entries, i)
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,174 @@
+package graph
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// validSpec is a small spec touching every authoring feature: branching,
+// async fan-out, retries, a timeout, a breaker and a storage node.
+func validSpec() Spec {
+	return Spec{
+		Name:     "t",
+		Dominant: "b",
+		Nodes: []Node{
+			{Name: "a", Components: 2, BaseServiceTime: 0.001, Calls: []Call{
+				{To: "b", Prob: 0.5, Retries: 2},
+				{To: "c", Async: true},
+			}},
+			{Name: "b", Components: 4, BaseServiceTime: 0.002, Timeout: 0.01,
+				Breaker: &Breaker{}},
+			{Name: "c", Components: 1,
+				Storage: &Storage{HitRatio: 0.8, HitTime: 0.0001, MissTime: 0.001,
+					WriteFraction: 0.25, WriteTime: 0.0005}},
+		},
+	}
+}
+
+func TestValidateAcceptsFullSurface(t *testing.T) {
+	s := validSpec()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValidateErrorsNameTheField pins the error contract the scenario
+// registry builds on: every rejection names the graph, the node (and
+// call, where one is at fault) and the offending field.
+func TestValidateErrorsNameTheField(t *testing.T) {
+	cases := []struct {
+		label  string
+		want   string
+		mutate func(*Spec)
+	}{
+		{"no name", "no name", func(s *Spec) { s.Name = "" }},
+		{"no nodes", "no nodes", func(s *Spec) { s.Nodes = nil }},
+		{"too many nodes", "node bound", func(s *Spec) {
+			for i := 0; i < MaxNodes; i++ {
+				s.Nodes = append(s.Nodes, Node{Name: "x"})
+			}
+		}},
+		{"unnamed node", "has no name", func(s *Spec) { s.Nodes[1].Name = "" }},
+		{"duplicate node", "duplicate node", func(s *Spec) { s.Nodes[2].Name = "a" }},
+		{"unknown dominant", "dominant node", func(s *Spec) { s.Dominant = "zz" }},
+		{"zero components", "components", func(s *Spec) { s.Nodes[0].Components = 0 }},
+		{"nan service time", "base service time", func(s *Spec) { s.Nodes[0].BaseServiceTime = math.NaN() }},
+		{"storage plus base time", "both", func(s *Spec) { s.Nodes[2].BaseServiceTime = 1 }},
+		{"hit ratio above one", "hit ratio", func(s *Spec) { s.Nodes[2].Storage.HitRatio = 1.5 }},
+		{"nan hit time", "hit time", func(s *Spec) { s.Nodes[2].Storage.HitTime = math.NaN() }},
+		{"infinite miss time", "miss time", func(s *Spec) { s.Nodes[2].Storage.MissTime = math.Inf(1) }},
+		{"write fraction of one", "write fraction", func(s *Spec) { s.Nodes[2].Storage.WriteFraction = 1 }},
+		{"writes without time", "write time", func(s *Spec) { s.Nodes[2].Storage.WriteTime = 0 }},
+		{"write time without writes", "write time", func(s *Spec) {
+			s.Nodes[2].Storage.WriteFraction = 0
+		}},
+		{"negative timeout", "timeout", func(s *Spec) { s.Nodes[1].Timeout = -1 }},
+		{"nan demand", "demand", func(s *Spec) { s.Nodes[0].Demand[cluster.Core] = math.NaN() }},
+		{"negative breaker failures", "breaker failure", func(s *Spec) { s.Nodes[1].Breaker.Failures = -1 }},
+		{"nan breaker cooldown", "breaker cooldown", func(s *Spec) { s.Nodes[1].Breaker.Cooldown = math.NaN() }},
+		{"empty callee", "no callee", func(s *Spec) { s.Nodes[0].Calls[0].To = "" }},
+		{"unknown callee", "does not exist", func(s *Spec) { s.Nodes[0].Calls[0].To = "zz" }},
+		{"self call", "call itself", func(s *Spec) { s.Nodes[0].Calls[0].To = "a" }},
+		{"probability above one", "probability", func(s *Spec) { s.Nodes[0].Calls[0].Prob = 2 }},
+		{"nan probability", "probability", func(s *Spec) { s.Nodes[0].Calls[0].Prob = math.NaN() }},
+		{"too many retries", "retries", func(s *Spec) { s.Nodes[0].Calls[0].Retries = MaxRetries + 1 }},
+		{"negative backoff", "backoff", func(s *Spec) { s.Nodes[0].Calls[0].Backoff = -1 }},
+		{"backoff without retries", "backoff without retries", func(s *Spec) {
+			s.Nodes[0].Calls[1].Backoff = 0.001
+		}},
+		{"call cycle", "cycle", func(s *Spec) {
+			s.Nodes[1].Calls = []Call{{To: "c"}}
+			s.Nodes[2].Calls = []Call{{To: "b"}}
+		}},
+	}
+	for _, tc := range cases {
+		s := validSpec()
+		tc.mutate(&s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.label)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.label, err, tc.want)
+		}
+	}
+}
+
+// TestPlanAppliesDefaults pins Plan's zero-value semantics: probability
+// 0 → 1, retrying calls get the default backoff, breaker zeros take the
+// default threshold and cooldown, and entries are the non-callee nodes
+// in spec order.
+func TestPlanAppliesDefaults(t *testing.T) {
+	s := validSpec()
+	p, err := s.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.Nodes[0]
+	if got := a.Calls[1].Prob; got != 1 {
+		t.Errorf("unset probability compiled to %g, want 1", got)
+	}
+	if got := a.Calls[0].Backoff; got != DefaultBackoff {
+		t.Errorf("unset backoff on a retrying call compiled to %g, want %g", got, DefaultBackoff)
+	}
+	if got := a.Calls[1].Backoff; got != 0 {
+		t.Errorf("non-retrying call grew a backoff %g", got)
+	}
+	b := p.Nodes[1].Breaker
+	if b == nil || b.Failures != DefaultBreakerFailures || b.Cooldown != DefaultBreakerCooldown {
+		t.Errorf("zero breaker compiled to %+v, want defaults %d/%g",
+			b, DefaultBreakerFailures, DefaultBreakerCooldown)
+	}
+	if len(p.Entries) != 1 || p.Entries[0] != 0 {
+		t.Errorf("entries = %v, want [0]", p.Entries)
+	}
+	if p.Nodes[0].Calls[0].To != 1 || p.Nodes[0].Calls[1].To != 2 {
+		t.Errorf("call targets resolved to %d and %d, want 1 and 2",
+			p.Nodes[0].Calls[0].To, p.Nodes[0].Calls[1].To)
+	}
+}
+
+// TestTopologyCompilation pins the stage list: one stage per node in
+// order, fan-out resizing the dominant node only, the default demand for
+// zero-demand nodes, and the storage profile's expected mean as the
+// stage's base service time.
+func TestTopologyCompilation(t *testing.T) {
+	s := validSpec()
+	topo := s.Topology(0)
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Stages) != 3 || topo.Stages[0].Name != "a" || topo.Stages[2].Name != "c" {
+		t.Fatalf("stage list %+v does not mirror node order", topo.Stages)
+	}
+	if got := topo.Stages[0].Demand; got != defaultDemand {
+		t.Errorf("zero demand compiled to %v, want the package default", got)
+	}
+	// Expected storage mean: 0.25·write + 0.75·(0.8·hit + 0.2·miss).
+	want := 0.25*0.0005 + 0.75*(0.8*0.0001+0.2*0.001)
+	if got := topo.Stages[2].BaseServiceTime; math.Abs(got-want) > 1e-15 {
+		t.Errorf("storage stage base time %g, want %g", got, want)
+	}
+	wide := s.Topology(32)
+	if got := wide.Stages[1].Components; got != 32 {
+		t.Errorf("fanOut resized dominant stage to %d, want 32", got)
+	}
+	if got := wide.Stages[0].Components; got != 2 {
+		t.Errorf("fanOut leaked onto stage 0: %d components, want 2", got)
+	}
+}
+
+func TestDominantIndex(t *testing.T) {
+	s := validSpec()
+	if got := s.DominantIndex(); got != 1 {
+		t.Fatalf("named dominant resolved to %d, want 1", got)
+	}
+	s.Dominant = ""
+	if got := s.DominantIndex(); got != 1 {
+		t.Fatalf("widest-node fallback resolved to %d, want 1 (4 components)", got)
+	}
+}

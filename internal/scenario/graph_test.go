@@ -1,0 +1,111 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/policy"
+	"repro/internal/service"
+	"repro/internal/traffic"
+)
+
+// graphQuartet are the built-in DAG scenarios.
+var graphQuartet = []string{"fanout-retry", "storage-cache", "circuit-storm", "dag-timeout"}
+
+// TestBuiltinGraphScenariosPresent pins the DAG quartet: each carries a
+// graph spec, compiles to a runtime plan, derives a topology with one
+// stage per node, and resizes its named dominant node under the
+// -components knob (the derived DominantStage must point at it).
+func TestBuiltinGraphScenariosPresent(t *testing.T) {
+	for _, name := range graphQuartet {
+		s := MustGet(name)
+		if s.Graph == nil {
+			t.Fatalf("%s: no graph spec", name)
+		}
+		if _, err := s.Graph.Plan(); err != nil {
+			t.Fatalf("%s: plan: %v", name, err)
+		}
+		topo := s.Topology(0)
+		if got, want := len(topo.Stages), len(s.Graph.Nodes); got != want {
+			t.Fatalf("%s: derived topology has %d stages for %d nodes", name, got, want)
+		}
+		if got := s.Graph.Nodes[s.DominantStage].Name; got != s.Graph.Dominant {
+			t.Fatalf("%s: derived dominant stage %d is node %q, spec names %q",
+				name, s.DominantStage, got, s.Graph.Dominant)
+		}
+	}
+}
+
+// graphScenarioFixture is a minimal valid DAG scenario the error-naming
+// tests mutate one field at a time.
+func graphScenarioFixture(name string) Scenario {
+	return Scenario{
+		Name:        name,
+		Description: "fixture",
+		Nodes:       4,
+		Workload:    WorkloadDefaults{BatchConcurrency: 1, MinInputMB: 1, MaxInputMB: 2},
+		Graph: &graph.Spec{
+			Name: name,
+			Nodes: []graph.Node{
+				{Name: "a", Components: 2, BaseServiceTime: 0.001, Calls: []graph.Call{{To: "b"}}},
+				{Name: "b", Components: 2, BaseServiceTime: 0.001},
+			},
+		},
+	}
+}
+
+// TestRegisterErrorsNameBadField pins the registry's error contract: a
+// rejected registration names the scenario and the spec field at fault,
+// so a bad entry reads as "fix this knob", never as a struct dump.
+func TestRegisterErrorsNameBadField(t *testing.T) {
+	cases := []struct {
+		label  string
+		want   []string
+		mutate func(*Scenario)
+	}{
+		{"negative batch concurrency", []string{"BatchConcurrency"},
+			func(s *Scenario) { s.Workload.BatchConcurrency = -1 }},
+		{"zero min input", []string{"MinInputMB"},
+			func(s *Scenario) { s.Workload.MinInputMB = 0 }},
+		{"inverted input bounds", []string{"MaxInputMB", "MinInputMB"},
+			func(s *Scenario) { s.Workload.MaxInputMB = 0.5 }},
+		{"bad graph probability", []string{"graph spec:", "probability"},
+			func(s *Scenario) { s.Graph.Nodes[0].Calls[0].Prob = 1.5 }},
+		{"graph call cycle", []string{"graph spec:", "cycle"},
+			func(s *Scenario) {
+				s.Graph.Nodes[1].Calls = []graph.Call{{To: "a"}}
+			}},
+		{"node/stage count mismatch", []string{"2 nodes", "1 stages"},
+			func(s *Scenario) {
+				s.Topology = func(fanOut int) service.Topology {
+					return service.Topology{Name: "t", Stages: []service.StageSpec{
+						{Name: "only", Components: 1, BaseServiceTime: 0.001,
+							Demand: service.NutchTopology(1).Stages[0].Demand},
+					}}
+				}
+			}},
+		{"bad policy kind", []string{"policy spec:"},
+			func(s *Scenario) { s.Policy = &policy.Spec{Kind: "warp-drive"} }},
+		{"bad traffic kind", []string{"traffic spec:"},
+			func(s *Scenario) { s.Traffic = &traffic.Spec{Kind: "warp-drive"} }},
+	}
+	for _, tc := range cases {
+		s := graphScenarioFixture("err-" + strings.ReplaceAll(tc.label, " ", "-"))
+		tc.mutate(&s)
+		err := Register(s)
+		if err == nil {
+			t.Errorf("%s: Register accepted the scenario", tc.label)
+			continue
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, s.Name) {
+			t.Errorf("%s: error does not name the scenario: %v", tc.label, err)
+		}
+		for _, want := range tc.want {
+			if !strings.Contains(msg, want) {
+				t.Errorf("%s: error does not name the field (%q missing): %v", tc.label, want, err)
+			}
+		}
+	}
+}

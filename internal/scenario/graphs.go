@@ -1,0 +1,172 @@
+package scenario
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/graph"
+)
+
+// The built-in service-DAG scenarios. Each is pure data — a graph.Spec the
+// registry derives the topology from and the simulation layer compiles
+// into the runtime plan — and together they cover the failure-semantics
+// surface: probabilistic branching and async fan-out with retries
+// (fanout-retry), storage tiers with hit-ratio-dependent service times
+// (storage-cache), circuit breakers under a scripted overload
+// (circuit-storm), and deadline-bounded aggregation where timeouts fail
+// requests outright (dag-timeout).
+func init() {
+	dagWorkload := WorkloadDefaults{
+		BatchConcurrency: 2,
+		MinInputMB:       1,
+		MaxInputMB:       10 * 1024,
+	}
+	mustRegister(Scenario{
+		Name: "fanout-retry",
+		Description: "service DAG: front fans to a wide search tier (retried on timeout " +
+			"with exponential backoff), a probabilistic profile branch and an async audit " +
+			"trail — convergent paths re-invoke the merge tier per caller",
+		Nodes:    24,
+		Workload: dagWorkload,
+		Graph: &graph.Spec{
+			Name:     "fanout-retry",
+			Dominant: "search",
+			Nodes: []graph.Node{
+				{
+					Name: "front", Components: 4, BaseServiceTime: 0.0002,
+					Demand: cluster.Vector{cluster.Core: 0.5, cluster.Cache: 3, cluster.DiskBW: 1, cluster.NetBW: 7},
+					Calls: []graph.Call{
+						{To: "search", Retries: 2, Backoff: 0.002},
+						{To: "profile", Prob: 0.7},
+						{To: "audit", Async: true},
+					},
+				},
+				{
+					Name: "search", Components: 16, BaseServiceTime: 0.0006,
+					Timeout: 0.012,
+					Demand:  cluster.Vector{cluster.Core: 0.9, cluster.Cache: 6, cluster.DiskBW: 8, cluster.NetBW: 5},
+					Calls:   []graph.Call{{To: "merge"}},
+				},
+				{
+					Name: "profile", Components: 6, BaseServiceTime: 0.0004,
+					Calls: []graph.Call{{To: "merge"}},
+				},
+				{Name: "merge", Components: 4, BaseServiceTime: 0.0003},
+				{Name: "audit", Components: 3, BaseServiceTime: 0.0003},
+			},
+		},
+	})
+	mustRegister(Scenario{
+		Name: "storage-cache",
+		Description: "service DAG over storage tiers: api → cache (85% hits at 0.15 ms, " +
+			"misses 6× dearer) with a fall-through to a mixed read/write database, plus an " +
+			"async write-heavy log store — per-operation service times drawn from the hit " +
+			"ratio and write mix",
+		Nodes:    16,
+		Workload: dagWorkload,
+		Graph: &graph.Spec{
+			Name:     "storage-cache",
+			Dominant: "db",
+			Nodes: []graph.Node{
+				{
+					Name: "api", Components: 6, BaseServiceTime: 0.00025,
+					Demand: cluster.Vector{cluster.Core: 0.6, cluster.Cache: 4, cluster.DiskBW: 1, cluster.NetBW: 7},
+					Calls: []graph.Call{
+						{To: "cache"},
+						{To: "logstore", Async: true},
+					},
+				},
+				{
+					Name: "cache", Components: 8,
+					Storage: &graph.Storage{HitRatio: 0.85, HitTime: 0.00015, MissTime: 0.0009},
+					Demand:  cluster.Vector{cluster.Core: 0.7, cluster.Cache: 8, cluster.DiskBW: 2, cluster.NetBW: 5},
+					// The fall-through probability approximates the miss+stale
+					// fraction that needs the backing store.
+					Calls: []graph.Call{{To: "db", Prob: 0.35, Retries: 1, Backoff: 0.003}},
+				},
+				{
+					Name: "db", Components: 12,
+					Storage: &graph.Storage{
+						HitRatio: 0.5, HitTime: 0.0006, MissTime: 0.0022,
+						WriteFraction: 0.25, WriteTime: 0.0018,
+					},
+					Timeout: 0.015,
+					Demand:  cluster.Vector{cluster.Core: 0.9, cluster.Cache: 6, cluster.DiskBW: 12, cluster.NetBW: 4},
+				},
+				{
+					Name: "logstore", Components: 4,
+					Storage: &graph.Storage{
+						HitRatio: 0.7, HitTime: 0.0002, MissTime: 0.001,
+						WriteFraction: 0.8, WriteTime: 0.0007,
+					},
+					Demand: cluster.Vector{cluster.Core: 0.5, cluster.Cache: 3, cluster.DiskBW: 9, cluster.NetBW: 3},
+				},
+			},
+		},
+	})
+	mustRegister(Scenario{
+		Name: "circuit-storm",
+		Description: "service DAG behind a circuit breaker hit by a 3× overload burst: the " +
+			"upstream tier's tight deadline starts timing out under queue growth, consecutive " +
+			"failures trip the breaker, fast-fails shed load through the cooldown, and " +
+			"half-open probes close it again as the storm passes",
+		Nodes:    24,
+		Workload: dagWorkload,
+		Steering: &Steering{
+			RateSteps: []RateStep{
+				{At: 0.35, Factor: 3},
+				{At: 0.70, Factor: 1},
+			},
+		},
+		Graph: &graph.Spec{
+			Name:     "circuit-storm",
+			Dominant: "upstream",
+			Nodes: []graph.Node{
+				{
+					Name: "gateway", Components: 5, BaseServiceTime: 0.0002,
+					Demand: cluster.Vector{cluster.Core: 0.5, cluster.Cache: 3, cluster.DiskBW: 1, cluster.NetBW: 8},
+					Calls:  []graph.Call{{To: "upstream", Retries: 1, Backoff: 0.003}},
+				},
+				{
+					Name: "upstream", Components: 14, BaseServiceTime: 0.0007,
+					Timeout: 0.006,
+					Breaker: &graph.Breaker{Failures: 5, Cooldown: 0.5},
+					Demand:  cluster.Vector{cluster.Core: 1.0, cluster.Cache: 7, cluster.DiskBW: 6, cluster.NetBW: 5},
+					Calls:   []graph.Call{{To: "backend"}},
+				},
+				{Name: "backend", Components: 4, BaseServiceTime: 0.0003},
+			},
+		},
+	})
+	mustRegister(Scenario{
+		Name: "dag-timeout",
+		Description: "deadline-bounded aggregation DAG: ingress fans to a quick tier, a " +
+			"heavy tier that gets one retry before its deadline fails the request, and a " +
+			"flaky tier whose tight deadline has no retry budget at all — timed-out requests " +
+			"are first-class outcomes, not long-tail completions",
+		Nodes:    20,
+		Workload: dagWorkload,
+		Graph: &graph.Spec{
+			Name:     "dag-timeout",
+			Dominant: "heavy",
+			Nodes: []graph.Node{
+				{
+					Name: "ingress", Components: 4, BaseServiceTime: 0.0002,
+					Demand: cluster.Vector{cluster.Core: 0.5, cluster.Cache: 3, cluster.DiskBW: 1, cluster.NetBW: 7},
+					Calls: []graph.Call{
+						{To: "quick"},
+						{To: "heavy", Retries: 1, Backoff: 0.004},
+						{To: "flaky"},
+					},
+				},
+				{Name: "quick", Components: 8, BaseServiceTime: 0.0003},
+				{
+					Name: "heavy", Components: 12, BaseServiceTime: 0.0008,
+					Timeout: 0.008,
+					Demand:  cluster.Vector{cluster.Core: 1.1, cluster.Cache: 8, cluster.DiskBW: 9, cluster.NetBW: 4},
+					Calls:   []graph.Call{{To: "collate"}},
+				},
+				{Name: "flaky", Components: 6, BaseServiceTime: 0.0005, Timeout: 0.005},
+				{Name: "collate", Components: 4, BaseServiceTime: 0.00025},
+			},
+		},
+	})
+}

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/graph"
 	"repro/internal/policy"
 	"repro/internal/service"
 	"repro/internal/traffic"
@@ -159,6 +160,12 @@ type Scenario struct {
 	// mixes). Nil keeps the scalar Poisson workload at the run's
 	// ArrivalRate; Options.Traffic overrides a scripted spec.
 	Traffic *traffic.Spec
+	// Graph, if non-nil, makes this a service-DAG scenario: a pure-data
+	// graph.Spec the simulation layer compiles into the runtime plan on
+	// every run. Register derives Topology and DominantStage from the
+	// spec when they are left unset; a scenario that sets both must keep
+	// them consistent (one stage per graph node).
+	Graph *graph.Spec
 }
 
 func (s Scenario) validate() error {
@@ -169,19 +176,29 @@ func (s Scenario) validate() error {
 		return fmt.Errorf("scenario %q: nil topology builder", s.Name)
 	}
 	if s.Nodes <= 0 {
-		return fmt.Errorf("scenario %q: non-positive default node count", s.Name)
+		return fmt.Errorf("scenario %q: default node count must be positive, got %d", s.Name, s.Nodes)
 	}
 	topo := s.Topology(0)
 	if err := topo.Validate(); err != nil {
-		return fmt.Errorf("scenario %q: %w", s.Name, err)
+		return fmt.Errorf("scenario %q: topology: %w", s.Name, err)
 	}
 	if s.DominantStage < 0 || s.DominantStage >= len(topo.Stages) {
 		return fmt.Errorf("scenario %q: dominant stage %d out of range [0, %d)",
 			s.Name, s.DominantStage, len(topo.Stages))
 	}
+	// Workload errors name the field at fault so a bad registration reads
+	// as "fix this knob", not as a struct dump.
 	w := s.Workload
-	if w.BatchConcurrency <= 0 || w.MinInputMB <= 0 || w.MaxInputMB <= w.MinInputMB {
-		return fmt.Errorf("scenario %q: incomplete workload defaults %+v", s.Name, w)
+	switch {
+	case w.BatchConcurrency <= 0:
+		return fmt.Errorf("scenario %q: workload BatchConcurrency must be positive, got %g",
+			s.Name, w.BatchConcurrency)
+	case w.MinInputMB <= 0:
+		return fmt.Errorf("scenario %q: workload MinInputMB must be positive, got %g",
+			s.Name, w.MinInputMB)
+	case w.MaxInputMB <= w.MinInputMB:
+		return fmt.Errorf("scenario %q: workload MaxInputMB (%g) must exceed MinInputMB (%g)",
+			s.Name, w.MaxInputMB, w.MinInputMB)
 	}
 	if s.Steering != nil {
 		if err := s.Steering.validate(s.Name); err != nil {
@@ -190,12 +207,21 @@ func (s Scenario) validate() error {
 	}
 	if s.Policy != nil {
 		if err := s.Policy.Validate(); err != nil {
-			return fmt.Errorf("scenario %q: %w", s.Name, err)
+			return fmt.Errorf("scenario %q: policy spec: %w", s.Name, err)
 		}
 	}
 	if s.Traffic != nil {
 		if err := s.Traffic.Validate(); err != nil {
-			return fmt.Errorf("scenario %q: %w", s.Name, err)
+			return fmt.Errorf("scenario %q: traffic spec: %w", s.Name, err)
+		}
+	}
+	if s.Graph != nil {
+		if err := s.Graph.Validate(); err != nil {
+			return fmt.Errorf("scenario %q: graph spec: %w", s.Name, err)
+		}
+		if got, want := len(topo.Stages), len(s.Graph.Nodes); got != want {
+			return fmt.Errorf("scenario %q: graph spec %q has %d nodes but the topology has %d stages",
+				s.Name, s.Graph.Name, want, got)
 		}
 	}
 	return nil
@@ -205,8 +231,18 @@ var registry = map[string]Scenario{}
 
 // Register adds a scenario to the registry. It returns an error for
 // incomplete entries or duplicate names; built-ins register at init and
-// panic on failure, since a broken built-in is a programming error.
+// panic on failure, since a broken built-in is a programming error. A
+// scenario carrying a Graph spec may leave Topology and DominantStage
+// unset — they are derived from the spec here, so a DAG scenario is
+// authored as pure data plus defaults.
 func Register(s Scenario) error {
+	if g := s.Graph; g != nil && s.Topology == nil {
+		if err := g.Validate(); err != nil {
+			return fmt.Errorf("scenario %q: graph spec: %w", s.Name, err)
+		}
+		s.Topology = func(fanOut int) service.Topology { return g.Topology(fanOut) }
+		s.DominantStage = g.DominantIndex()
+	}
 	if err := s.validate(); err != nil {
 		return err
 	}

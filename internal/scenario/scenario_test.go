@@ -244,8 +244,8 @@ func TestPolicySpecValidation(t *testing.T) {
 }
 
 func TestBuiltinPolicyScenariosPresent(t *testing.T) {
-	if n := len(Names()); n != 11 {
-		t.Fatalf("registry holds %d scenarios, want 11: %v", n, Names())
+	if n := len(Names()); n != 15 {
+		t.Fatalf("registry holds %d scenarios, want 15: %v", n, Names())
 	}
 	wantKind := map[string]string{
 		"autoscale-burst":   "autoscale",

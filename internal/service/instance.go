@@ -226,7 +226,14 @@ func (in *Instance) start(e *Execution, now float64) {
 	// The work factor scales the nominal per-request work (brownout
 	// degradation); the draw itself consumes the same stream position
 	// either way, so toggling brownout never renumbers later draws.
-	base := in.Comp.Spec.BaseServiceTime * in.svc.workFactor
+	// Storage nodes override the stage nominal with the per-operation
+	// work drawn at dispatch (an immutable sub-request field, safe to
+	// read from the instance's lane).
+	base := in.Comp.Spec.BaseServiceTime
+	if o := e.Sub.baseOverride; o > 0 {
+		base = o
+	}
+	base *= in.svc.workFactor
 	x := in.svc.law.Sample(base, background, in.serviceRNG())
 
 	if in.svc.lanes != nil {

@@ -19,6 +19,10 @@ type Request struct {
 	stage      int
 	stageStart float64
 	pending    int // sub-requests outstanding in the current stage
+
+	// gr is the DAG bookkeeping, allocated only when the deployment runs
+	// a GraphPlan; nil requests walk the linear stage path.
+	gr *graphReq
 }
 
 // SubRequest is the unit of work one component contributes to one request's
@@ -46,6 +50,16 @@ type SubRequest struct {
 	// execution completes (reissue policies use it to update their
 	// expected-latency estimates).
 	OnDone func(winner *Execution, now float64)
+
+	// visit is the DAG visit that issued the sub-request (nil on the
+	// linear stage path); completion routes to it instead of the
+	// request's stage accounting.
+	visit *graphVisit
+	// baseOverride, when positive, replaces the stage's nominal service
+	// time for this sub-request's executions — storage nodes set it to
+	// the drawn per-operation work. Immutable after dispatch, so
+	// instance lanes may read it freely.
+	baseOverride float64
 }
 
 // Done reports whether a winning execution has completed.
@@ -154,6 +168,10 @@ func (sub *SubRequest) onComplete(e *Execution, now float64) {
 	svc.collector.RecordComponent(now, sub.Comp.Stage, now-sub.IssuedAt)
 	if sub.OnDone != nil {
 		sub.OnDone(e, now)
+	}
+	if sub.visit != nil {
+		sub.visit.visitSubDone(now)
+		return
 	}
 	sub.Req.subDone(now)
 }

@@ -84,6 +84,11 @@ type Config struct {
 	// at any lane count but differ from the nil (sequential) physics,
 	// which stay exactly the historical ones.
 	Lanes *lane.Plane
+	// Graph, when non-nil, replaces the linear stage walk with DAG
+	// execution: node i of the plan runs on stage i of the topology, so
+	// the plan and topology must agree on length (both come from the same
+	// graph.Spec). Nil keeps the historical sequential-stage flow.
+	Graph *GraphPlan
 }
 
 // Service wires a topology onto a cluster and runs the open-loop request
@@ -131,6 +136,19 @@ type Service struct {
 	src traffic.Source
 
 	collector *trace.Collector
+
+	// graph is the compiled DAG when the deployment runs one; graphRNG is
+	// its dedicated stream (edge draws, storage operations — forked only
+	// in graph mode so non-graph runs keep their historical draw
+	// sequences); breakers holds per-node circuit state; graphStats the
+	// failure-semantics counters. failed/timedOut are request outcomes —
+	// always zero on non-graph deployments, whose requests cannot fail.
+	graph      *GraphPlan
+	graphRNG   *xrand.Source
+	breakers   []breakerState
+	graphStats GraphStats
+	failed     int
+	timedOut   int
 
 	arrivals   int
 	completed  int
@@ -204,6 +222,18 @@ func New(e *sim.Engine, cl *cluster.Cluster, src *xrand.Source, policy Policy, c
 		// the historical draw sequence.
 		svc.lanes = cfg.Lanes
 		svc.laneSeed = src.Int63()
+	}
+	if cfg.Graph != nil {
+		if got, want := len(cfg.Graph.Nodes), len(cfg.Topology.Stages); got != want {
+			return nil, fmt.Errorf("service: graph %q has %d nodes but topology %q has %d stages",
+				cfg.Graph.Name, got, cfg.Topology.Name, want)
+		}
+		// The graph stream is forked only in graph mode, after every
+		// existing fork, so non-graph deployments (laned or not) keep
+		// their historical draw sequences untouched.
+		svc.graph = cfg.Graph
+		svc.graphRNG = src.Fork()
+		svc.breakers = make([]breakerState, len(cfg.Graph.Nodes))
 	}
 
 	global := 0
@@ -475,7 +505,11 @@ func (s *Service) injectArrival(meta traffic.Meta) *Request {
 	if s.OnArrival != nil {
 		s.OnArrival(now)
 	}
-	r.startStage(now)
+	if s.graph != nil {
+		s.graphStart(r, now)
+	} else {
+		r.startStage(now)
+	}
 	return r
 }
 

@@ -1,0 +1,80 @@
+package traffic
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// fuzzTraceReplay is the shared fuzz harness for both trace formats. The
+// contract it pins: arbitrary bytes either fail construction with an
+// error, or yield a replay whose emitted arrivals are finite and
+// non-decreasing until the trace ends cleanly or Err reports the broken
+// line — never a panic, never a NaN arrival time, never an arrival after
+// exhaustion.
+func fuzzTraceReplay(t *testing.T, format string, data []byte) {
+	tr, err := NewTraceReplayReader(strings.NewReader(string(data)), format, "fuzz", 100)
+	if err != nil {
+		return
+	}
+	defer tr.Close()
+	var last float64
+	exhausted := false
+	for n := 0; n < 4096; n++ {
+		a, ok := tr.Next(last)
+		if !ok {
+			exhausted = true
+			break
+		}
+		if math.IsNaN(a.At) || math.IsInf(a.At, 0) {
+			t.Fatalf("arrival %d at non-finite time %g", n, a.At)
+		}
+		if a.At < last {
+			t.Fatalf("arrival %d at %g before previous arrival at %g", n, a.At, last)
+		}
+		last = a.At
+		if r := tr.Rate(); math.IsNaN(r) || r < 0 {
+			t.Fatalf("arrival %d: rate estimate %g", n, r)
+		}
+	}
+	if exhausted {
+		if _, ok := tr.Next(last); ok {
+			t.Fatal("exhausted replay produced another arrival")
+		}
+		// Err must answer either way: nil for a clean end of trace, the
+		// positioned parse error for a broken line. Calling it must not
+		// disturb the exhausted state.
+		_ = tr.Err()
+	}
+}
+
+// FuzzTraceNDJSON fuzzes NDJSON trace parsing: malformed records, bad
+// timestamps and non-monotone traces must surface through construction
+// errors or Err, never as panics.
+func FuzzTraceNDJSON(f *testing.F) {
+	f.Add([]byte("{\"t\": 0.5}\n{\"t\": 1.25, \"tenant\": \"search\", \"class\": \"query\"}\n"))
+	f.Add([]byte("# comment\n\n{\"t\": 0}\n{\"t\": 3e2}\n"))
+	f.Add([]byte("{\"t\": 1}\n{\"t\": 0.5}\n"))      // non-monotone
+	f.Add([]byte("{\"t\": -1}\n"))                   // negative time
+	f.Add([]byte("{\"t\": 1e999}\n"))                // out-of-range number
+	f.Add([]byte("{\"t\": 1, \"tenant\": 3}\nnope")) // type mismatch, trailing junk
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzTraceReplay(t, FormatNDJSON, data)
+	})
+}
+
+// FuzzTraceCSV fuzzes CSV trace parsing: headers, comments, short and
+// overlong rows, and every hostile float spelling ParseFloat accepts
+// ("NaN", "Inf", hex floats) must parse or error — never panic, never
+// emit a non-finite arrival.
+func FuzzTraceCSV(f *testing.F) {
+	f.Add([]byte("t,tenant,class\n0.5,search,query\n1.5,ads\n"))
+	f.Add([]byte("# comment\n0\n0.25\n3e-1,a,b,extra\n"))
+	f.Add([]byte("0.5\nNaN\n"))    // non-finite timestamp
+	f.Add([]byte("Inf,x\n"))       // infinity in the header slot
+	f.Add([]byte("1\n0.5\n"))      // non-monotone
+	f.Add([]byte("0x1p-2,a\n,\n")) // hex float, empty fields
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzTraceReplay(t, FormatCSV, data)
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -190,6 +191,10 @@ func (tr *TraceReplay) parseLine(raw string) (*traceRecord, error) {
 				return nil, errSkipLine
 			}
 			return nil, fmt.Errorf("bad timestamp %q", fields[0])
+		}
+		// ParseFloat accepts "NaN" and "Inf" spellings; neither is a time.
+		if math.IsNaN(t) || math.IsInf(t, 0) {
+			return nil, fmt.Errorf("non-finite timestamp %q", strings.TrimSpace(fields[0]))
 		}
 		if t < 0 {
 			return nil, fmt.Errorf("negative timestamp %g", t)

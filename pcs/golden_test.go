@@ -1,0 +1,69 @@
+package pcs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Shared machinery for the golden-report pins (the PR 5 scalar-arrival
+// compat file and the DAG-scenario file): a golden file maps cell keys to
+// indented Result JSON, tests compare the compact encoding every sink in
+// the repo writes, and PCS_WRITE_GOLDEN=1 regenerates the file instead of
+// comparing. Regenerate only when a PR deliberately changes simulation
+// results.
+
+// writeGoldens rewrites a golden file from this run's reports.
+func writeGoldens(t *testing.T, path string, got map[string]json.RawMessage) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d golden reports to %s", len(got), path)
+}
+
+// compareGoldens checks this run's reports byte for byte against a golden
+// file, in both directions: a golden without a run and a run without a
+// golden are both failures, so the pinned surface cannot silently shrink
+// or grow.
+func compareGoldens(t *testing.T, path string, got map[string]json.RawMessage) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading goldens (run with PCS_WRITE_GOLDEN=1 to create them): %v", err)
+	}
+	var want map[string]json.RawMessage
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for key, wb := range want {
+		gb, ok := got[key]
+		if !ok {
+			t.Errorf("%s: golden exists but cell was not run", key)
+			continue
+		}
+		// The golden file is indented for reviewability; the pin compares
+		// the compact encoding.
+		var compact bytes.Buffer
+		if err := json.Compact(&compact, wb); err != nil {
+			t.Fatalf("%s: golden is not valid JSON: %v", key, err)
+		}
+		if string(gb) != compact.String() {
+			t.Errorf("%s: report diverged from the golden\ngot:  %s\nwant: %s", key, gb, compact.Bytes())
+		}
+	}
+	for key := range got {
+		if _, ok := want[key]; !ok {
+			t.Errorf("%s: cell has no golden (regenerate with PCS_WRITE_GOLDEN=1?)", key)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package pcs
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// The DAG-scenario golden pin — the value half of determinism invariant
+// #11. The conformance matrices already prove the DAG scenarios are
+// byte-identical across shard and lane counts {1, 2, 4, 8}; this file
+// pins the actual report bytes across PRs, sequential and laned, Basic
+// and PCS, so a change to graph execution (branch draws, retry timing,
+// breaker state walks, storage mixes) cannot land unnoticed. Regenerate
+// deliberately:
+//
+//	PCS_WRITE_GOLDEN=1 go test -run TestGraphScenarioGoldens ./pcs
+const graphGoldenPath = "testdata/graph_reports.json"
+
+// graphScenarios are the DAG scenarios the pin covers, frozen by name.
+var graphScenarios = []string{"circuit-storm", "dag-timeout", "fanout-retry", "storage-cache"}
+
+// TestGraphScenarioGoldens runs every DAG scenario under Basic and PCS on
+// both data planes and compares the serialized reports against the
+// goldens. It also checks each run actually exercised graph semantics —
+// a report without graph counters means the DAG plan silently fell away,
+// which byte-comparison alone could only catch after regeneration.
+func TestGraphScenarioGoldens(t *testing.T) {
+	write := os.Getenv("PCS_WRITE_GOLDEN") != ""
+	got := make(map[string]json.RawMessage)
+	for _, name := range graphScenarios {
+		for _, tech := range []Technique{Basic, PCS} {
+			for _, laned := range []bool{false, true} {
+				opts := equivOpts(tech, name, 17)
+				key := name + "/" + tech.String()
+				if laned {
+					opts = lanedOpts(tech, name, 17)
+					key += "/laned"
+				}
+				res, err := Run(opts)
+				if err != nil {
+					t.Fatalf("%s: %v", key, err)
+				}
+				if res.Graph == nil {
+					t.Errorf("%s: report carries no graph counters; DAG plan not in effect?", key)
+				}
+				got[key] = reportBytes(t, res)
+			}
+		}
+	}
+	if write {
+		writeGoldens(t, graphGoldenPath, got)
+		return
+	}
+	compareGoldens(t, graphGoldenPath, got)
+}

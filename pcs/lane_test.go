@@ -19,51 +19,15 @@ func lanedOpts(tech Technique, scenarioName string, seed int64) Options {
 }
 
 // TestLanedRunBitIdenticalAllScenariosTechniques is the tentpole's
-// acceptance gate (determinism invariant #10): for every registered
-// scenario under Basic and PCS — a table that includes the policy-on
-// scenarios (autoscale-burst, brownout-overload) and the traffic-shaped
-// ones (tenant-storm, session-diurnal) — and for every technique on the
-// default scenario, laned runs at 1, 2, 4 and 8 lanes produce
-// byte-identical reports. Lane count only ever moves the wall clock.
+// acceptance gate (determinism invariant #10): for every conformance cell
+// — a table that includes the policy-on scenarios (autoscale-burst,
+// brownout-overload), the traffic-shaped ones (tenant-storm,
+// session-diurnal) and the DAG ones (fanout-retry, circuit-storm, …) —
+// laned runs at 1, 2, 4 and 8 lanes produce byte-identical reports. Lane
+// count only ever moves the wall clock.
 func TestLanedRunBitIdenticalAllScenariosTechniques(t *testing.T) {
-	type cell struct {
-		scenario string
-		tech     Technique
-	}
-	var cells []cell
-	for _, name := range Scenarios() {
-		for _, tech := range []Technique{Basic, PCS} {
-			cells = append(cells, cell{name, tech})
-		}
-	}
-	for _, tech := range Techniques() {
-		if tech != Basic && tech != PCS {
-			cells = append(cells, cell{"", tech})
-		}
-	}
-
-	for _, c := range cells {
-		opts := lanedOpts(c.tech, c.scenario, 17)
-		baseline, err := Run(opts)
-		if err != nil {
-			t.Fatalf("%s/%s: %v", c.scenario, c.tech, err)
-		}
-		if baseline.DataPlane != "laned" {
-			t.Fatalf("%s/%s: DataPlane = %q, want laned", c.scenario, c.tech, baseline.DataPlane)
-		}
-		want := reportBytes(t, baseline)
-		for _, lanes := range laneCounts[1:] {
-			o := opts
-			o.Lanes = lanes
-			res, err := Run(o)
-			if err != nil {
-				t.Fatalf("%s/%s lanes=%d: %v", c.scenario, c.tech, lanes, err)
-			}
-			if got := reportBytes(t, res); string(got) != string(want) {
-				t.Errorf("%s/%s: report at -lanes %d diverged from -lanes 1\nlanes=%d: %s\nlanes=1:  %s",
-					c.scenario, c.tech, lanes, lanes, got, want)
-			}
-		}
+	for _, c := range conformanceCells() {
+		assertLanesBitIdentical(t, c.label(), lanedOpts(c.Tech, c.Scenario, 17))
 	}
 }
 
@@ -114,31 +78,9 @@ func TestLanedRunBitIdenticalTraceAndPolicyOverride(t *testing.T) {
 // — and final Result — at every lane count. Observation stays free and
 // lane count stays invisible even when both are on.
 func TestLanedSampledRunMatchesAcrossLanes(t *testing.T) {
-	opts := lanedOpts(PCS, "node-failure", 23)
-	sampledRun := func(lanes int) (Result, []Snapshot) {
-		o := opts
-		o.Lanes = lanes
-		s, err := NewSimulation(o)
-		if err != nil {
-			t.Fatalf("lanes=%d: %v", lanes, err)
-		}
-		var snaps []Snapshot
-		if err := s.SampleEvery(s.Horizon()/31, func(sn Snapshot) { snaps = append(snaps, sn) }); err != nil {
-			t.Fatalf("lanes=%d: %v", lanes, err)
-		}
-		return s.Finish(), snaps
-	}
-	oneRes, oneSnaps := sampledRun(1)
-	for _, lanes := range laneCounts[1:] {
-		res, snaps := sampledRun(lanes)
-		if !reflect.DeepEqual(res, oneRes) {
-			t.Errorf("lanes=%d: sampled result diverged\nlaned: %+v\none:   %+v", lanes, res, oneRes)
-		}
-		if !reflect.DeepEqual(snaps, oneSnaps) {
-			t.Errorf("lanes=%d: snapshot series diverged (%d vs %d samples)",
-				lanes, len(snaps), len(oneSnaps))
-		}
-	}
+	assertSampledMatches(t, "node-failure/PCS/laned", "lanes",
+		lanedOpts(PCS, "node-failure", 23), laneCounts[1:],
+		func(o *Options, n int) { o.Lanes = n })
 }
 
 // TestLanedStepwiseEquivalence pins slicing invariance in laned mode: a

@@ -384,6 +384,15 @@ type Result struct {
 	BatchJobsStarted    int
 	VirtualSeconds      float64
 
+	// Failed and TimedOut count requests that terminated unsuccessfully —
+	// only service-DAG scenarios can produce them (breaker fast-fails and
+	// exhausted retry budgets); linear scenarios always complete, so the
+	// fields are omitted from JSON when zero and pre-DAG reports keep
+	// their exact encoding. Conservation holds on every run:
+	// Arrivals = Completed + Failed + TimedOut + still-in-flight.
+	Failed   int `json:",omitempty"`
+	TimedOut int `json:",omitempty"`
+
 	// Traffic names the arrival source when the run was driven by a
 	// TrafficSpec (e.g. "trace:arrivals.ndjson", "sessions:400",
 	// "tenants:search+feed"); empty for the scalar Poisson path — these
@@ -402,6 +411,34 @@ type Result struct {
 	// across lane counts, and sequential reports keep their exact
 	// pre-lane encoding.
 	DataPlane string `json:",omitempty"`
+	// Graph carries the failure-semantics counters of a service-DAG run
+	// (retries, breaker activity, storage operations, async calls); nil —
+	// and absent from JSON — for linear scenarios.
+	Graph *GraphCounters `json:",omitempty"`
+}
+
+// GraphCounters are the failure-semantics counters a service-DAG run
+// accumulates; Result.Graph reports them for scenarios built from a
+// graph.Spec.
+type GraphCounters struct {
+	// Retries counts retry attempts issued after visit failures (timeouts
+	// and breaker fast-fails).
+	Retries int `json:",omitempty"`
+	// BreakerTrips counts circuit transitions from closed to open;
+	// BreakerFastFails counts calls an open circuit rejected without
+	// dispatching work.
+	BreakerTrips     int `json:",omitempty"`
+	BreakerFastFails int `json:",omitempty"`
+	// CacheHits, CacheMisses and StorageWrites count storage-node
+	// operations by kind.
+	CacheHits     int `json:",omitempty"`
+	CacheMisses   int `json:",omitempty"`
+	StorageWrites int `json:",omitempty"`
+	// AsyncCalls counts fire-and-forget edge activations; AsyncFailures
+	// counts async call trees that died after retries (swallowed — they
+	// never fail the request).
+	AsyncCalls    int `json:",omitempty"`
+	AsyncFailures int `json:",omitempty"`
 }
 
 // Run executes one simulation to its horizon and reports its latency

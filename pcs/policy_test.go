@@ -84,12 +84,12 @@ func TestPolicyRunsBitIdenticalAcrossShardsAndWorkers(t *testing.T) {
 }
 
 // TestPolicyScenariosRegistered pins the two closed-loop scenarios: the
-// registry holds 11 entries, the scenarios run their scripted policies by
+// registry holds 15 entries, the scenarios run their scripted policies by
 // default, -policy none runs the same world open-loop, and closing the
 // loop changes the outcome.
 func TestPolicyScenariosRegistered(t *testing.T) {
-	if n := len(Scenarios()); n != 11 {
-		t.Fatalf("registry holds %d scenarios, want 11: %v", n, Scenarios())
+	if n := len(Scenarios()); n != 15 {
+		t.Fatalf("registry holds %d scenarios, want 15: %v", n, Scenarios())
 	}
 	wantPolicy := map[string]string{
 		"autoscale-burst":   "threshold-autoscale",

@@ -20,6 +20,9 @@ func (r Result) WriteReport(w io.Writer) {
 		fmt.Fprintf(w, "policy              %s (%d actions)\n", r.Policy, r.PolicyActions)
 	}
 	fmt.Fprintf(w, "requests            %d arrived, %d completed\n", r.Arrivals, r.Completed)
+	if r.Failed > 0 || r.TimedOut > 0 {
+		fmt.Fprintf(w, "request failures    %d failed, %d timed out\n", r.Failed, r.TimedOut)
+	}
 	if r.AdmissionDrops > 0 {
 		fmt.Fprintf(w, "admission drops     %d\n", r.AdmissionDrops)
 	}
@@ -38,6 +41,18 @@ func (r Result) WriteReport(w io.Writer) {
 		fmt.Fprintln(w)
 		fmt.Fprintf(w, "scheduling intervals      %d\n", r.SchedulingIntervals)
 		fmt.Fprintf(w, "migrations enforced       %d\n", r.Migrations)
+	}
+	if g := r.Graph; g != nil {
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "graph retries             %d\n", g.Retries)
+		fmt.Fprintf(w, "breaker trips/fast-fails  %d / %d\n", g.BreakerTrips, g.BreakerFastFails)
+		if g.CacheHits+g.CacheMisses+g.StorageWrites > 0 {
+			fmt.Fprintf(w, "storage hit/miss/write    %d / %d / %d\n",
+				g.CacheHits, g.CacheMisses, g.StorageWrites)
+		}
+		if g.AsyncCalls > 0 {
+			fmt.Fprintf(w, "async calls (failed)      %d (%d)\n", g.AsyncCalls, g.AsyncFailures)
+		}
 	}
 	if len(r.Tenants) > 0 {
 		fmt.Fprintln(w)

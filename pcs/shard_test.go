@@ -24,46 +24,13 @@ func reportBytes(t *testing.T, r Result) []byte {
 }
 
 // TestShardedRunBitIdenticalAllScenariosTechniques is the tentpole's
-// acceptance gate: for every registered scenario under Basic and PCS (the
-// two wirings: no controller vs profiling + controller), and for every
-// technique on the default scenario, runs at 1, 2, 4 and 8 shards produce
-// byte-identical reports. Sharding only ever moves the wall clock.
+// acceptance gate: for every conformance cell — every registered scenario
+// under Basic and PCS, every technique on the default scenario — runs at
+// 1, 2, 4 and 8 shards produce byte-identical reports. Sharding only ever
+// moves the wall clock.
 func TestShardedRunBitIdenticalAllScenariosTechniques(t *testing.T) {
-	type cell struct {
-		scenario string
-		tech     Technique
-	}
-	var cells []cell
-	for _, name := range Scenarios() {
-		for _, tech := range []Technique{Basic, PCS} {
-			cells = append(cells, cell{name, tech})
-		}
-	}
-	for _, tech := range Techniques() {
-		if tech != Basic && tech != PCS {
-			cells = append(cells, cell{"", tech})
-		}
-	}
-
-	for _, c := range cells {
-		opts := equivOpts(c.tech, c.scenario, 17)
-		baseline, err := Run(opts)
-		if err != nil {
-			t.Fatalf("%s/%s: %v", c.scenario, c.tech, err)
-		}
-		want := reportBytes(t, baseline)
-		for _, shards := range shardCounts {
-			o := opts
-			o.Shards = shards
-			res, err := Run(o)
-			if err != nil {
-				t.Fatalf("%s/%s shards=%d: %v", c.scenario, c.tech, shards, err)
-			}
-			if got := reportBytes(t, res); string(got) != string(want) {
-				t.Errorf("%s/%s: report at -shards %d diverged from sequential\nshards=%d: %s\nseq:      %s",
-					c.scenario, c.tech, shards, shards, got, want)
-			}
-		}
+	for _, c := range conformanceCells() {
+		assertShardsBitIdentical(t, c.label(), equivOpts(c.Tech, c.Scenario, 17))
 	}
 }
 
@@ -73,31 +40,9 @@ func TestShardedRunBitIdenticalAllScenariosTechniques(t *testing.T) {
 // unsharded sampled run. Observation stays free and sharding stays
 // invisible even when both are on.
 func TestShardedSampledRunMatchesUnshardedSnapshots(t *testing.T) {
-	opts := equivOpts(PCS, "node-failure", 23)
-	sampledRun := func(shards int) (Result, []Snapshot) {
-		o := opts
-		o.Shards = shards
-		s, err := NewSimulation(o)
-		if err != nil {
-			t.Fatalf("shards=%d: %v", shards, err)
-		}
-		var snaps []Snapshot
-		if err := s.SampleEvery(s.Horizon()/31, func(sn Snapshot) { snaps = append(snaps, sn) }); err != nil {
-			t.Fatalf("shards=%d: %v", shards, err)
-		}
-		return s.Finish(), snaps
-	}
-	seqRes, seqSnaps := sampledRun(1)
-	for _, shards := range shardCounts[1:] {
-		res, snaps := sampledRun(shards)
-		if !reflect.DeepEqual(res, seqRes) {
-			t.Errorf("shards=%d: sampled result diverged\nsharded: %+v\nseq:     %+v", shards, res, seqRes)
-		}
-		if !reflect.DeepEqual(snaps, seqSnaps) {
-			t.Errorf("shards=%d: snapshot series diverged (%d vs %d samples)",
-				shards, len(snaps), len(seqSnaps))
-		}
-	}
+	assertSampledMatches(t, "node-failure/PCS", "shards",
+		equivOpts(PCS, "node-failure", 23), shardCounts[1:],
+		func(o *Options, n int) { o.Shards = n })
 }
 
 // TestRunManyShardsOnlyMovesWallClock pins the shards × replications

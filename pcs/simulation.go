@@ -130,11 +130,22 @@ func NewSimulation(opts Options) (*Simulation, error) {
 		}
 	}
 
+	// A DAG scenario ships a graph.Spec; compile it into the runtime plan
+	// the service executes instead of the linear stage walk.
+	var gplan *service.GraphPlan
+	if sc.Graph != nil {
+		gplan, err = sc.Graph.Plan()
+		if err != nil {
+			return fail(fmt.Errorf("pcs: scenario %q: %w", sc.Name, err))
+		}
+	}
+
 	svc, err := service.New(engine, cl, root.Fork(), policy, service.Config{
 		Topology: topo,
 		Warmup:   duration * o.WarmupFraction,
 		Pool:     pool,
 		Lanes:    plane,
+		Graph:    gplan,
 	})
 	if err != nil {
 		return fail(err)
@@ -426,9 +437,14 @@ func (s *Simulation) RunTo(t float64) float64 {
 type Snapshot struct {
 	// Now and Horizon locate the run: Progress == Now/Horizon.
 	Now, Horizon float64
-	// Arrivals and Completed count requests so far; InFlight is their
-	// difference.
+	// Arrivals and Completed count requests so far; InFlight is the
+	// requests still undecided: Arrivals − Completed − Failed − TimedOut.
 	Arrivals, Completed, InFlight int
+	// Failed and TimedOut count requests terminated unsuccessfully so far
+	// — non-zero only for service-DAG scenarios (omitted from JSON when
+	// zero, so pre-DAG snapshot encodings are unchanged).
+	Failed   int `json:",omitempty"`
+	TimedOut int `json:",omitempty"`
 	// Migrations and SchedulingIntervals count PCS activity so far.
 	Migrations, SchedulingIntervals int
 	// BatchJobsStarted counts interference jobs so far.
@@ -497,7 +513,9 @@ func (s *Simulation) Snapshot() Snapshot {
 		Horizon:          s.horizon,
 		Arrivals:         s.svc.Arrivals(),
 		Completed:        s.svc.Completed(),
-		InFlight:         s.svc.Arrivals() - s.svc.Completed(),
+		InFlight:         s.svc.Arrivals() - s.svc.Completed() - s.svc.Failed() - s.svc.TimedOut(),
+		Failed:           s.svc.Failed(),
+		TimedOut:         s.svc.TimedOut(),
 		Migrations:       s.svc.Migrations(),
 		BatchJobsStarted: s.gen.Started(),
 		PendingEvents:    s.engine.Pending(),
@@ -565,12 +583,27 @@ func (s *Simulation) Finish() Result {
 		Migrations:       s.svc.Migrations(),
 		BatchJobsStarted: s.gen.Started(),
 		VirtualSeconds:   s.engine.Now(),
+		Failed:           s.svc.Failed(),
+		TimedOut:         s.svc.TimedOut(),
 		Traffic:          s.trafficName,
 		AdmissionDrops:   s.svc.AdmissionDrops(),
 		Tenants:          s.tenantResults(),
 	}
 	if s.plane != nil {
 		res.DataPlane = "laned"
+	}
+	if s.svc.GraphPlanned() {
+		gs := s.svc.GraphStats()
+		res.Graph = &GraphCounters{
+			Retries:          gs.Retries,
+			BreakerTrips:     gs.BreakerTrips,
+			BreakerFastFails: gs.BreakerFastFails,
+			CacheHits:        gs.CacheHits,
+			CacheMisses:      gs.CacheMisses,
+			StorageWrites:    gs.StorageWrites,
+			AsyncCalls:       gs.AsyncCalls,
+			AsyncFailures:    gs.AsyncFailures,
+		}
 	}
 	if s.ctrl != nil {
 		res.SchedulingIntervals = s.ctrl.Intervals

@@ -1,10 +1,8 @@
 package pcs
 
 import (
-	"bytes"
 	"encoding/json"
 	"os"
-	"path/filepath"
 	"testing"
 )
 
@@ -77,48 +75,8 @@ func TestScalarArrivalCompat(t *testing.T) {
 	}
 
 	if write {
-		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
-			t.Fatal(err)
-		}
-		data, err := json.MarshalIndent(got, "", "  ")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
-			t.Fatal(err)
-		}
-		t.Logf("wrote %d golden reports to %s", len(got), goldenPath)
+		writeGoldens(t, goldenPath, got)
 		return
 	}
-
-	data, err := os.ReadFile(goldenPath)
-	if err != nil {
-		t.Fatalf("reading goldens (run with PCS_WRITE_GOLDEN=1 to create them): %v", err)
-	}
-	var want map[string]json.RawMessage
-	if err := json.Unmarshal(data, &want); err != nil {
-		t.Fatal(err)
-	}
-	for key, wb := range want {
-		gb, ok := got[key]
-		if !ok {
-			t.Errorf("%s: golden exists but cell was not run", key)
-			continue
-		}
-		// The golden file is indented for reviewability; the pin compares
-		// the compact encoding every sink in the repo writes.
-		var compact bytes.Buffer
-		if err := json.Compact(&compact, wb); err != nil {
-			t.Fatalf("%s: golden is not valid JSON: %v", key, err)
-		}
-		wb = compact.Bytes()
-		if string(gb) != string(wb) {
-			t.Errorf("%s: scalar-arrival report diverged from the PR 5 golden\ngot:  %s\nwant: %s", key, gb, wb)
-		}
-	}
-	for key := range got {
-		if _, ok := want[key]; !ok {
-			t.Errorf("%s: cell has no golden (regenerate with PCS_WRITE_GOLDEN=1?)", key)
-		}
-	}
+	compareGoldens(t, goldenPath, got)
 }
