@@ -31,24 +31,14 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	sf := cliutil.AddSpec(flag.CommandLine).AddRun()
 	var (
-		technique    = cliutil.AddTechnique(flag.CommandLine)
-		scenarioName = cliutil.AddScenario(flag.CommandLine)
-		policyName   = cliutil.AddPolicy(flag.CommandLine)
-		traffic      = cliutil.AddTraffic(flag.CommandLine)
-		rate         = flag.Float64("rate", 100, "request arrival rate (requests/second)")
-		requests     = flag.Int("requests", 20000, "number of requests to simulate")
-		nodes        = flag.Int("nodes", 0, "cluster size (0 = scenario default)")
-		fanOut       = flag.Int("search-components", 0, "dominant-stage fan-out (0 = scenario default)")
-		seed         = flag.Int64("seed", 1, "random seed")
-		sampleEvery  = flag.Float64("sample-interval", 0, "virtual seconds between samples (0 = horizon/240)")
-		refresh      = flag.Int("refresh", 80, "minimum wall-clock milliseconds between dashboard frames")
-		throttle     = flag.Float64("throttle", 0, "virtual seconds simulated per wall-clock second (0 = as fast as possible)")
-		plain        = flag.Bool("plain", false, "no ANSI dashboard: print one line per sample (default when stdout is not a terminal)")
-		width        = flag.Int("width", 48, "sparkline width in columns")
-		shards       = flag.Int("shards", 1, "intra-run shard workers per simulation (-1 = all cores); never affects the results")
-		lanes        = cliutil.AddLanes(flag.CommandLine)
-		listOnly     = flag.Bool("list-scenarios", false, "print the registered scenario names, one per line, and exit\n(lets scripts — like the CI smoke — iterate the registry)")
+		sampleEvery = flag.Float64("sample-interval", 0, "virtual seconds between samples (0 = horizon/240)")
+		refresh     = flag.Int("refresh", 80, "minimum wall-clock milliseconds between dashboard frames")
+		throttle    = flag.Float64("throttle", 0, "virtual seconds simulated per wall-clock second (0 = as fast as possible)")
+		plain       = flag.Bool("plain", false, "no ANSI dashboard: print one line per sample (default when stdout is not a terminal)")
+		width       = flag.Int("width", 48, "sparkline width in columns")
+		listOnly    = flag.Bool("list-scenarios", false, "print the registered scenario names, one per line, and exit\n(lets scripts — like the CI smoke — iterate the registry)")
 	)
 	flag.Parse()
 
@@ -59,27 +49,15 @@ func main() {
 		return
 	}
 
-	tech, err := pcs.ParseTechnique(*technique)
+	spec, err := sf.Spec()
 	if err != nil {
 		log.Fatal(err)
 	}
-	tspec, err := traffic.Spec()
+	opts, err := spec.Options()
 	if err != nil {
 		log.Fatal(err)
 	}
-	sim, err := pcs.NewSimulation(pcs.Options{
-		Technique:        tech,
-		Scenario:         *scenarioName,
-		Policy:           *policyName,
-		Traffic:          tspec,
-		ArrivalRate:      *rate,
-		Requests:         *requests,
-		Nodes:            *nodes,
-		SearchComponents: *fanOut,
-		Seed:             *seed,
-		Shards:           *shards,
-		Lanes:            *lanes,
-	})
+	sim, err := pcs.NewSimulation(opts)
 	if err != nil {
 		log.Fatal(err)
 	}

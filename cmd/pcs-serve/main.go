@@ -1,0 +1,53 @@
+// Command pcs-serve is the simulation daemon: a long-running HTTP
+// management plane that accepts runs and sweeps as pcs.RunSpec JSON,
+// executes them on a bounded work-queue executor, and streams each run's
+// NDJSON replication records over SSE — the exact frames pcs.MergeStream
+// folds back into the canonical report.
+//
+// Usage:
+//
+//	pcs-serve                        # listen on 127.0.0.1:8344
+//	pcs-serve -addr 127.0.0.1:0      # pick a free port (printed on stdout)
+//	pcs-serve -capacity 8            # budget 8 core tokens (default: all cores)
+//
+//	curl -d @run.json localhost:8344/v1/runs
+//	curl localhost:8344/v1/runs/run-1?wait=1
+//	curl -N localhost:8344/v1/runs/run-1/stream
+//	curl -d @sweep.json localhost:8344/v1/sweeps
+//	curl localhost:8344/metrics
+//
+// The API reference lives in docs/serve.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"runtime"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8344", "listen address (host:port; port 0 picks a free one)")
+		capacity = flag.Int("capacity", 0, "executor core-token budget a run's workers × shards/lanes width is\nadmitted against (0 = all cores); queued work waits, in FIFO order")
+	)
+	flag.Parse()
+
+	tokens := *capacity
+	if tokens <= 0 {
+		tokens = runtime.GOMAXPROCS(0)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The resolved address on stdout is the startup handshake: scripts
+	// (like the CI smoke) read it to find the port when -addr ends in :0.
+	fmt.Printf("pcs-serve listening on http://%s (capacity %d tokens)\n", ln.Addr(), tokens)
+	log.Fatal(http.Serve(ln, serve.New(tokens).Handler()))
+}

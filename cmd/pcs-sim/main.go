@@ -13,9 +13,12 @@
 //	pcs-sim -policy pid-throttle -rate 300                   # admission throttling on any scenario
 //	pcs-sim -replications 32 -stream runs.ndjson             # per-replication NDJSON to disk
 //	pcs-sim -merge runs.ndjson                               # re-aggregate a stored stream
+//	pcs-sim -spec-file run.json                              # run a stored RunSpec
+//	pcs-sim -spec-file run.json -json                        # canonical report JSON (daemon-identical)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -29,29 +32,15 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	sf := cliutil.AddSpec(flag.CommandLine).AddRun().AddReplication().AddTuning()
 	var (
-		technique    = cliutil.AddTechnique(flag.CommandLine)
-		scenarioName = cliutil.AddScenario(flag.CommandLine)
-		policyName   = cliutil.AddPolicy(flag.CommandLine)
-		traffic      = cliutil.AddTraffic(flag.CommandLine)
-		rate         = flag.Float64("rate", 100, "request arrival rate (requests/second)")
-		requests     = flag.Int("requests", 20000, "number of requests to simulate")
-		nodes        = flag.Int("nodes", 0, "cluster size (0 = scenario default)")
-		fanOut       = flag.Int("search-components", 0, "dominant-stage fan-out (0 = scenario default)")
-		seed         = flag.Int64("seed", 1, "random seed")
-		interval     = flag.Float64("interval", 5, "PCS scheduling interval (seconds)")
-		epsilon      = flag.Float64("epsilon", 0.000005, "PCS migration threshold ε (seconds)")
-		queue        = flag.String("queue", "mg1", "PCS queue model: mg1, mm1 or none")
-		replications = flag.Int("replications", 1, "independent replications to run and aggregate (mean±CI95)")
-		ciTarget     = flag.Float64("ci-target", 0, "adaptive replications: replicate until the relative CI95 half-width\nof both headline metrics falls below this (e.g. 0.05 for ±5%); 0 disables")
-		maxReps      = flag.Int("max-replications", 64, "hard replication cap for -ci-target")
-		workers      = flag.Int("workers", 0, "parallel simulation workers (0 = all cores); never affects the results")
-		shards       = flag.Int("shards", 1, "intra-run shard workers per simulation: profiling, matrix construction,\nmonitor sampling and demand ticks fan out across this many cores\n(-1 = all cores); results are bit-identical at any value")
-		lanes        = cliutil.AddLanes(flag.CommandLine)
-		prof         = cliutil.AddProfile(flag.CommandLine)
-		sampleEvery  = flag.Float64("sample-interval", 0, "sample a Snapshot every this many virtual seconds during a single run\nand print the time-series after the report; 0 disables. Sampling never\nchanges the results")
-		streamPath   = flag.String("stream", "", "with -replications or -ci-target: write each replication's result to this\nfile as NDJSON instead of holding all of them in memory")
-		mergePath    = flag.String("merge", "", "aggregate an NDJSON file written by pcs-sim -stream and exit (no simulation).\npcs-sweep -stream files are per-cell records with repeating replication\nindices and are not mergeable here")
+		prof        = cliutil.AddProfile(flag.CommandLine)
+		ciTarget    = flag.Float64("ci-target", 0, "adaptive replications: replicate until the relative CI95 half-width\nof both headline metrics falls below this (e.g. 0.05 for ±5%); 0 disables")
+		maxReps     = flag.Int("max-replications", 64, "hard replication cap for -ci-target")
+		sampleEvery = flag.Float64("sample-interval", 0, "sample a Snapshot every this many virtual seconds during a single run\nand print the time-series after the report; 0 disables. Sampling never\nchanges the results")
+		streamPath  = flag.String("stream", "", "with -replications or -ci-target: write each replication's result to this\nfile as NDJSON instead of holding all of them in memory")
+		mergePath   = flag.String("merge", "", "aggregate an NDJSON file written by pcs-sim -stream and exit (no simulation).\npcs-sweep -stream files are per-cell records with repeating replication\nindices and are not mergeable here")
+		jsonOut     = flag.Bool("json", false, "print the canonical aggregate report as JSON — the RunSpec.Report\nencoding pcs-serve returns for the same spec — instead of the tables")
 	)
 	flag.Parse()
 
@@ -72,42 +61,45 @@ func main() {
 			log.Fatal(err, "\n(only pcs-sim -stream files are mergeable; pcs-sweep -stream files are "+
 				"per-cell records with repeating replication indices)")
 		}
-		printAggregate(agg)
+		if *jsonOut {
+			printJSON(agg)
+		} else {
+			printAggregate(agg)
+		}
 		return
 	}
 
-	tech, err := pcs.ParseTechnique(*technique)
+	spec, err := sf.Spec()
 	if err != nil {
 		log.Fatal(err)
 	}
-	tspec, err := traffic.Spec()
+	opts, err := spec.Options()
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := pcs.Options{
-		Technique:          tech,
-		Scenario:           *scenarioName,
-		Policy:             *policyName,
-		Traffic:            tspec,
-		ArrivalRate:        *rate,
-		Requests:           *requests,
-		Nodes:              *nodes,
-		SearchComponents:   *fanOut,
-		Seed:               *seed,
-		SchedulingInterval: *interval,
-		EpsilonSeconds:     *epsilon,
-		QueueModel:         *queue,
-		Shards:             *shards,
-		Lanes:              *lanes,
+	replications, workers := spec.Replications, spec.Workers
+	if replications <= 0 {
+		replications = 1
 	}
-	if *sampleEvery > 0 && (*replications > 1 || *ciTarget > 0) {
+	if *sampleEvery > 0 && (replications > 1 || *ciTarget > 0) {
 		log.Fatal("-sample-interval applies to a single run: drop -replications/-ci-target " +
 			"(or watch a replication live with pcs-live)")
+	}
+	if *jsonOut {
+		if *ciTarget > 0 || *sampleEvery > 0 || *streamPath != "" {
+			log.Fatal("-json prints the spec's canonical report: drop -ci-target/-sample-interval/-stream")
+		}
+		agg, err := spec.Report()
+		if err != nil {
+			log.Fatal(err)
+		}
+		printJSON(agg)
+		return
 	}
 
 	var sink *os.File
 	if *streamPath != "" {
-		if *replications <= 1 && *ciTarget <= 0 {
+		if replications <= 1 && *ciTarget <= 0 {
 			log.Fatal("-stream needs -replications or -ci-target: a single run has nothing to stream")
 		}
 		var err error
@@ -119,14 +111,14 @@ func main() {
 	}
 
 	if *ciTarget > 0 {
-		if *replications > 1 {
+		if replications > 1 {
 			log.Fatal("-replications and -ci-target are mutually exclusive: " +
 				"use -replications for a fixed count or -ci-target to stop on CI width")
 		}
 		target := pcs.CITarget{
 			RelHalfWidth:    *ciTarget,
 			MaxReplications: *maxReps,
-			Workers:         *workers,
+			Workers:         workers,
 		}
 		if sink != nil {
 			target.Sink = sink
@@ -148,13 +140,13 @@ func main() {
 		}
 		return
 	}
-	if *replications > 1 {
+	if replications > 1 {
 		var agg pcs.Aggregate
 		var err error
 		if sink != nil {
-			agg, err = pcs.RunManyStream(opts, *replications, *workers, sink)
+			agg, err = pcs.RunManyStream(opts, replications, workers, sink)
 		} else {
-			agg, err = pcs.RunManyWorkers(opts, *replications, *workers)
+			agg, err = pcs.RunManyWorkers(opts, replications, workers)
 		}
 		if err != nil {
 			log.Fatal(err)
@@ -228,6 +220,19 @@ func printSeries(series *metrics.Series[pcs.Snapshot]) {
 	}
 	row(samples[last].Value) // end-of-run state always shown
 	tw.Flush()
+}
+
+// printJSON prints an aggregate in the canonical report encoding: the
+// MergeStream-normal form (execution-detail fields zeroed), indented, so
+// the bytes diff cleanly against a pcs-serve response for the same spec.
+func printJSON(agg pcs.Aggregate) {
+	agg.Workers = 0
+	agg.Runs = nil
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(agg); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // printAggregate renders a multi-replication run: across-replication means

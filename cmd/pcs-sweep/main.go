@@ -32,34 +32,24 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	sf := cliutil.AddSpec(flag.CommandLine).AddReplication()
 	var (
-		seed         = flag.Int64("seed", 1, "random seed")
-		scenarioName = cliutil.AddScenario(flag.CommandLine)
-		requests     = flag.Int("requests", 20000, "requests per run (runs last ≥90 virtual seconds regardless)")
-		nodes        = flag.Int("nodes", 0, "cluster size (0 = scenario default)")
-		fanOut       = flag.Int("search-components", 0, "dominant-stage fan-out (0 = scenario default)")
-		rates        = flag.String("rates", "10,20,50,100,200,500", "comma-separated arrival rates")
-		techniques   = flag.String("techniques", "", "comma-separated technique subset (empty = all six)")
-		policyName   = cliutil.AddPolicy(flag.CommandLine)
-		traffic      = cliutil.AddTraffic(flag.CommandLine)
-		policyList   = flag.String("policies", "", "run the closed-loop policy comparison instead of the Fig. 6 sweep:\ncomma-separated policies × techniques on the first -rates value\n(\"none\" is the open-loop baseline; \"all\" selects none + every\nregistered policy)")
-		replications = flag.Int("replications", 1, "independent replications per (technique, rate) cell; >1 reports mean±CI95")
-		workers      = flag.Int("workers", 0, "parallel simulation workers (0 = all cores); never affects the results")
-		shards       = flag.Int("shards", 1, "intra-run shard workers per simulation (-1 = all cores); never affects the results")
-		lanes        = cliutil.AddLanes(flag.CommandLine)
-		streamPath   = flag.String("stream", "", "write every run of the sweep (cell coordinates, seed, full result) to this\nfile as NDJSON, alongside the aggregated tables")
+		rates      = flag.String("rates", "10,20,50,100,200,500", "comma-separated arrival rates")
+		techniques = flag.String("techniques", "", "comma-separated technique subset (empty = all six)")
+		policyList = flag.String("policies", "", "run the closed-loop policy comparison instead of the Fig. 6 sweep:\ncomma-separated policies × techniques on the first -rates value\n(\"none\" is the open-loop baseline; \"all\" selects none + every\nregistered policy)")
+		streamPath = flag.String("stream", "", "write every run of the sweep (cell coordinates, seed, full result) to this\nfile as NDJSON, alongside the aggregated tables")
 	)
 	flag.Parse()
 
+	spec, err := sf.Spec()
+	if err != nil {
+		log.Fatal(err)
+	}
 	rateList, err := cliutil.ParseRates(*rates)
 	if err != nil {
 		log.Fatal(err)
 	}
 	techList, err := cliutil.ParseTechniques(*techniques)
-	if err != nil {
-		log.Fatal(err)
-	}
-	tspec, err := traffic.Spec()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,19 +62,21 @@ func main() {
 			}
 		}
 		cfg := experiments.PolicyGridConfig{
-			Seed:             *seed,
-			Scenario:         *scenarioName,
-			Traffic:          tspec,
+			Seed:             spec.Seed,
+			Scenario:         spec.Scenario,
+			Traffic:          spec.Traffic,
+			Graph:            spec.Graph,
+			GraphFile:        spec.GraphFile,
 			Policies:         pols,
 			Techniques:       techList,
 			Rate:             rateList[0],
-			Requests:         *requests,
-			Nodes:            *nodes,
-			SearchComponents: *fanOut,
-			Replications:     *replications,
-			Workers:          *workers,
-			Shards:           *shards,
-			Lanes:            *lanes,
+			Requests:         spec.Requests,
+			Nodes:            spec.Nodes,
+			SearchComponents: spec.SearchComponents,
+			Replications:     spec.Replications,
+			Workers:          spec.Workers,
+			Shards:           spec.Shards,
+			Lanes:            spec.Lanes,
 		}
 		if *streamPath != "" {
 			f, err := os.Create(*streamPath)
@@ -106,19 +98,21 @@ func main() {
 	}
 
 	cfg := experiments.Fig6Config{
-		Seed:             *seed,
-		Scenario:         *scenarioName,
-		Traffic:          tspec,
-		Policy:           *policyName,
+		Seed:             spec.Seed,
+		Scenario:         spec.Scenario,
+		Traffic:          spec.Traffic,
+		Graph:            spec.Graph,
+		GraphFile:        spec.GraphFile,
+		Policy:           spec.Policy,
 		Rates:            rateList,
 		Techniques:       techList,
-		Requests:         *requests,
-		Nodes:            *nodes,
-		SearchComponents: *fanOut,
-		Replications:     *replications,
-		Workers:          *workers,
-		Shards:           *shards,
-		Lanes:            *lanes,
+		Requests:         spec.Requests,
+		Nodes:            spec.Nodes,
+		SearchComponents: spec.SearchComponents,
+		Replications:     spec.Replications,
+		Workers:          spec.Workers,
+		Shards:           spec.Shards,
+		Lanes:            spec.Lanes,
 	}
 	if *streamPath != "" {
 		f, err := os.Create(*streamPath)

@@ -131,10 +131,11 @@ func slugify(heading string) string {
 
 // godocCoveredDirs are the package directories whose exported identifiers
 // must carry doc comments: the public API, plus the internal packages
-// docs/policies.md, docs/traffic.md, docs/scenarios.md and the scenario
-// registry present as authoring surfaces — a policy, traffic-source,
-// scenario or service-graph author reads their godoc, so it must exist.
-var godocCoveredDirs = []string{"pcs", "internal/graph", "internal/policy", "internal/scenario", "internal/traffic"}
+// docs/policies.md, docs/traffic.md, docs/scenarios.md, docs/serve.md and
+// the scenario registry present as authoring/operating surfaces — a
+// policy, traffic-source, scenario or service-graph author, or a daemon
+// API client, reads their godoc, so it must exist.
+var godocCoveredDirs = []string{"pcs", "internal/graph", "internal/policy", "internal/scenario", "internal/serve", "internal/traffic"}
 
 func TestDocsExportedIdentifiersDocumented(t *testing.T) {
 	var missing []string

@@ -125,6 +125,178 @@ func (tf TrafficFlags) Spec() (*pcs.TrafficSpec, error) {
 	return spec, nil
 }
 
+// SpecFlags binds the run-defining flags the cmd/ binaries share onto one
+// pcs.RunSpec — the flag face of the canonical spec API. AddSpec registers
+// the core selectors (-spec-file, -graph-file, -scenario, -policy, the
+// traffic flags, -requests, -nodes, -search-components, -seed, -shards,
+// -lanes); a binary then opts into the groups it carries — AddRun
+// (-technique, -rate), AddReplication (-replications, -workers), AddTuning
+// (-interval, -epsilon, -queue) — and calls Spec after parsing.
+//
+// Precedence is file-then-flags: -spec-file (when given) loads the base
+// RunSpec and every flag the command line explicitly set overrides the
+// matching field; without -spec-file the flags alone define the spec,
+// defaults included, so a bare invocation still means the evaluation
+// default run.
+type SpecFlags struct {
+	fs *flag.FlagSet
+
+	specFile  *string
+	graphFile *string
+	scenario  *string
+	policy    *string
+	traffic   TrafficFlags
+	requests  *int
+	nodes     *int
+	fanOut    *int
+	seed      *int64
+	shards    *int
+	lanes     *int
+
+	technique *string  // AddRun
+	rate      *float64 // AddRun
+
+	replications *int // AddReplication
+	workers      *int // AddReplication
+
+	interval *float64 // AddTuning
+	epsilon  *float64 // AddTuning
+	queue    *string  // AddTuning
+}
+
+// AddSpec registers the core run-defining flags on fs and returns the
+// SpecFlags to extend and resolve.
+func AddSpec(fs *flag.FlagSet) *SpecFlags {
+	return &SpecFlags{
+		fs: fs,
+		specFile: fs.String("spec-file", "", "load the run from this pcs.RunSpec JSON file; flags set explicitly on\n"+
+			"the command line override the file's fields (the same spec JSON drives\n"+
+			"POST /v1/runs on pcs-serve — see docs/serve.md)"),
+		graphFile: fs.String("graph-file", "", "deploy a custom service DAG loaded from this JSON graph spec instead of\n"+
+			"a registered scenario (mutually exclusive with -scenario; the format is\n"+
+			"the graph.Spec encoding, see docs/scenarios.md)"),
+		scenario: AddScenario(fs),
+		policy:   AddPolicy(fs),
+		traffic:  AddTraffic(fs),
+		requests: fs.Int("requests", 20000, "number of requests to simulate"),
+		nodes:    fs.Int("nodes", 0, "cluster size (0 = scenario default)"),
+		fanOut:   fs.Int("search-components", 0, "dominant-stage fan-out (0 = scenario default)"),
+		seed:     fs.Int64("seed", 1, "random seed"),
+		shards: fs.Int("shards", 1, "intra-run shard workers per simulation: profiling, matrix construction,\n"+
+			"monitor sampling and demand ticks fan out across this many cores\n"+
+			"(-1 = all cores); results are bit-identical at any value"),
+		lanes: AddLanes(fs),
+	}
+}
+
+// AddRun registers the single-run selectors -technique and -rate
+// (pcs-sim, pcs-live; pcs-sweep's axes come from -techniques/-rates).
+func (sf *SpecFlags) AddRun() *SpecFlags {
+	sf.technique = AddTechnique(sf.fs)
+	sf.rate = sf.fs.Float64("rate", 100, "request arrival rate (requests/second)")
+	return sf
+}
+
+// AddReplication registers -replications and -workers.
+func (sf *SpecFlags) AddReplication() *SpecFlags {
+	sf.replications = sf.fs.Int("replications", 1, "independent replications to run and aggregate (mean±CI95)")
+	sf.workers = sf.fs.Int("workers", 0, "parallel simulation workers (0 = all cores); never affects the results")
+	return sf
+}
+
+// AddTuning registers the PCS tuning knobs -interval, -epsilon and -queue.
+func (sf *SpecFlags) AddTuning() *SpecFlags {
+	sf.interval = sf.fs.Float64("interval", 5, "PCS scheduling interval (seconds)")
+	sf.epsilon = sf.fs.Float64("epsilon", 0.000005, "PCS migration threshold ε (seconds)")
+	sf.queue = sf.fs.String("queue", "mg1", "PCS queue model: mg1, mm1 or none")
+	return sf
+}
+
+// Spec resolves the parsed flags into a validated RunSpec: the -spec-file
+// base (if any) with explicit flags layered on top. An explicit -scenario
+// clears a file's graph deployment and vice versa, so overriding the
+// deployment never trips the one-service check by accident.
+func (sf *SpecFlags) Spec() (pcs.RunSpec, error) {
+	var spec pcs.RunSpec
+	fromFile := strings.TrimSpace(*sf.specFile) != ""
+	if fromFile {
+		var err error
+		if spec, err = pcs.LoadRunSpec(strings.TrimSpace(*sf.specFile)); err != nil {
+			return pcs.RunSpec{}, err
+		}
+	}
+	set := map[string]bool{}
+	sf.fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	use := func(name string) bool { return !fromFile || set[name] }
+
+	if use("scenario") {
+		spec.Scenario = *sf.scenario
+	}
+	if use("graph-file") {
+		spec.GraphFile = *sf.graphFile
+	}
+	if fromFile && set["scenario"] && !set["graph-file"] {
+		spec.Graph, spec.GraphFile = nil, ""
+	}
+	if fromFile && set["graph-file"] && !set["scenario"] {
+		spec.Scenario, spec.Graph = "", nil
+	}
+	if use("policy") {
+		spec.Policy = *sf.policy
+	}
+	if use("requests") {
+		spec.Requests = *sf.requests
+	}
+	if use("nodes") {
+		spec.Nodes = *sf.nodes
+	}
+	if use("search-components") {
+		spec.SearchComponents = *sf.fanOut
+	}
+	if use("seed") {
+		spec.Seed = *sf.seed
+	}
+	if use("shards") {
+		spec.Shards = *sf.shards
+	}
+	if use("lanes") {
+		spec.Lanes = *sf.lanes
+	}
+	if sf.technique != nil && use("technique") {
+		spec.Technique = *sf.technique
+	}
+	if sf.rate != nil && use("rate") {
+		spec.Rate = *sf.rate
+	}
+	if sf.replications != nil && use("replications") {
+		spec.Replications = *sf.replications
+	}
+	if sf.workers != nil && use("workers") {
+		spec.Workers = *sf.workers
+	}
+	if sf.interval != nil && use("interval") {
+		spec.SchedulingInterval = *sf.interval
+	}
+	if sf.epsilon != nil && use("epsilon") {
+		spec.EpsilonSeconds = *sf.epsilon
+	}
+	if sf.queue != nil && use("queue") {
+		spec.QueueModel = *sf.queue
+	}
+
+	tspec, err := sf.traffic.Spec()
+	if err != nil {
+		return pcs.RunSpec{}, err
+	}
+	if tspec != nil {
+		spec.Traffic = tspec
+	}
+	if err := spec.Validate(); err != nil {
+		return pcs.RunSpec{}, err
+	}
+	return spec, nil
+}
+
 // parseTenant parses one -tenants entry: name:rate[:admitRate[:burst]].
 func parseTenant(entry string) (pcs.TenantTraffic, error) {
 	fail := func(msg string) (pcs.TenantTraffic, error) {

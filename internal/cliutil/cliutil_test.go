@@ -3,6 +3,9 @@ package cliutil
 import (
 	"flag"
 	"io"
+	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -108,5 +111,115 @@ func TestTrafficFlagsSpec(t *testing.T) {
 		if _, err := trafficFlags(t, "-tenants", bad).Spec(); err == nil {
 			t.Fatalf("bad -tenants entry %q accepted", bad)
 		}
+	}
+}
+
+func specFlags(t *testing.T, args ...string) pcs.RunSpec {
+	t.Helper()
+	fs := newSet()
+	sf := AddSpec(fs).AddRun().AddReplication().AddTuning()
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := sf.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSpecFlagsDefaults pins the flags-only path: a bare invocation still
+// means the evaluation default run.
+func TestSpecFlagsDefaults(t *testing.T) {
+	spec := specFlags(t)
+	if spec.Technique != "PCS" || spec.Requests != 20000 || spec.Seed != 1 ||
+		spec.Rate != 100 || spec.Replications != 1 || spec.Shards != 1 ||
+		spec.SchedulingInterval != 5 || spec.QueueModel != "mg1" {
+		t.Fatalf("default spec %+v", spec)
+	}
+	spec = specFlags(t, "-technique", "Basic", "-rate", "250", "-seed", "9")
+	if spec.Technique != "Basic" || spec.Rate != 250 || spec.Seed != 9 {
+		t.Fatalf("flag spec %+v", spec)
+	}
+}
+
+// TestSpecFlagsFilePrecedence pins file-then-flags: the spec file is the
+// base, explicitly-set flags override it, untouched defaults do not.
+func TestSpecFlagsFilePrecedence(t *testing.T) {
+	path := writeFile(t, "run.json",
+		`{"technique": "RED-3", "scenario": "ecommerce", "seed": 77, "rate": 40, "requests": 900}`)
+
+	spec := specFlags(t, "-spec-file", path)
+	if spec.Technique != "RED-3" || spec.Seed != 77 || spec.Rate != 40 || spec.Requests != 900 {
+		t.Fatalf("file spec %+v", spec)
+	}
+	// Flag defaults (technique PCS, requests 20000...) must NOT clobber
+	// the file's fields when the flag was not set explicitly.
+	if spec.Scenario != "ecommerce" {
+		t.Fatalf("scenario lost: %+v", spec)
+	}
+
+	spec = specFlags(t, "-spec-file", path, "-seed", "5", "-technique", "PCS")
+	if spec.Seed != 5 || spec.Technique != "PCS" {
+		t.Fatalf("explicit flags did not override the file: %+v", spec)
+	}
+	if spec.Rate != 40 || spec.Requests != 900 {
+		t.Fatalf("untouched fields changed: %+v", spec)
+	}
+}
+
+// TestSpecFlagsDeploymentOverride pins the clearing rule: an explicit
+// -scenario clears a file's graph deployment and vice versa, so overriding
+// the deployment never trips the one-service check.
+func TestSpecFlagsDeploymentOverride(t *testing.T) {
+	graphPath := writeFile(t, "g.json", `{
+	  "name": "mini",
+	  "nodes": [{"name": "solo", "components": 2, "baseServiceTime": 0.001}]
+	}`)
+	withGraph := writeFile(t, "graph-run.json",
+		`{"graphFile": `+strconv.Quote(graphPath)+`, "seed": 3}`)
+	spec := specFlags(t, "-spec-file", withGraph, "-scenario", "ecommerce")
+	if spec.Scenario != "ecommerce" || spec.GraphFile != "" || spec.Graph != nil {
+		t.Fatalf("-scenario did not clear the file's graph: %+v", spec)
+	}
+
+	withScenario := writeFile(t, "scenario-run.json", `{"scenario": "ecommerce", "seed": 3}`)
+	spec = specFlags(t, "-spec-file", withScenario, "-graph-file", graphPath)
+	if spec.Scenario != "" || spec.GraphFile != graphPath {
+		t.Fatalf("-graph-file did not clear the file's scenario: %+v", spec)
+	}
+
+	// Both set explicitly is still the one-service conflict.
+	fs := newSet()
+	sf := AddSpec(fs)
+	if err := fs.Parse([]string{"-scenario", "ecommerce", "-graph-file", graphPath}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sf.Spec(); err == nil {
+		t.Fatal("explicit -scenario with -graph-file accepted")
+	}
+}
+
+// TestSpecFlagsTrafficOverride pins that traffic flags replace a file's
+// traffic spec, and that absent flags keep it.
+func TestSpecFlagsTrafficOverride(t *testing.T) {
+	path := writeFile(t, "traffic-run.json",
+		`{"traffic": {"kind": "poisson", "rate": 10}, "seed": 2}`)
+	spec := specFlags(t, "-spec-file", path)
+	if spec.Traffic == nil || spec.Traffic.Kind != "poisson" || spec.Traffic.Rate != 10 {
+		t.Fatalf("file traffic lost: %+v", spec.Traffic)
+	}
+	spec = specFlags(t, "-spec-file", path, "-tenants", "search:60")
+	if spec.Traffic == nil || spec.Traffic.Kind != "multi-tenant" || len(spec.Traffic.Tenants) != 1 {
+		t.Fatalf("-tenants did not override the file's traffic: %+v", spec.Traffic)
 	}
 }

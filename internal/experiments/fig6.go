@@ -33,6 +33,11 @@ type Fig6Config struct {
 	// stream (pcs.Options.Traffic); each rate still sets the nominal
 	// intensity the source is scaled to.
 	Traffic *pcs.TrafficSpec
+	// Graph and GraphFile deploy a custom service DAG in every cell
+	// instead of a registered scenario (pcs.RunSpec semantics: at most one
+	// of Scenario, Graph and GraphFile may be set).
+	Graph     *pcs.GraphSpec
+	GraphFile string
 	// Requests per run; the run's virtual duration is Requests/λ.
 	Requests int
 	// Nodes and SearchComponents size the deployment; 0 selects the
@@ -125,43 +130,61 @@ func (r Fig6Result) Cell(technique string, rate float64) *Fig6Cell {
 	return nil
 }
 
+// sweepSpec assembles the canonical pcs.SweepSpec the config means: the
+// cell template plus the technique and rate axes. SweepSpec.Cells owns the
+// seed derivation and the ≥90-virtual-second requests floor, so the
+// daemon's POST /v1/sweeps and this driver can never expand the same grid
+// into different runs.
+func (c Fig6Config) sweepSpec() pcs.SweepSpec {
+	techniques := make([]string, len(c.Techniques))
+	for i, tech := range c.Techniques {
+		techniques[i] = tech.String()
+	}
+	return pcs.SweepSpec{
+		Base: pcs.RunSpec{
+			Scenario:         c.Scenario,
+			Policy:           c.Policy,
+			Traffic:          c.Traffic,
+			Graph:            c.Graph,
+			GraphFile:        c.GraphFile,
+			Seed:             c.Seed,
+			Nodes:            c.Nodes,
+			SearchComponents: c.SearchComponents,
+			Requests:         c.Requests,
+			Shards:           c.Shards,
+			Lanes:            c.Lanes,
+		},
+		Techniques: techniques,
+		Rates:      c.Rates,
+	}
+}
+
 // RunFig6 executes the sweep on the replication runner: all cells ×
 // replications fan out across the worker pool, and every job's seed is a
 // pure function of its (cell, replication) coordinates, so the sweep is
-// deterministic for any worker count. Each (technique, rate) cell uses its
-// own derived seed so adding techniques does not perturb other cells; with
+// deterministic for any worker count. The cells come from the canonical
+// SweepSpec expansion — each (technique, rate) cell uses its own derived
+// seed so adding techniques does not perturb other cells; with
 // Replications == 1 the cell values are identical to the historical serial
 // sweep.
 func RunFig6(cfg Fig6Config) (Fig6Result, error) {
 	c := cfg.withDefaults()
 
+	cells, err := c.sweepSpec().Cells()
+	if err != nil {
+		return Fig6Result{}, fmt.Errorf("experiments: fig6: %w", err)
+	}
 	type cellSpec struct {
 		tech pcs.Technique
 		opts pcs.Options
 	}
-	var specs []cellSpec
-	for _, rate := range c.Rates {
-		// Every run lasts at least 90 virtual seconds so PCS sees a
-		// meaningful number of scheduling intervals even at low rates.
-		requests := c.Requests
-		if min := int(90 * rate); requests < min {
-			requests = min
+	specs := make([]cellSpec, len(cells))
+	for i, cell := range cells {
+		o, err := cell.Options()
+		if err != nil {
+			return Fig6Result{}, fmt.Errorf("experiments: fig6: %w", err)
 		}
-		for _, tech := range c.Techniques {
-			specs = append(specs, cellSpec{tech, pcs.Options{
-				Technique:        tech,
-				Scenario:         c.Scenario,
-				Policy:           c.Policy,
-				Traffic:          c.Traffic,
-				Seed:             c.Seed ^ int64(rate)<<16 ^ int64(tech)<<8,
-				Nodes:            c.Nodes,
-				SearchComponents: c.SearchComponents,
-				ArrivalRate:      rate,
-				Requests:         requests,
-				Shards:           c.Shards,
-				Lanes:            c.Lanes,
-			}})
-		}
+		specs[i] = cellSpec{o.Technique, o}
 	}
 
 	reps := c.Replications
@@ -178,7 +201,7 @@ func RunFig6(cfg Fig6Config) (Fig6Result, error) {
 	}
 	workers := shard.ReplicationWorkers(c.Workers, c.Shards)
 	results := make([]pcs.Result, jobs)
-	err := runner.Stream(c.Seed, jobs, runner.Options{Workers: workers},
+	err = runner.Stream(c.Seed, jobs, runner.Options{Workers: workers},
 		func(idx int, _ int64) (pcs.Result, error) {
 			spec := specs[idx/reps]
 			o := spec.opts

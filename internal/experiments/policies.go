@@ -32,6 +32,11 @@ type PolicyGridConfig struct {
 	// instead of the scenario's scripted traffic or the scalar Poisson
 	// stream (pcs.Options.Traffic).
 	Traffic *pcs.TrafficSpec
+	// Graph and GraphFile deploy a custom service DAG in every cell
+	// instead of a registered scenario (pcs.RunSpec semantics: at most one
+	// of Scenario, Graph and GraphFile may be set).
+	Graph     *pcs.GraphSpec
+	GraphFile string
 	// Techniques to run each policy under; nil means Basic and PCS (the
 	// two wirings: no control loop vs the paper's scheduler, each with
 	// and without the closed loop on top).
@@ -75,7 +80,7 @@ type PolicyStreamedRun struct {
 }
 
 func (c PolicyGridConfig) withDefaults() PolicyGridConfig {
-	if c.Scenario == "" {
+	if c.Scenario == "" && c.Graph == nil && c.GraphFile == "" {
 		c.Scenario = "autoscale-burst"
 	}
 	if len(c.Policies) == 0 {
@@ -150,19 +155,26 @@ func RunPolicyGrid(cfg PolicyGridConfig) (PolicyGridResult, error) {
 	var specs []cellSpec
 	for _, tech := range c.Techniques {
 		for _, pol := range c.Policies {
-			specs = append(specs, cellSpec{tech, pol, pcs.Options{
-				Technique:        tech,
+			cell := pcs.RunSpec{
+				Technique:        tech.String(),
 				Scenario:         c.Scenario,
 				Policy:           pol,
 				Traffic:          c.Traffic,
+				Graph:            c.Graph,
+				GraphFile:        c.GraphFile,
 				Seed:             c.Seed ^ int64(tech)<<16,
 				Nodes:            c.Nodes,
 				SearchComponents: c.SearchComponents,
-				ArrivalRate:      c.Rate,
+				Rate:             c.Rate,
 				Requests:         c.Requests,
 				Shards:           c.Shards,
 				Lanes:            c.Lanes,
-			}})
+			}
+			o, err := cell.Options()
+			if err != nil {
+				return PolicyGridResult{}, fmt.Errorf("experiments: policy grid %s/%s: %w", tech, pol, err)
+			}
+			specs = append(specs, cellSpec{tech, pol, o})
 		}
 	}
 

@@ -289,6 +289,24 @@ func Names() []string {
 	return names
 }
 
+// Info is one registry listing entry: a policy name with its one-line
+// description, for clients that render their own listings (the pcs-serve
+// introspection endpoints).
+type Info struct {
+	Name        string
+	Description string
+}
+
+// List returns the registered policies with their descriptions, sorted by
+// name ("none" is implicit and not listed).
+func List() []Info {
+	out := make([]Info, 0, len(registry))
+	for _, name := range Names() {
+		out = append(out, Info{Name: name, Description: registry[name].description})
+	}
+	return out
+}
+
 // Describe renders a "name — description" line per registered policy, for
 // CLI usage text.
 func Describe() string {

@@ -227,6 +227,40 @@ func (s Scenario) validate() error {
 	return nil
 }
 
+// FromGraph builds an unregistered scenario around a caller-supplied
+// service DAG — the path a -graph-file flag or a RunSpec's inline graph
+// takes. The scenario gets the DAG workload defaults the built-in graph
+// scenarios use (24 nodes, 2 co-located batch jobs, 1 MB–10 GB inputs),
+// its topology and dominant stage derived from the spec, and a
+// "graph:<name>" scenario name so reports distinguish custom DAGs from
+// registry entries. The spec is validated exactly as a registered
+// scenario's would be.
+func FromGraph(g *graph.Spec) (Scenario, error) {
+	if g == nil {
+		return Scenario{}, fmt.Errorf("scenario: nil graph spec")
+	}
+	if err := g.Validate(); err != nil {
+		return Scenario{}, fmt.Errorf("scenario: graph spec: %w", err)
+	}
+	s := Scenario{
+		Name:          "graph:" + g.Name,
+		Description:   "custom service DAG loaded at run time",
+		Topology:      func(fanOut int) service.Topology { return g.Topology(fanOut) },
+		DominantStage: g.DominantIndex(),
+		Nodes:         24,
+		Workload: WorkloadDefaults{
+			BatchConcurrency: 2,
+			MinInputMB:       1,
+			MaxInputMB:       10 * 1024,
+		},
+		Graph: g,
+	}
+	if err := s.validate(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}
+
 var registry = map[string]Scenario{}
 
 // Register adds a scenario to the registry. It returns an error for

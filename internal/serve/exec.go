@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"bytes"
+	"sync"
+)
+
+// job is one queued unit of work: an execution closure with the token cost
+// it holds while running.
+type job struct {
+	cost int
+	fn   func()
+}
+
+// executor is the daemon's bounded work queue: a FIFO of jobs admitted
+// against a fixed token budget, where a job's cost is the core width it
+// occupies (replication workers × intra-run shard/lane width). Admission
+// is strictly head-of-line: a wide job at the head waits for tokens rather
+// than being overtaken, so submission order is start order — the property
+// that keeps a sweep's execution deterministic under any concurrency.
+type executor struct {
+	capacity int
+
+	mu    sync.Mutex
+	avail int
+	queue []*job
+}
+
+// newExecutor sizes the queue's token budget; capacity < 1 is clamped to 1.
+func newExecutor(capacity int) *executor {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &executor{capacity: capacity, avail: capacity}
+}
+
+// submit enqueues fn at the given cost (clamped to [1, capacity] so no job
+// is unrunnable) and starts it as soon as it reaches the queue head with
+// enough tokens free.
+func (e *executor) submit(cost int, fn func()) {
+	if cost < 1 {
+		cost = 1
+	}
+	if cost > e.capacity {
+		cost = e.capacity
+	}
+	e.mu.Lock()
+	e.queue = append(e.queue, &job{cost: cost, fn: fn})
+	e.dispatchLocked()
+	e.mu.Unlock()
+}
+
+// dispatchLocked starts queued jobs while the head fits in the free
+// tokens. Caller holds e.mu.
+func (e *executor) dispatchLocked() {
+	for len(e.queue) > 0 && e.queue[0].cost <= e.avail {
+		j := e.queue[0]
+		e.queue = e.queue[1:]
+		e.avail -= j.cost
+		go func() {
+			defer e.release(j.cost)
+			j.fn()
+		}()
+	}
+}
+
+// release returns a finished job's tokens and re-dispatches.
+func (e *executor) release(cost int) {
+	e.mu.Lock()
+	e.avail += cost
+	e.dispatchLocked()
+	e.mu.Unlock()
+}
+
+// stats reports the queue depth and the tokens currently held, for
+// /metrics.
+func (e *executor) stats() (queued, inUse int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.queue), e.capacity - e.avail
+}
+
+// lineBuffer accumulates the NDJSON lines a run streams and broadcasts
+// their arrival: an io.Writer on the producer side (fed by
+// pcs.RunManyStream's encoder), a replay-then-follow reader on the SSE
+// side. Every subscriber sees the full line sequence from the first frame
+// regardless of when it attached, so MergeStream over a subscription is
+// always MergeStream over the whole stream.
+type lineBuffer struct {
+	mu      sync.Mutex
+	partial []byte
+	lines   []string
+	closed  bool
+	wake    chan struct{}
+}
+
+// newLineBuffer returns an open, empty buffer.
+func newLineBuffer() *lineBuffer {
+	return &lineBuffer{wake: make(chan struct{})}
+}
+
+// Write appends encoder output, splitting completed lines off into the
+// broadcast log. It never fails; the error is the io.Writer contract.
+func (b *lineBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.partial = append(b.partial, p...)
+	for {
+		i := bytes.IndexByte(b.partial, '\n')
+		if i < 0 {
+			break
+		}
+		b.lines = append(b.lines, string(b.partial[:i]))
+		b.partial = b.partial[i+1:]
+	}
+	b.wakeLocked()
+	return len(p), nil
+}
+
+// close seals the buffer: a trailing unterminated line is flushed, and
+// followers are woken a final time so they observe the end of the stream.
+func (b *lineBuffer) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.partial) > 0 {
+		b.lines = append(b.lines, string(b.partial))
+		b.partial = nil
+	}
+	b.closed = true
+	b.wakeLocked()
+}
+
+// wakeLocked rotates the broadcast channel, releasing current waiters.
+// Caller holds b.mu.
+func (b *lineBuffer) wakeLocked() {
+	close(b.wake)
+	b.wake = make(chan struct{})
+}
+
+// since returns the lines appended at or after index from, whether the
+// buffer is sealed, and a channel that closes on the next append — the
+// follow protocol: drain, then wait unless closed.
+func (b *lineBuffer) since(from int) (lines []string, closed bool, wake <-chan struct{}) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if from < len(b.lines) {
+		lines = append(lines, b.lines[from:]...)
+	}
+	return lines, b.closed, b.wake
+}
+
+// bytes returns the whole stream so far as NDJSON bytes (one trailing
+// newline per line) — the MergeStream input.
+func (b *lineBuffer) bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out bytes.Buffer
+	for _, ln := range b.lines {
+		out.WriteString(ln)
+		out.WriteByte('\n')
+	}
+	return out.Bytes()
+}

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// readAllLimited reads r to EOF, erroring once the payload exceeds limit
+// bytes — the dependency-free request-body cap.
+func readAllLimited(r io.Reader, limit int64) ([]byte, error) {
+	data, err := io.ReadAll(io.LimitReader(r, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > limit {
+		return nil, fmt.Errorf("body exceeds the %d-byte limit", limit)
+	}
+	return data, nil
+}
+
+// handleMetrics serves the Prometheus text exposition format, hand-rolled
+// so the daemon stays dependency-free: run/sweep registry gauges, the
+// executor's queue and token occupancy, and per-endpoint request counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	states := map[string]int{StateQueued: 0, StateRunning: 0, StateDone: 0, StateFailed: 0}
+	s.mu.Lock()
+	for _, r := range s.runs {
+		state, _, _ := r.snapshot()
+		states[state]++
+	}
+	sweeps := len(s.sweeps)
+	reps := s.specReps
+	cells := s.cellsSeen
+	endpoints := make(map[string]int, len(s.requests))
+	for k, v := range s.requests {
+		endpoints[k] = v
+	}
+	s.mu.Unlock()
+	queued, inUse := s.exec.stats()
+
+	var b strings.Builder
+	gauge := func(name, help string, write func()) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		write()
+	}
+	counter := func(name, help string, write func()) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		write()
+	}
+	gauge("pcs_serve_runs", "Runs registered, by current state.", func() {
+		for _, state := range []string{StateQueued, StateRunning, StateDone, StateFailed} {
+			fmt.Fprintf(&b, "pcs_serve_runs{state=%q} %d\n", state, states[state])
+		}
+	})
+	gauge("pcs_serve_sweeps", "Sweeps registered.", func() {
+		fmt.Fprintf(&b, "pcs_serve_sweeps %d\n", sweeps)
+	})
+	counter("pcs_serve_replications_accepted_total", "Replications accepted across all runs.", func() {
+		fmt.Fprintf(&b, "pcs_serve_replications_accepted_total %d\n", reps)
+	})
+	counter("pcs_serve_sweep_cells_accepted_total", "Sweep cells accepted.", func() {
+		fmt.Fprintf(&b, "pcs_serve_sweep_cells_accepted_total %d\n", cells)
+	})
+	gauge("pcs_serve_executor_queue_depth", "Jobs waiting for executor tokens.", func() {
+		fmt.Fprintf(&b, "pcs_serve_executor_queue_depth %d\n", queued)
+	})
+	gauge("pcs_serve_executor_tokens", "Executor core-token budget and occupancy.", func() {
+		fmt.Fprintf(&b, "pcs_serve_executor_tokens{kind=\"capacity\"} %d\n", s.capacity)
+		fmt.Fprintf(&b, "pcs_serve_executor_tokens{kind=\"in_use\"} %d\n", inUse)
+	})
+	counter("pcs_serve_http_requests_total", "HTTP requests served, by endpoint pattern.", func() {
+		names := make([]string, 0, len(endpoints))
+		for k := range endpoints {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			fmt.Fprintf(&b, "pcs_serve_http_requests_total{endpoint=%q} %d\n", k, endpoints[k])
+		}
+	})
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, b.String())
+}

@@ -1,0 +1,534 @@
+// Package serve is the pcs-serve management plane: a long-running HTTP
+// daemon that accepts runs and sweeps as pcs.RunSpec / pcs.SweepSpec JSON,
+// executes them on a bounded work-queue executor, and exposes their
+// progress as the same NDJSON replication records the CLI streams — over
+// SSE, so pcs.MergeStream re-aggregates a subscription bit-identically to
+// a local pcs.RunManyStream at the same spec.
+//
+// The API surface (see docs/serve.md for the reference with examples):
+//
+//	POST /v1/runs            run a RunSpec         → {"id": "run-1", ...}
+//	GET  /v1/runs/{id}       status + final report (?wait=1 blocks)
+//	GET  /v1/runs/{id}/stream  SSE of the run's NDJSON replication frames
+//	POST /v1/sweeps          run a SweepSpec grid  → cells as child runs
+//	GET  /v1/sweeps/{id}     sweep status + per-cell reports (?wait=1)
+//	GET  /v1/scenarios|policies|techniques  registry introspection
+//	GET  /metrics            Prometheus text exposition (hand-rolled)
+//
+// Reports returned by the daemon are the canonical MergeStream-normal
+// pcs.Aggregate — byte-identical JSON to `pcs-sim -spec-file spec.json
+// -json` for the same spec, which the CI smoke diffs.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/pcs"
+)
+
+// Run states, in lifecycle order. A run is terminal in StateDone or
+// StateFailed.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// run is one executing RunSpec: the daemon-side record a run id resolves
+// to, whether submitted directly or as a sweep cell.
+type run struct {
+	id   string
+	spec pcs.RunSpec
+	buf  *lineBuffer
+	done chan struct{}
+
+	mu     sync.Mutex
+	state  string
+	errMsg string
+	report *pcs.Aggregate
+}
+
+// setState transitions the run; terminal states close done exactly once.
+func (r *run) setState(state, errMsg string, report *pcs.Aggregate) {
+	r.mu.Lock()
+	r.state, r.errMsg, r.report = state, errMsg, report
+	r.mu.Unlock()
+	if state == StateDone || state == StateFailed {
+		close(r.done)
+	}
+}
+
+// snapshot reads the run's mutable fields consistently.
+func (r *run) snapshot() (state, errMsg string, report *pcs.Aggregate) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state, r.errMsg, r.report
+}
+
+// sweep is one executing SweepSpec: its cells are ordinary runs (each with
+// its own id and SSE stream) held in canonical cell order.
+type sweep struct {
+	id    string
+	spec  pcs.SweepSpec
+	cells []*run
+}
+
+// RunStatus is the GET /v1/runs/{id} (and POST /v1/runs) response body.
+type RunStatus struct {
+	// ID names the run; its stream lives at /v1/runs/{id}/stream.
+	ID string `json:"id"`
+	// State is one of queued, running, done, failed.
+	State string `json:"state"`
+	// Spec echoes the accepted RunSpec.
+	Spec pcs.RunSpec `json:"spec"`
+	// Error carries the failure reason in state "failed".
+	Error string `json:"error,omitempty"`
+	// Report is the canonical MergeStream-normal aggregate, present in
+	// state "done".
+	Report *pcs.Aggregate `json:"report,omitempty"`
+}
+
+// SweepCellStatus is one cell of a sweep response: the cell's coordinates
+// plus its run's status.
+type SweepCellStatus struct {
+	// RunID is the cell's run id — streamable like any run's.
+	RunID string `json:"runId"`
+	// Technique, Rate and Policy are the cell's sweep coordinates.
+	Technique string  `json:"technique"`
+	Rate      float64 `json:"rate"`
+	Policy    string  `json:"policy,omitempty"`
+	// Seed is the cell's derived seed (pcs.SweepSpec.Cells derivation).
+	Seed int64 `json:"seed"`
+	// State, Error and Report mirror the cell run's RunStatus fields.
+	State  string         `json:"state"`
+	Error  string         `json:"error,omitempty"`
+	Report *pcs.Aggregate `json:"report,omitempty"`
+}
+
+// SweepStatus is the GET /v1/sweeps/{id} (and POST /v1/sweeps) response
+// body. Cells are in canonical expansion order (rates outer, then
+// techniques, then policies) regardless of execution interleaving.
+type SweepStatus struct {
+	// ID names the sweep.
+	ID string `json:"id"`
+	// State folds the cells: queued (none started), failed (any cell
+	// failed), done (all cells done), else running.
+	State string `json:"state"`
+	// Cells is the per-cell status in canonical order.
+	Cells []SweepCellStatus `json:"cells"`
+}
+
+// Server is the management plane's state: the run/sweep registries, the
+// bounded executor they share, and the HTTP handler over them. Create with
+// New, serve via Handler.
+type Server struct {
+	capacity int
+	exec     *executor
+	mux      *http.ServeMux
+
+	mu        sync.Mutex
+	runs      map[string]*run
+	sweeps    map[string]*sweep
+	runSeq    int
+	sweepSeq  int
+	requests  map[string]int // per-endpoint request counter, for /metrics
+	specReps  int            // total replications accepted, for /metrics
+	cellsSeen int            // total sweep cells accepted, for /metrics
+}
+
+// New builds a Server whose executor budgets the given number of core
+// tokens (capacity < 1 clamps to 1; pass runtime.GOMAXPROCS(0) to budget
+// the machine).
+func New(capacity int) *Server {
+	if capacity < 1 {
+		capacity = 1
+	}
+	s := &Server{
+		capacity: capacity,
+		exec:     newExecutor(capacity),
+		mux:      http.NewServeMux(),
+		runs:     make(map[string]*run),
+		sweeps:   make(map[string]*sweep),
+		requests: make(map[string]int),
+	}
+	handle := func(pattern string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			s.count(pattern)
+			h(w, r)
+		})
+	}
+	handle("POST /v1/runs", s.handleCreateRun)
+	handle("GET /v1/runs/{id}", s.handleGetRun)
+	handle("GET /v1/runs/{id}/stream", s.handleStreamRun)
+	handle("POST /v1/sweeps", s.handleCreateSweep)
+	handle("GET /v1/sweeps/{id}", s.handleGetSweep)
+	handle("GET /v1/scenarios", s.handleScenarios)
+	handle("GET /v1/policies", s.handlePolicies)
+	handle("GET /v1/techniques", s.handleTechniques)
+	handle("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// count bumps an endpoint's request counter.
+func (s *Server) count(pattern string) {
+	s.mu.Lock()
+	s.requests[pattern]++
+	s.mu.Unlock()
+}
+
+// writeJSON writes v as the response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError writes a JSON error body: {"error": "..."}.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// runCost estimates the core tokens a spec occupies while executing:
+// concurrent replication workers × the per-replication shard/lane width.
+// A "use all cores" request (workers/shards/lanes ≤ 0 beyond their
+// defaults) costs the whole budget, which the executor clamps.
+func (s *Server) runCost(spec pcs.RunSpec) int {
+	reps := spec.Replications
+	if reps < 1 {
+		reps = 1
+	}
+	workers := spec.Workers
+	if workers <= 0 || workers > reps {
+		workers = reps
+	}
+	width := 1
+	if spec.Shards > width {
+		width = spec.Shards
+	}
+	if spec.Lanes > width {
+		width = spec.Lanes
+	}
+	if spec.Shards < 0 || spec.Lanes < 0 {
+		return s.capacity
+	}
+	return workers * width
+}
+
+// newRun registers a run for the spec and submits it to the executor.
+// Callers must have validated the spec (including Options resolution).
+func (s *Server) newRun(spec pcs.RunSpec) *run {
+	s.mu.Lock()
+	s.runSeq++
+	r := &run{
+		id:    fmt.Sprintf("run-%d", s.runSeq),
+		spec:  spec,
+		buf:   newLineBuffer(),
+		done:  make(chan struct{}),
+		state: StateQueued,
+	}
+	s.runs[r.id] = r
+	n := spec.Replications
+	if n < 1 {
+		n = 1
+	}
+	s.specReps += n
+	s.mu.Unlock()
+	s.exec.submit(s.runCost(spec), func() { s.execute(r) })
+	return r
+}
+
+// execute runs a registered run to a terminal state: the replications
+// stream as NDJSON into the run's broadcast buffer (feeding any SSE
+// subscribers live), and the final report is MergeStream's fold over
+// exactly those frames — the same bytes a subscriber saw — so the daemon
+// can never report something its stream does not support.
+func (s *Server) execute(r *run) {
+	r.mu.Lock()
+	r.state = StateRunning
+	r.mu.Unlock()
+
+	fail := func(err error) {
+		r.buf.close()
+		r.setState(StateFailed, err.Error(), nil)
+	}
+	opts, err := r.spec.Options()
+	if err != nil {
+		fail(err)
+		return
+	}
+	n := r.spec.Replications
+	if n < 1 {
+		n = 1
+	}
+	if _, err := pcs.RunManyStream(opts, n, r.spec.Workers, r.buf); err != nil {
+		fail(err)
+		return
+	}
+	r.buf.close()
+	agg, err := pcs.MergeStream(strings.NewReader(string(r.buf.bytes())))
+	if err != nil {
+		r.setState(StateFailed, fmt.Sprintf("merging own stream: %v", err), nil)
+		return
+	}
+	r.setState(StateDone, "", &agg)
+}
+
+// status assembles a run's response body.
+func (s *Server) status(r *run) RunStatus {
+	state, errMsg, report := r.snapshot()
+	return RunStatus{ID: r.id, State: state, Spec: r.spec, Error: errMsg, Report: report}
+}
+
+// handleCreateRun accepts a RunSpec, validates it (strict JSON, spec
+// validation, and an Options dry resolution so e.g. a missing graph file
+// rejects at submit time), and queues it.
+func (s *Server) handleCreateRun(w http.ResponseWriter, req *http.Request) {
+	spec, err := readRunSpec(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	r := s.newRun(spec)
+	writeJSON(w, http.StatusAccepted, s.status(r))
+}
+
+// readRunSpec decodes and fully validates the request body as a RunSpec.
+func readRunSpec(req *http.Request) (pcs.RunSpec, error) {
+	body, err := readBody(req)
+	if err != nil {
+		return pcs.RunSpec{}, err
+	}
+	spec, err := pcs.ParseRunSpec(body)
+	if err != nil {
+		return pcs.RunSpec{}, err
+	}
+	if _, err := spec.Options(); err != nil {
+		return pcs.RunSpec{}, err
+	}
+	return spec, nil
+}
+
+// readBody reads the request body under the daemon's 1 MiB spec cap.
+func readBody(req *http.Request) ([]byte, error) {
+	defer req.Body.Close()
+	body, err := readAllLimited(req.Body, 1<<20)
+	if err != nil {
+		return nil, fmt.Errorf("reading request body: %w", err)
+	}
+	return body, nil
+}
+
+// lookupRun resolves {id} or writes 404.
+func (s *Server) lookupRun(w http.ResponseWriter, req *http.Request) (*run, bool) {
+	id := req.PathValue("id")
+	s.mu.Lock()
+	r, ok := s.runs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no run %q", id))
+	}
+	return r, ok
+}
+
+// handleGetRun returns a run's status; ?wait=1 blocks until the run is
+// terminal (or the client goes away).
+func (s *Server) handleGetRun(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.lookupRun(w, req)
+	if !ok {
+		return
+	}
+	if wantWait(req) {
+		select {
+		case <-r.done:
+		case <-req.Context().Done():
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, s.status(r))
+}
+
+// wantWait reports whether the request opts into blocking for completion.
+func wantWait(req *http.Request) bool {
+	v := req.URL.Query().Get("wait")
+	return v == "1" || v == "true"
+}
+
+// handleStreamRun serves the run's NDJSON replication records over SSE:
+// every frame already streamed is replayed, then frames follow live, and a
+// terminal "end" event carries the final state. Collecting the data lines
+// and folding them with pcs.MergeStream reproduces the run's report
+// byte-identically — the frames are the same records pcs.RunManyStream
+// writes for this spec.
+func (s *Server) handleStreamRun(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.lookupRun(w, req)
+	if !ok {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("response writer cannot stream"))
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	next := 0
+	for {
+		lines, closed, wake := r.buf.since(next)
+		for _, ln := range lines {
+			fmt.Fprintf(w, "data: %s\n\n", ln)
+			next++
+		}
+		fl.Flush()
+		if closed {
+			break
+		}
+		select {
+		case <-wake:
+		case <-req.Context().Done():
+			return
+		}
+	}
+	// The buffer only seals when the run reaches a terminal state, so this
+	// cannot block; it also guarantees the "end" event reports that state.
+	<-r.done
+	state, errMsg, _ := r.snapshot()
+	fmt.Fprintf(w, "event: end\ndata: {\"state\":%q,\"error\":%q}\n\n", state, errMsg)
+	fl.Flush()
+}
+
+// handleCreateSweep accepts a SweepSpec, expands it into its canonical
+// cells, and queues every cell as a child run in expansion order — the
+// executor's FIFO admission then makes start order deterministic too.
+func (s *Server) handleCreateSweep(w http.ResponseWriter, req *http.Request) {
+	body, err := readBody(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := pcs.ParseSweepSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cells, err := spec.Cells()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	for _, cell := range cells {
+		if _, err := cell.Options(); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	sw := &sweep{spec: spec}
+	for _, cell := range cells {
+		sw.cells = append(sw.cells, s.newRun(cell))
+	}
+	s.mu.Lock()
+	s.sweepSeq++
+	sw.id = fmt.Sprintf("sweep-%d", s.sweepSeq)
+	s.sweeps[sw.id] = sw
+	s.cellsSeen += len(cells)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, s.sweepStatus(sw))
+}
+
+// sweepStatus assembles a sweep's response body from its cells.
+func (s *Server) sweepStatus(sw *sweep) SweepStatus {
+	out := SweepStatus{ID: sw.id}
+	allQueued, allDone, anyFailed := true, true, false
+	for _, cell := range sw.cells {
+		state, errMsg, report := cell.snapshot()
+		if state != StateQueued {
+			allQueued = false
+		}
+		if state != StateDone {
+			allDone = false
+		}
+		if state == StateFailed {
+			anyFailed = true
+		}
+		out.Cells = append(out.Cells, SweepCellStatus{
+			RunID:     cell.id,
+			Technique: cell.spec.Technique,
+			Rate:      cell.spec.Rate,
+			Policy:    cell.spec.Policy,
+			Seed:      cell.spec.Seed,
+			State:     state,
+			Error:     errMsg,
+			Report:    report,
+		})
+	}
+	switch {
+	case anyFailed:
+		out.State = StateFailed
+	case allDone:
+		out.State = StateDone
+	case allQueued:
+		out.State = StateQueued
+	default:
+		out.State = StateRunning
+	}
+	return out
+}
+
+// lookupSweep resolves {id} or writes 404.
+func (s *Server) lookupSweep(w http.ResponseWriter, req *http.Request) (*sweep, bool) {
+	id := req.PathValue("id")
+	s.mu.Lock()
+	sw, ok := s.sweeps[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no sweep %q", id))
+	}
+	return sw, ok
+}
+
+// handleGetSweep returns a sweep's status; ?wait=1 blocks until every cell
+// is terminal.
+func (s *Server) handleGetSweep(w http.ResponseWriter, req *http.Request) {
+	sw, ok := s.lookupSweep(w, req)
+	if !ok {
+		return
+	}
+	if wantWait(req) {
+		for _, cell := range sw.cells {
+			select {
+			case <-cell.done:
+			case <-req.Context().Done():
+				return
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, s.sweepStatus(sw))
+}
+
+// handleScenarios lists the scenario registry.
+func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, pcs.ScenarioInfos())
+}
+
+// handlePolicies lists the closed-loop policy registry.
+func (s *Server) handlePolicies(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, pcs.PolicyInfos())
+}
+
+// handleTechniques lists the six techniques.
+func (s *Server) handleTechniques(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, pcs.TechniqueInfos())
+}

@@ -96,11 +96,11 @@ func TestControllerArrivalRateSteering(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.RunTo(0.25 * h)
-	if got := s.Snapshot().ArrivalRate; got != opts.ArrivalRate {
+	if got := s.Snapshot().AdmittedRate; got != opts.ArrivalRate {
 		t.Fatalf("pre-steering λ = %v, want %v", got, opts.ArrivalRate)
 	}
 	s.RunTo(0.75 * h)
-	if got := s.Snapshot().ArrivalRate; got != 2*opts.ArrivalRate {
+	if got := s.Snapshot().AdmittedRate; got != 2*opts.ArrivalRate {
 		t.Fatalf("post-steering λ = %v, want %v", got, 2*opts.ArrivalRate)
 	}
 
@@ -111,10 +111,10 @@ func TestControllerArrivalRateSteering(t *testing.T) {
 	}
 	var above, below bool
 	if err := d.SampleEvery(d.Horizon()/40, func(sn Snapshot) {
-		if sn.ArrivalRate > equivOpts(Basic, "", 0).ArrivalRate {
+		if sn.AdmittedRate > equivOpts(Basic, "", 0).ArrivalRate {
 			above = true
 		}
-		if sn.ArrivalRate > 0 && sn.ArrivalRate < equivOpts(Basic, "", 0).ArrivalRate {
+		if sn.AdmittedRate > 0 && sn.AdmittedRate < equivOpts(Basic, "", 0).ArrivalRate {
 			below = true
 		}
 	}); err != nil {

@@ -170,6 +170,12 @@ type Options struct {
 	// the scenario's scripted traffic, if any. See TrafficSpec for the
 	// kinds and docs/traffic.md for the authoring guide.
 	Traffic *TrafficSpec
+	// Graph, when non-nil, deploys a custom service DAG instead of a
+	// registered scenario: the spec is validated and compiled exactly as
+	// a built-in DAG scenario's, with the DAG workload defaults around
+	// it. Scenario must be empty — a run deploys one service. CLIs fill
+	// it from -graph-file; RunSpec from its graph/graphFile fields.
+	Graph *GraphSpec
 	// Requests is the number of arrivals to generate (default 20000).
 	Requests int
 	// Shards is the number of worker shards a single simulation fans its

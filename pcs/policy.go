@@ -89,7 +89,7 @@ func (s *Simulation) evalPolicy(now float64) {
 	obs := policy.Observation{
 		Now:                 snap.Now,
 		Horizon:             snap.Horizon,
-		ArrivalRate:         snap.ArrivalRate,
+		ArrivalRate:         snap.AdmittedRate,
 		OfferedArrivalRate:  s.svc.OfferedArrivalRate(),
 		BaseArrivalRate:     s.opts.ArrivalRate,
 		AdmissionFactor:     s.svc.AdmissionFactor(),

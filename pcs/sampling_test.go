@@ -73,7 +73,7 @@ func assertSnapshotsMonotone(t *testing.T, name string, snaps []Snapshot, final 
 	if last.Arrivals == 0 || last.Completed == 0 || last.BatchJobsStarted == 0 {
 		t.Fatalf("%s: final sample inactive: %+v", name, last)
 	}
-	if last.ArrivalRate <= 0 {
+	if last.AdmittedRate <= 0 {
 		t.Fatalf("%s: final sample has no arrival rate: %+v", name, last)
 	}
 	if last.AvgOverallMs <= 0 || last.P99ComponentMs <= 0 {

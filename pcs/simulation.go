@@ -70,7 +70,7 @@ type Simulation struct {
 // stream. No virtual time passes until the caller advances the clock.
 func NewSimulation(opts Options) (*Simulation, error) {
 	o := opts.withDefaults()
-	sc, err := scenario.Get(o.Scenario)
+	sc, err := resolveScenario(o)
 	if err != nil {
 		return nil, err
 	}
@@ -241,6 +241,22 @@ func NewSimulation(opts Options) (*Simulation, error) {
 	s.pol = pol
 	s.startPolicy()
 	return s, nil
+}
+
+// resolveScenario picks the run's deployment: a custom Options.Graph
+// becomes an unregistered DAG scenario (Scenario must then be empty — a
+// run deploys one service); otherwise the named scenario is looked up in
+// the registry.
+func resolveScenario(o Options) (scenario.Scenario, error) {
+	if o.Graph == nil {
+		return scenario.Get(o.Scenario)
+	}
+	if o.Scenario != "" {
+		return scenario.Scenario{}, fmt.Errorf(
+			"pcs: a run deploys one service: set Scenario or Graph, not both (got scenario %q and graph %q)",
+			o.Scenario, o.Graph.Name)
+	}
+	return scenario.FromGraph(o.Graph)
 }
 
 // resolveTraffic picks the run's traffic spec: Options.Traffic wins, then
@@ -469,13 +485,6 @@ type Snapshot struct {
 	// because they genuinely differ whenever an admission policy
 	// throttles.
 	OfferedRate, AdmittedRate float64
-	// ArrivalRate is the admitted rate again, kept under the old name so
-	// existing dashboards and policies keep reading the value they always
-	// did.
-	//
-	// Deprecated: read AdmittedRate (or OfferedRate for the pre-throttle
-	// intensity); this alias will not grow new semantics.
-	ArrivalRate float64
 	// AdmissionDrops counts arrivals denied by per-tenant token buckets
 	// so far (0 for unthrottled traffic). This is the traffic layer's
 	// hard admission control; AdmissionFactor below is the closed-loop
@@ -524,7 +533,6 @@ func (s *Simulation) Snapshot() Snapshot {
 		P99ComponentMs:   rep.P99ComponentMs,
 		OfferedRate:      s.svc.OfferedArrivalRate(),
 		AdmittedRate:     s.svc.ArrivalRate(),
-		ArrivalRate:      s.svc.ArrivalRate(),
 		AdmissionDrops:   s.svc.AdmissionDrops(),
 		QueuedExecutions: s.svc.QueuedExecutions(),
 		BusyInstances:    s.svc.BusyInstances(),

@@ -32,41 +32,41 @@ import (
 // docs/traffic.md.
 type TrafficSpec struct {
 	// Kind selects the source, one of the kinds listed above.
-	Kind string
+	Kind string `json:"kind"`
 	// Rate is the Poisson λ or trace nominal pacing rate; 0 defers to
 	// Options.ArrivalRate.
-	Rate float64
+	Rate float64 `json:"rate,omitempty"`
 	// Path and Format configure "trace": the trace file, and "ndjson",
 	// "csv" or "" to infer from the extension.
-	Path   string
-	Format string
+	Path   string `json:"path,omitempty"`
+	Format string `json:"format,omitempty"`
 	// Users, ThinkSeconds and ThinkSigma configure "sessions".
-	Users        int
-	ThinkSeconds float64
-	ThinkSigma   float64
+	Users        int     `json:"users,omitempty"`
+	ThinkSeconds float64 `json:"thinkSeconds,omitempty"`
+	ThinkSigma   float64 `json:"thinkSigma,omitempty"`
 	// Rates, Sojourns and HeavyTail configure "mmpp".
-	Rates     []float64
-	Sojourns  []float64
-	HeavyTail bool
+	Rates     []float64 `json:"rates,omitempty"`
+	Sojourns  []float64 `json:"sojourns,omitempty"`
+	HeavyTail bool      `json:"heavyTail,omitempty"`
 	// Tenants configures "multi-tenant".
-	Tenants []TenantTraffic
+	Tenants []TenantTraffic `json:"tenants,omitempty"`
 }
 
 // TenantTraffic is one tenant inside a "multi-tenant" TrafficSpec.
 type TenantTraffic struct {
 	// Name tags the tenant's requests; it keys the per-tenant breakdown
 	// in Result.Tenants. Unique and non-empty.
-	Name string
+	Name string `json:"name"`
 	// Source is the tenant's own arrival process (any kind but
 	// "multi-tenant").
-	Source TrafficSpec
+	Source TrafficSpec `json:"source"`
 	// AdmitRate caps the tenant at this many admitted requests/second
 	// via a deterministic token bucket; 0 admits everything.
-	AdmitRate float64
+	AdmitRate float64 `json:"admitRate,omitempty"`
 	// Burst is the bucket depth in requests — how far above AdmitRate
 	// the tenant may spike before denials start (0 with a positive
 	// AdmitRate selects 1).
-	Burst int
+	Burst int `json:"burst,omitempty"`
 }
 
 // toSpec converts the public spec into the internal traffic package's.

@@ -269,9 +269,6 @@ func TestAdmissionFactorOverTrafficSources(t *testing.T) {
 				t.Fatalf("throttle invisible in gauges: offered=%g admitted=%g",
 					mid.OfferedRate, mid.AdmittedRate)
 			}
-			if mid.ArrivalRate != mid.AdmittedRate {
-				t.Fatalf("deprecated ArrivalRate %g != AdmittedRate %g", mid.ArrivalRate, mid.AdmittedRate)
-			}
 			want := reportBytes(t, base)
 			for _, shards := range []int{2, 8} {
 				res, _ := run(shards)
