@@ -9,6 +9,7 @@
 //	pcs-serve                        # listen on 127.0.0.1:8344
 //	pcs-serve -addr 127.0.0.1:0      # pick a free port (printed on stdout)
 //	pcs-serve -capacity 8            # budget 8 core tokens (default: all cores)
+//	pcs-serve -state-dir /var/pcs    # durable: runs survive a crash/restart
 //
 //	curl -d @run.json localhost:8344/v1/runs
 //	curl localhost:8344/v1/runs/run-1?wait=1
@@ -35,12 +36,22 @@ func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:8344", "listen address (host:port; port 0 picks a free one)")
 		capacity = flag.Int("capacity", 0, "executor core-token budget a run's workers × shards/lanes width is\nadmitted against (0 = all cores); queued work waits, in FIFO order")
+		stateDir = flag.String("state-dir", "", "persist every run's spec and NDJSON frames under this directory and\nreplay it on startup: completed runs come back queryable with reports\nrecomputed from the stored bytes, interrupted runs resume from their\ncompleted-replication frontier (empty = in-memory only)")
 	)
 	flag.Parse()
 
 	tokens := *capacity
 	if tokens <= 0 {
 		tokens = runtime.GOMAXPROCS(0)
+	}
+	var s *serve.Server
+	if *stateDir != "" {
+		var err error
+		if s, err = serve.NewWithStore(tokens, *stateDir); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		s = serve.New(tokens)
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -49,5 +60,5 @@ func main() {
 	// The resolved address on stdout is the startup handshake: scripts
 	// (like the CI smoke) read it to find the port when -addr ends in :0.
 	fmt.Printf("pcs-serve listening on http://%s (capacity %d tokens)\n", ln.Addr(), tokens)
-	log.Fatal(http.Serve(ln, serve.New(tokens).Handler()))
+	log.Fatal(http.Serve(ln, s.Handler()))
 }

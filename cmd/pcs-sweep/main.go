@@ -17,17 +17,31 @@
 //
 //	pcs-sweep -scenario autoscale-burst -policies none,threshold-autoscale \
 //	    -techniques Basic,PCS -rates 100
+//
+// -remote fans the sweep out over a fleet of pcs-serve daemons instead of
+// running locally: the canonical cells shard round-robin across the listed
+// base URLs, each cell's NDJSON frame stream comes back over SSE and is
+// merged centrally, and a daemon that dies mid-sweep has its shard retried
+// on the survivors. Because the cell→seed derivation lives in
+// pcs.SweepSpec.Cells, the fleet's reports are byte-identical to a local
+// run of the same sweep —
+//
+//	pcs-sweep -remote http://a:8344,http://b:8344 -rates 10,20,50
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strings"
+	"text/tabwriter"
 
 	"repro/internal/cliutil"
 	"repro/internal/experiments"
+	"repro/internal/serve"
+	"repro/pcs"
 )
 
 func main() {
@@ -38,6 +52,7 @@ func main() {
 		techniques = flag.String("techniques", "", "comma-separated technique subset (empty = all six)")
 		policyList = flag.String("policies", "", "run the closed-loop policy comparison instead of the Fig. 6 sweep:\ncomma-separated policies × techniques on the first -rates value\n(\"none\" is the open-loop baseline; \"all\" selects none + every\nregistered policy)")
 		streamPath = flag.String("stream", "", "write every run of the sweep (cell coordinates, seed, full result) to this\nfile as NDJSON, alongside the aggregated tables")
+		remotes    = flag.String("remote", "", "fan the sweep out across these pcs-serve daemons (comma-separated base\nURLs) instead of running locally: cells shard round-robin, stream back\nover SSE and merge centrally — reports byte-identical to a local run")
 	)
 	flag.Parse()
 
@@ -52,6 +67,18 @@ func main() {
 	techList, err := cliutil.ParseTechniques(*techniques)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *remotes != "" {
+		workers, err := cliutil.ParseRemotes(*remotes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *policyList != "" || *streamPath != "" {
+			log.Fatal("-remote runs the spec sweep only; -policies and -stream are local-mode flags")
+		}
+		runRemote(spec, techList, rateList, workers)
+		return
 	}
 
 	if *policyList != "" {
@@ -130,4 +157,40 @@ func main() {
 	if *streamPath != "" {
 		fmt.Printf("per-run results streamed to %s\n", *streamPath)
 	}
+}
+
+// runRemote dispatches the sweep across a pcs-serve fleet and prints the
+// per-cell table from the centrally merged reports.
+func runRemote(base pcs.RunSpec, techList []pcs.Technique, rates []float64, workers []string) {
+	var names []string
+	if len(techList) == 0 {
+		// Mirror the local driver's "empty = all six" default.
+		for _, info := range pcs.TechniqueInfos() {
+			names = append(names, info.Name)
+		}
+	} else {
+		for _, t := range techList {
+			names = append(names, t.String())
+		}
+	}
+	d := serve.SweepDispatch{
+		Spec:    pcs.SweepSpec{Base: base, Techniques: names, Rates: rates},
+		Workers: workers,
+	}
+	cells, err := d.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "technique\trate\tavg overall (ms)\tp99 component (ms)\tworker\tretries")
+	for _, cell := range cells {
+		fmt.Fprintf(tw, "%s\t%g\t%.3f ± %.3f\t%.3f ± %.3f\t%s\t%d\n",
+			cell.Spec.Technique, cell.Spec.Rate,
+			cell.Report.AvgOverallMs.Mean, cell.Report.AvgOverallMs.CI95,
+			cell.Report.P99ComponentMs.Mean, cell.Report.P99ComponentMs.CI95,
+			cell.Worker, cell.Retries)
+	}
+	tw.Flush()
+	fmt.Printf("%d cells across %d daemons; reports merged centrally (byte-identical to a local sweep)\n",
+		len(cells), len(workers))
 }

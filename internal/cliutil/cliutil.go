@@ -61,6 +61,29 @@ func ParseTechniques(csv string) ([]pcs.Technique, error) {
 	return out, nil
 }
 
+// ParseRemotes parses a comma-separated list of pcs-serve base URLs
+// ("http://a:8344,http://b:8344") into the worker list a fleet dispatch
+// shards over. The empty string parses to nil — run locally. Entries must
+// be http(s) URLs; trailing slashes are trimmed so joined API paths never
+// double them.
+func ParseRemotes(csv string) ([]string, error) {
+	if strings.TrimSpace(csv) == "" {
+		return nil, nil
+	}
+	var out []string
+	for _, s := range strings.Split(csv, ",") {
+		u := strings.TrimRight(strings.TrimSpace(s), "/")
+		if u == "" {
+			return nil, fmt.Errorf("empty daemon URL in remote list %q", csv)
+		}
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			return nil, fmt.Errorf("bad daemon URL %q: want http:// or https://", u)
+		}
+		out = append(out, u)
+	}
+	return out, nil
+}
+
 // ParseRates parses a comma-separated arrival-rate list ("10,20,50").
 func ParseRates(csv string) ([]float64, error) {
 	var out []float64

@@ -65,6 +65,24 @@ func TestParseRates(t *testing.T) {
 	}
 }
 
+func TestParseRemotes(t *testing.T) {
+	got, err := ParseRemotes(" http://a:8344, https://b/ ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "http://a:8344" || got[1] != "https://b" {
+		t.Fatalf("ParseRemotes = %v", got)
+	}
+	if got, err := ParseRemotes("  "); err != nil || got != nil {
+		t.Fatalf("empty remote list = %v, %v", got, err)
+	}
+	for _, bad := range []string{"a:8344", "http://a,,http://b", "ftp://x"} {
+		if _, err := ParseRemotes(bad); err == nil {
+			t.Fatalf("remote list %q accepted", bad)
+		}
+	}
+}
+
 func trafficFlags(t *testing.T, args ...string) TrafficFlags {
 	t.Helper()
 	fs := newSet()

@@ -2,14 +2,49 @@ package serve
 
 import (
 	"bytes"
+	"fmt"
 	"sync"
 )
 
 // job is one queued unit of work: an execution closure with the token cost
-// it holds while running.
+// it holds while running, labelled with the run id it executes so the
+// queue is introspectable (GET /v1/queue) and cancellable by id.
 type job struct {
-	cost int
-	fn   func()
+	id      string
+	cost    int
+	fn      func()
+	aborted bool
+	started bool
+}
+
+// ticket is a submitter's handle on a queued job: Abort dequeues the job
+// if — and only if — it has not started yet.
+type ticket struct {
+	e *executor
+	j *job
+}
+
+// Abort removes the job from the queue if it is still waiting there.
+// It returns true exactly when the job will never run: the caller then
+// owns the terminal transition (no tokens were ever held, so none are
+// released). A false return means the job already started (or finished) —
+// cancellation must then go through the job's own context.
+func (t *ticket) Abort() bool {
+	t.e.mu.Lock()
+	defer t.e.mu.Unlock()
+	if t.j.started || t.j.aborted {
+		return false
+	}
+	t.j.aborted = true
+	for i, j := range t.e.queue {
+		if j == t.j {
+			t.e.queue = append(t.e.queue[:i], t.e.queue[i+1:]...)
+			break
+		}
+	}
+	// Removing a wide job from the head can unblock the jobs behind it.
+	t.e.dispatchLocked()
+	return true
 }
 
 // executor is the daemon's bounded work queue: a FIFO of jobs admitted
@@ -18,6 +53,8 @@ type job struct {
 // is strictly head-of-line: a wide job at the head waits for tokens rather
 // than being overtaken, so submission order is start order — the property
 // that keeps a sweep's execution deterministic under any concurrency.
+// Aborting a queued job dequeues it without disturbing the FIFO order of
+// the survivors.
 type executor struct {
 	capacity int
 
@@ -36,18 +73,21 @@ func newExecutor(capacity int) *executor {
 
 // submit enqueues fn at the given cost (clamped to [1, capacity] so no job
 // is unrunnable) and starts it as soon as it reaches the queue head with
-// enough tokens free.
-func (e *executor) submit(cost int, fn func()) {
+// enough tokens free. The returned ticket can dequeue the job before it
+// starts.
+func (e *executor) submit(id string, cost int, fn func()) *ticket {
 	if cost < 1 {
 		cost = 1
 	}
 	if cost > e.capacity {
 		cost = e.capacity
 	}
+	j := &job{id: id, cost: cost, fn: fn}
 	e.mu.Lock()
-	e.queue = append(e.queue, &job{cost: cost, fn: fn})
+	e.queue = append(e.queue, j)
 	e.dispatchLocked()
 	e.mu.Unlock()
+	return &ticket{e: e, j: j}
 }
 
 // dispatchLocked starts queued jobs while the head fits in the free
@@ -56,6 +96,7 @@ func (e *executor) dispatchLocked() {
 	for len(e.queue) > 0 && e.queue[0].cost <= e.avail {
 		j := e.queue[0]
 		e.queue = e.queue[1:]
+		j.started = true
 		e.avail -= j.cost
 		go func() {
 			defer e.release(j.cost)
@@ -64,10 +105,16 @@ func (e *executor) dispatchLocked() {
 	}
 }
 
-// release returns a finished job's tokens and re-dispatches.
+// release returns a finished job's tokens and re-dispatches. Tokens are
+// released exactly once per started job (the deferred call in
+// dispatchLocked is the only caller); over-release would mean a bookkeeping
+// bug upstream, so it panics rather than silently widening the budget.
 func (e *executor) release(cost int) {
 	e.mu.Lock()
 	e.avail += cost
+	if e.avail > e.capacity {
+		panic(fmt.Sprintf("serve: executor released past capacity (%d > %d)", e.avail, e.capacity))
+	}
 	e.dispatchLocked()
 	e.mu.Unlock()
 }
@@ -78,6 +125,24 @@ func (e *executor) stats() (queued, inUse int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return len(e.queue), e.capacity - e.avail
+}
+
+// QueueEntry is one waiting job as GET /v1/queue reports it: the run it
+// will execute and the tokens it will hold.
+type QueueEntry struct {
+	RunID string `json:"runId"`
+	Cost  int    `json:"cost"`
+}
+
+// pending snapshots the waiting jobs in FIFO order.
+func (e *executor) pending() []QueueEntry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]QueueEntry, 0, len(e.queue))
+	for _, j := range e.queue {
+		out = append(out, QueueEntry{RunID: j.id, Cost: j.cost})
+	}
+	return out
 }
 
 // lineBuffer accumulates the NDJSON lines a run streams and broadcasts

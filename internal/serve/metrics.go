@@ -25,7 +25,7 @@ func readAllLimited(r io.Reader, limit int64) ([]byte, error) {
 // so the daemon stays dependency-free: run/sweep registry gauges, the
 // executor's queue and token occupancy, and per-endpoint request counters.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	states := map[string]int{StateQueued: 0, StateRunning: 0, StateDone: 0, StateFailed: 0}
+	states := map[string]int{StateQueued: 0, StateRunning: 0, StateDone: 0, StateFailed: 0, StateCanceled: 0}
 	s.mu.Lock()
 	for _, r := range s.runs {
 		state, _, _ := r.snapshot()
@@ -51,7 +51,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		write()
 	}
 	gauge("pcs_serve_runs", "Runs registered, by current state.", func() {
-		for _, state := range []string{StateQueued, StateRunning, StateDone, StateFailed} {
+		for _, state := range []string{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
 			fmt.Fprintf(&b, "pcs_serve_runs{state=%q} %d\n", state, states[state])
 		}
 	})

@@ -7,45 +7,76 @@
 //
 // The API surface (see docs/serve.md for the reference with examples):
 //
-//	POST /v1/runs            run a RunSpec         → {"id": "run-1", ...}
-//	GET  /v1/runs/{id}       status + final report (?wait=1 blocks)
-//	GET  /v1/runs/{id}/stream  SSE of the run's NDJSON replication frames
-//	POST /v1/sweeps          run a SweepSpec grid  → cells as child runs
-//	GET  /v1/sweeps/{id}     sweep status + per-cell reports (?wait=1)
-//	GET  /v1/scenarios|policies|techniques  registry introspection
-//	GET  /metrics            Prometheus text exposition (hand-rolled)
+//	POST   /v1/runs            run a RunSpec         → {"id": "run-1", ...}
+//	GET    /v1/runs/{id}       status + final report (?wait=1 blocks)
+//	GET    /v1/runs/{id}/stream  SSE of the run's NDJSON replication frames
+//	DELETE /v1/runs/{id}       cancel the run (dequeue, or stop at the next
+//	                           replication boundary)
+//	POST   /v1/sweeps          run a SweepSpec grid  → cells as child runs
+//	GET    /v1/sweeps/{id}     sweep status + per-cell reports (?wait=1)
+//	DELETE /v1/sweeps/{id}     cancel every non-terminal cell
+//	GET    /v1/queue           executor depth + per-run token costs
+//	GET    /v1/scenarios|policies|techniques  registry introspection
+//	GET    /metrics            Prometheus text exposition (hand-rolled)
 //
 // Reports returned by the daemon are the canonical MergeStream-normal
 // pcs.Aggregate — byte-identical JSON to `pcs-sim -spec-file spec.json
 // -json` for the same spec, which the CI smoke diffs.
+//
+// With a state dir (NewWithStore, pcs-serve -state-dir) every run is also
+// durable: the spec and the NDJSON frames persist as they stream, and a
+// restarted daemon replays the store — completed runs come back queryable
+// with reports recomputed by pcs.MergeStream over the stored bytes
+// (byte-identical to the pre-crash reports), interrupted runs resume from
+// their completed-replication frontier, and unrecoverable records surface
+// as failed runs with a diagnostic.
 package serve
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
-	"strings"
 	"sync"
 
 	"repro/pcs"
 )
 
-// Run states, in lifecycle order. A run is terminal in StateDone or
-// StateFailed.
+// Run states, in lifecycle order. A run is terminal in StateDone,
+// StateFailed or StateCanceled.
 const (
-	StateQueued  = "queued"
-	StateRunning = "running"
-	StateDone    = "done"
-	StateFailed  = "failed"
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
 )
 
+// terminalState reports whether a state ends the run's lifecycle.
+func terminalState(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCanceled
+}
+
 // run is one executing RunSpec: the daemon-side record a run id resolves
-// to, whether submitted directly or as a sweep cell.
+// to, whether submitted directly, as a sweep cell, or replayed from the
+// store on restart.
 type run struct {
-	id   string
-	spec pcs.RunSpec
-	buf  *lineBuffer
-	done chan struct{}
+	id     string
+	spec   pcs.RunSpec
+	buf    *lineBuffer
+	done   chan struct{}
+	ctx    context.Context
+	cancel context.CancelFunc
+	ticket *ticket
+
+	// resumeFrom and intactBytes carry a recovered run's
+	// completed-replication frontier: execution starts at replication
+	// resumeFrom, appending to the intactBytes-long stored frame prefix.
+	resumeFrom  int
+	intactBytes int64
 
 	mu     sync.Mutex
 	state  string
@@ -53,14 +84,22 @@ type run struct {
 	report *pcs.Aggregate
 }
 
-// setState transitions the run; terminal states close done exactly once.
-func (r *run) setState(state, errMsg string, report *pcs.Aggregate) {
+// setState transitions the run unless it is already terminal — the first
+// terminal transition wins, so a cancel racing a natural completion can
+// never flip a done run to canceled or close done twice. It reports
+// whether the transition applied.
+func (r *run) setState(state, errMsg string, report *pcs.Aggregate) bool {
 	r.mu.Lock()
+	if terminalState(r.state) {
+		r.mu.Unlock()
+		return false
+	}
 	r.state, r.errMsg, r.report = state, errMsg, report
 	r.mu.Unlock()
-	if state == StateDone || state == StateFailed {
+	if terminalState(state) {
 		close(r.done)
 	}
+	return true
 }
 
 // snapshot reads the run's mutable fields consistently.
@@ -82,7 +121,7 @@ type sweep struct {
 type RunStatus struct {
 	// ID names the run; its stream lives at /v1/runs/{id}/stream.
 	ID string `json:"id"`
-	// State is one of queued, running, done, failed.
+	// State is one of queued, running, done, failed, canceled.
 	State string `json:"state"`
 	// Spec echoes the accepted RunSpec.
 	Spec pcs.RunSpec `json:"spec"`
@@ -117,19 +156,37 @@ type SweepStatus struct {
 	// ID names the sweep.
 	ID string `json:"id"`
 	// State folds the cells: queued (none started), failed (any cell
-	// failed), done (all cells done), else running.
+	// failed), canceled (any cell canceled, none failed), done (all cells
+	// done), else running.
 	State string `json:"state"`
 	// Cells is the per-cell status in canonical order.
 	Cells []SweepCellStatus `json:"cells"`
 }
 
+// QueueStatus is the GET /v1/queue response body: the executor's token
+// budget and occupancy plus every waiting job with the tokens it will
+// hold — the admission cost a client can read before deciding what to
+// cancel.
+type QueueStatus struct {
+	// Capacity is the executor's core-token budget; InUse the tokens
+	// currently held by running jobs.
+	Capacity int `json:"capacity"`
+	InUse    int `json:"inUse"`
+	// Depth is len(Queued), echoed for cheap polling.
+	Depth int `json:"depth"`
+	// Queued lists the waiting jobs in FIFO (admission) order.
+	Queued []QueueEntry `json:"queued"`
+}
+
 // Server is the management plane's state: the run/sweep registries, the
-// bounded executor they share, and the HTTP handler over them. Create with
-// New, serve via Handler.
+// bounded executor they share, the optional durable store, and the HTTP
+// handler over them. Create with New (in-memory) or NewWithStore
+// (durable), serve via Handler.
 type Server struct {
 	capacity int
 	exec     *executor
 	mux      *http.ServeMux
+	store    *store // nil = in-memory only
 
 	mu        sync.Mutex
 	runs      map[string]*run
@@ -143,7 +200,8 @@ type Server struct {
 
 // New builds a Server whose executor budgets the given number of core
 // tokens (capacity < 1 clamps to 1; pass runtime.GOMAXPROCS(0) to budget
-// the machine).
+// the machine). Runs live in memory only; see NewWithStore for the
+// durable daemon.
 func New(capacity int) *Server {
 	if capacity < 1 {
 		capacity = 1
@@ -165,13 +223,145 @@ func New(capacity int) *Server {
 	handle("POST /v1/runs", s.handleCreateRun)
 	handle("GET /v1/runs/{id}", s.handleGetRun)
 	handle("GET /v1/runs/{id}/stream", s.handleStreamRun)
+	handle("DELETE /v1/runs/{id}", s.handleCancelRun)
 	handle("POST /v1/sweeps", s.handleCreateSweep)
 	handle("GET /v1/sweeps/{id}", s.handleGetSweep)
+	handle("DELETE /v1/sweeps/{id}", s.handleCancelSweep)
+	handle("GET /v1/queue", s.handleQueue)
 	handle("GET /v1/scenarios", s.handleScenarios)
 	handle("GET /v1/policies", s.handlePolicies)
 	handle("GET /v1/techniques", s.handleTechniques)
 	handle("GET /metrics", s.handleMetrics)
 	return s
+}
+
+// NewWithStore builds a durable Server: every admitted run persists its
+// spec and NDJSON frames under stateDir, and the store's existing records
+// are replayed before the first request — terminal runs come back with
+// reports recomputed by pcs.MergeStream over their stored bytes,
+// interrupted runs are resubmitted from their completed-replication
+// frontier, and records too damaged to resume surface as failed runs
+// whose error names the damage.
+func NewWithStore(capacity int, stateDir string) (*Server, error) {
+	s := New(capacity)
+	st, err := openStore(stateDir)
+	if err != nil {
+		return nil, err
+	}
+	s.store = st
+	if err := s.replay(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// replay reconstructs the registries from the store. Runs are restored in
+// id order, so resumed work re-enters the executor in its original FIFO
+// admission order.
+func (s *Server) replay() error {
+	stored, err := s.store.loadRuns()
+	if err != nil {
+		return err
+	}
+	for _, sr := range stored {
+		r := s.restoreRun(sr)
+		s.mu.Lock()
+		s.runs[r.id] = r
+		if sr.seq > s.runSeq {
+			s.runSeq = sr.seq
+		}
+		n := sr.spec.Replications
+		if n < 1 {
+			n = 1
+		}
+		s.specReps += n
+		s.mu.Unlock()
+		if !terminalState(r.snapshotState()) {
+			r.ticket = s.exec.submit(r.id, s.runCost(r.spec), func() { s.execute(r) })
+		}
+	}
+	sweepIDs, sweepRecs, err := s.store.loadSweeps()
+	if err != nil {
+		return err
+	}
+	for i, id := range sweepIDs {
+		sw := &sweep{id: id, spec: sweepRecs[i].Spec}
+		s.mu.Lock()
+		complete := true
+		for _, cellID := range sweepRecs[i].Cells {
+			cell, ok := s.runs[cellID]
+			if !ok {
+				complete = false
+				break
+			}
+			sw.cells = append(sw.cells, cell)
+		}
+		if complete {
+			s.sweeps[id] = sw
+			s.cellsSeen += len(sw.cells)
+		}
+		if seq, ok := sweepSeqOf(id); ok && seq > s.sweepSeq {
+			s.sweepSeq = seq
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// restoreRun rebuilds one run from its stored record, deciding between
+// done (recompute the report from the bytes), failed (with a diagnostic),
+// canceled, and resume-from-frontier.
+func (s *Server) restoreRun(sr storedRun) *run {
+	r := newRunRecord(sr.id, sr.spec)
+	r.buf.Write(sr.intact)
+	needed := sr.spec.Replications
+	if needed < 1 {
+		needed = 1
+	}
+
+	restoreTerminal := func(state, errMsg string, report *pcs.Aggregate) {
+		r.setState(state, errMsg, report)
+		r.buf.close()
+	}
+	finalizeDone := func() bool {
+		agg, err := pcs.MergeStream(bytes.NewReader(sr.intact))
+		if err != nil {
+			restoreTerminal(StateFailed, fmt.Sprintf("recovering %s: merging stored frames: %v", sr.id, err), nil)
+			return false
+		}
+		restoreTerminal(StateDone, "", &agg)
+		return true
+	}
+
+	switch {
+	case sr.specErr != nil:
+		restoreTerminal(StateFailed, fmt.Sprintf("recovering %s: %v", sr.id, sr.specErr), nil)
+	case sr.terminal != nil && sr.terminal.State == StateDone:
+		if sr.complete != needed {
+			diag := sr.frameDiag
+			if diag == "" {
+				diag = fmt.Sprintf("%d of %d frames", sr.complete, needed)
+			}
+			restoreTerminal(StateFailed,
+				fmt.Sprintf("recovering %s: marked done but stored frames are damaged: %s", sr.id, diag), nil)
+		} else {
+			finalizeDone()
+		}
+	case sr.terminal != nil:
+		restoreTerminal(sr.terminal.State, sr.terminal.Error, nil)
+	case sr.complete >= needed:
+		// Crashed between the last frame and the terminal marker: the
+		// stored stream is complete, so finish the bookkeeping now.
+		if finalizeDone() {
+			s.store.markTerminal(sr.id, StateDone, "")
+		}
+	default:
+		// Interrupted mid-stream: resume past the intact prefix. The
+		// frames file is truncated to the prefix when execution opens it.
+		r.resumeFrom = sr.complete
+		r.intactBytes = int64(len(sr.intact))
+	}
+	return r
 }
 
 // Handler returns the daemon's HTTP handler.
@@ -224,18 +414,35 @@ func (s *Server) runCost(spec pcs.RunSpec) int {
 	return workers * width
 }
 
-// newRun registers a run for the spec and submits it to the executor.
-// Callers must have validated the spec (including Options resolution).
-func (s *Server) newRun(spec pcs.RunSpec) *run {
+// newRunRecord builds the in-memory record shared by fresh and restored
+// runs: an open broadcast buffer and a cancellation context of its own.
+func newRunRecord(id string, spec pcs.RunSpec) *run {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &run{
+		id:     id,
+		spec:   spec,
+		buf:    newLineBuffer(),
+		done:   make(chan struct{}),
+		ctx:    ctx,
+		cancel: cancel,
+		state:  StateQueued,
+	}
+}
+
+// snapshotState reads the run's current state.
+func (r *run) snapshotState() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
+}
+
+// newRun registers a run for the spec, persists it (when durable), and
+// submits it to the executor. Callers must have validated the spec
+// (including Options resolution).
+func (s *Server) newRun(spec pcs.RunSpec) (*run, error) {
 	s.mu.Lock()
 	s.runSeq++
-	r := &run{
-		id:    fmt.Sprintf("run-%d", s.runSeq),
-		spec:  spec,
-		buf:   newLineBuffer(),
-		done:  make(chan struct{}),
-		state: StateQueued,
-	}
+	r := newRunRecord(fmt.Sprintf("run-%d", s.runSeq), spec)
 	s.runs[r.id] = r
 	n := spec.Replications
 	if n < 1 {
@@ -243,44 +450,99 @@ func (s *Server) newRun(spec pcs.RunSpec) *run {
 	}
 	s.specReps += n
 	s.mu.Unlock()
-	s.exec.submit(s.runCost(spec), func() { s.execute(r) })
-	return r
+	if s.store != nil {
+		if err := s.store.createRun(r.id, spec); err != nil {
+			s.finish(r, StateFailed, err.Error(), nil)
+			return nil, err
+		}
+	}
+	r.ticket = s.exec.submit(r.id, s.runCost(spec), func() { s.execute(r) })
+	return r, nil
+}
+
+// finish lands a run's terminal state exactly once: the broadcast buffer
+// seals (waking SSE followers into their end event), and the durable
+// marker is written so a restart restores the same state. Losing the
+// terminal race (the run already ended) is a no-op.
+func (s *Server) finish(r *run, state, errMsg string, report *pcs.Aggregate) {
+	if !r.setState(state, errMsg, report) {
+		return
+	}
+	r.buf.close()
+	if s.store != nil {
+		// Best-effort: if the marker write fails the in-memory state is
+		// still correct, and a restart replays the frames — a complete
+		// stream finalizes to the same done report, an incomplete one
+		// resumes.
+		s.store.markTerminal(r.id, state, errMsg)
+	}
 }
 
 // execute runs a registered run to a terminal state: the replications
 // stream as NDJSON into the run's broadcast buffer (feeding any SSE
-// subscribers live), and the final report is MergeStream's fold over
-// exactly those frames — the same bytes a subscriber saw — so the daemon
-// can never report something its stream does not support.
+// subscribers live) and, when durable, into the store's fsynced frames
+// file; the final report is MergeStream's fold over exactly those frames —
+// the same bytes a subscriber saw — so the daemon can never report
+// something its stream does not support. A canceled context stops the run
+// at the next replication boundary and lands StateCanceled.
 func (s *Server) execute(r *run) {
 	r.mu.Lock()
+	if terminalState(r.state) {
+		// Canceled between dispatch and here; nothing to run.
+		r.mu.Unlock()
+		return
+	}
 	r.state = StateRunning
 	r.mu.Unlock()
 
-	fail := func(err error) {
-		r.buf.close()
-		r.setState(StateFailed, err.Error(), nil)
-	}
 	opts, err := r.spec.Options()
 	if err != nil {
-		fail(err)
+		s.finish(r, StateFailed, err.Error(), nil)
 		return
 	}
 	n := r.spec.Replications
 	if n < 1 {
 		n = 1
 	}
-	if _, err := pcs.RunManyStream(opts, n, r.spec.Workers, r.buf); err != nil {
-		fail(err)
+	var sink io.Writer = r.buf
+	if s.store != nil {
+		ff, err := s.store.frameWriter(r.id, r.intactBytes)
+		if err != nil {
+			s.finish(r, StateFailed, err.Error(), nil)
+			return
+		}
+		defer ff.Close()
+		// Durable before broadcast: a frame an SSE subscriber saw is a
+		// frame the store can replay.
+		sink = io.MultiWriter(ff, r.buf)
+	}
+	err = pcs.RunManyStreamFrom(r.ctx, opts, n, r.spec.Workers, r.resumeFrom, sink)
+	switch {
+	case err == nil:
+		agg, merr := pcs.MergeStream(bytes.NewReader(r.buf.bytes()))
+		if merr != nil {
+			s.finish(r, StateFailed, fmt.Sprintf("merging own stream: %v", merr), nil)
+			return
+		}
+		s.finish(r, StateDone, "", &agg)
+	case errors.Is(err, context.Canceled):
+		s.finish(r, StateCanceled, "", nil)
+	default:
+		s.finish(r, StateFailed, err.Error(), nil)
+	}
+}
+
+// cancelRun drives a run toward StateCanceled: a still-queued run is
+// dequeued (its tokens were never held) and canceled on the spot; a
+// running run gets its context canceled and stops at the next replication
+// boundary, with the executor releasing its tokens when the worker
+// returns; a terminal run is left untouched.
+func (s *Server) cancelRun(r *run) {
+	if r.ticket != nil && r.ticket.Abort() {
+		s.finish(r, StateCanceled, "", nil)
 		return
 	}
-	r.buf.close()
-	agg, err := pcs.MergeStream(strings.NewReader(string(r.buf.bytes())))
-	if err != nil {
-		r.setState(StateFailed, fmt.Sprintf("merging own stream: %v", err), nil)
-		return
-	}
-	r.setState(StateDone, "", &agg)
+	r.cancel()
 }
 
 // status assembles a run's response body.
@@ -298,8 +560,53 @@ func (s *Server) handleCreateRun(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	r := s.newRun(spec)
+	r, err := s.newRun(spec)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
 	writeJSON(w, http.StatusAccepted, s.status(r))
+}
+
+// handleCancelRun is DELETE /v1/runs/{id}: cooperative cancellation. The
+// response is the run's status at the moment of the call — cancellation of
+// a running run is asynchronous (it lands at the next replication
+// boundary), so poll ?wait=1 for the terminal state. Canceling a terminal
+// run is a no-op.
+func (s *Server) handleCancelRun(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.lookupRun(w, req)
+	if !ok {
+		return
+	}
+	s.cancelRun(r)
+	writeJSON(w, http.StatusOK, s.status(r))
+}
+
+// handleCancelSweep is DELETE /v1/sweeps/{id}: cancels every non-terminal
+// cell (queued cells dequeue immediately, running cells stop at their next
+// replication boundary) and returns the sweep's status.
+func (s *Server) handleCancelSweep(w http.ResponseWriter, req *http.Request) {
+	sw, ok := s.lookupSweep(w, req)
+	if !ok {
+		return
+	}
+	for _, cell := range sw.cells {
+		s.cancelRun(cell)
+	}
+	writeJSON(w, http.StatusOK, s.sweepStatus(sw))
+}
+
+// handleQueue is GET /v1/queue: the executor's occupancy and the waiting
+// jobs with their token costs, in admission order.
+func (s *Server) handleQueue(w http.ResponseWriter, _ *http.Request) {
+	queued := s.exec.pending()
+	_, inUse := s.exec.stats()
+	writeJSON(w, http.StatusOK, QueueStatus{
+		Capacity: s.capacity,
+		InUse:    inUse,
+		Depth:    len(queued),
+		Queued:   queued,
+	})
 }
 
 // readRunSpec decodes and fully validates the request body as a RunSpec.
@@ -437,7 +744,12 @@ func (s *Server) handleCreateSweep(w http.ResponseWriter, req *http.Request) {
 	}
 	sw := &sweep{spec: spec}
 	for _, cell := range cells {
-		sw.cells = append(sw.cells, s.newRun(cell))
+		r, err := s.newRun(cell)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		sw.cells = append(sw.cells, r)
 	}
 	s.mu.Lock()
 	s.sweepSeq++
@@ -445,13 +757,23 @@ func (s *Server) handleCreateSweep(w http.ResponseWriter, req *http.Request) {
 	s.sweeps[sw.id] = sw
 	s.cellsSeen += len(cells)
 	s.mu.Unlock()
+	if s.store != nil {
+		rec := sweepRecord{Spec: spec}
+		for _, cell := range sw.cells {
+			rec.Cells = append(rec.Cells, cell.id)
+		}
+		if err := s.store.createSweep(sw.id, rec); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
 	writeJSON(w, http.StatusAccepted, s.sweepStatus(sw))
 }
 
 // sweepStatus assembles a sweep's response body from its cells.
 func (s *Server) sweepStatus(sw *sweep) SweepStatus {
 	out := SweepStatus{ID: sw.id}
-	allQueued, allDone, anyFailed := true, true, false
+	allQueued, allDone, anyFailed, anyCanceled := true, true, false, false
 	for _, cell := range sw.cells {
 		state, errMsg, report := cell.snapshot()
 		if state != StateQueued {
@@ -462,6 +784,9 @@ func (s *Server) sweepStatus(sw *sweep) SweepStatus {
 		}
 		if state == StateFailed {
 			anyFailed = true
+		}
+		if state == StateCanceled {
+			anyCanceled = true
 		}
 		out.Cells = append(out.Cells, SweepCellStatus{
 			RunID:     cell.id,
@@ -477,6 +802,8 @@ func (s *Server) sweepStatus(sw *sweep) SweepStatus {
 	switch {
 	case anyFailed:
 		out.State = StateFailed
+	case anyCanceled:
+		out.State = StateCanceled
 	case allDone:
 		out.State = StateDone
 	case allQueued:

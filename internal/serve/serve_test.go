@@ -332,9 +332,9 @@ func TestExecutorFIFO(t *testing.T) {
 	release1 := make(chan struct{})
 	release2 := make(chan struct{})
 	started := make(chan int, 3)
-	e.submit(1, func() { started <- 1; <-release1 })
-	e.submit(2, func() { started <- 2; <-release2 })
-	e.submit(1, func() { started <- 3 })
+	e.submit("run-1", 1, func() { started <- 1; <-release1 })
+	e.submit("run-2", 2, func() { started <- 2; <-release2 })
+	e.submit("run-3", 1, func() { started <- 3 })
 
 	if got := <-started; got != 1 {
 		t.Fatalf("first start %d", got)
@@ -362,6 +362,65 @@ func TestExecutorFIFO(t *testing.T) {
 	close(release2)
 	if got := <-started; got != 3 {
 		t.Fatalf("third start %d", got)
+	}
+}
+
+// TestExecutorAbort extends the FIFO pin to cancellation: aborting a
+// queued job dequeues it without disturbing the survivors' order, a wide
+// abort at the head unblocks the jobs behind it, and a started job cannot
+// be aborted (its tokens are released exactly once, by its own return).
+func TestExecutorAbort(t *testing.T) {
+	e := newExecutor(2)
+	blockA := make(chan struct{})
+	started := make(chan string, 4)
+	tA := e.submit("a", 2, func() { started <- "a"; <-blockA })
+	tB := e.submit("b", 2, func() { started <- "b" })
+	tC := e.submit("c", 1, func() { started <- "c" })
+	tD := e.submit("d", 1, func() { started <- "d" })
+
+	if got := <-started; got != "a" {
+		t.Fatalf("first start %q", got)
+	}
+	if tA.Abort() {
+		t.Fatal("started job reported aborted")
+	}
+	if got := e.pending(); len(got) != 3 || got[0].RunID != "b" || got[0].Cost != 2 {
+		t.Fatalf("pending = %+v", got)
+	}
+	// Abort the wide head: c and d (still in order) must both start even
+	// though a still holds the full budget — only once a returns.
+	if !tB.Abort() {
+		t.Fatal("queued head not aborted")
+	}
+	if tB.Abort() {
+		t.Fatal("second abort of the same job succeeded")
+	}
+	select {
+	case got := <-started:
+		t.Fatalf("job %q started while tokens were exhausted", got)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(blockA)
+	// c and d dispatch in FIFO order but run concurrently (both fit in the
+	// freed budget), so assert the set, not the channel arrival order.
+	got := map[string]bool{<-started: true, <-started: true}
+	if !got["c"] || !got["d"] {
+		t.Fatalf("post-abort starts %v, want c and d", got)
+	}
+	deadline := time.After(time.Second)
+	for {
+		if q, inUse := e.stats(); q == 0 && inUse == 0 {
+			break
+		}
+		select {
+		case <-deadline:
+			q, inUse := e.stats()
+			t.Fatalf("executor did not drain: %d queued, %d in use", q, inUse)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if tC.Abort() || tD.Abort() {
+		t.Fatal("finished jobs reported aborted")
 	}
 }
 

@@ -1,0 +1,307 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/pcs"
+)
+
+// store is the daemon's durable run record: one directory per run holding
+// the accepted spec, the NDJSON replication frames as they stream
+// (append-only, fsynced per appended frame batch), and a terminal marker
+// written when the run ends. The frames are the same bytes the SSE stream
+// carries and pcs.MergeStream folds, so recovery is pure re-reading: a
+// restarted daemon recomputes every report from the stored bytes and gets
+// the pre-crash answer byte for byte.
+//
+// Layout under the state dir:
+//
+//	runs/run-3/spec.json      the pcs.RunSpec, written at admission
+//	runs/run-3/frames.ndjson  StreamedRun lines, appended + fsynced
+//	runs/run-3/state.json     {"state": ..., "error": ...} once terminal
+//	sweeps/sweep-1.json       {"spec": ..., "cells": ["run-3", ...]}
+//
+// Marker and spec writes are atomic (temp file + rename); the frames file
+// is the one append-only surface, and recoverFrames tolerates whatever a
+// crash left at its tail.
+type store struct {
+	dir string
+}
+
+// terminalMark is the state.json payload: the run's terminal state and, for
+// failures, its diagnostic.
+type terminalMark struct {
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+// sweepRecord is the sweeps/{id}.json payload: the accepted SweepSpec and
+// the run ids of its cells in canonical order.
+type sweepRecord struct {
+	Spec  pcs.SweepSpec `json:"spec"`
+	Cells []string      `json:"cells"`
+}
+
+// openStore creates (or reopens) the state directory.
+func openStore(dir string) (*store, error) {
+	for _, sub := range []string{"runs", "sweeps"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("serve: opening state dir: %w", err)
+		}
+	}
+	return &store{dir: dir}, nil
+}
+
+// runDir is the directory holding one run's record.
+func (st *store) runDir(id string) string { return filepath.Join(st.dir, "runs", id) }
+
+// writeAtomic writes data to path via a temp file + rename, so a crash
+// never leaves a half-written spec or marker.
+func writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	serr := tmp.Sync()
+	cerr := tmp.Close()
+	for _, err := range []error{werr, serr, cerr} {
+		if err != nil {
+			os.Remove(tmp.Name())
+			return err
+		}
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// createRun records a freshly admitted run: its directory and its spec.
+func (st *store) createRun(id string, spec pcs.RunSpec) error {
+	dir := st.runDir(id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("serve: creating run record: %w", err)
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		return fmt.Errorf("serve: encoding spec: %w", err)
+	}
+	if err := writeAtomic(filepath.Join(dir, "spec.json"), append(data, '\n')); err != nil {
+		return fmt.Errorf("serve: writing spec: %w", err)
+	}
+	return nil
+}
+
+// markTerminal durably records the run's terminal state.
+func (st *store) markTerminal(id, state, errMsg string) error {
+	data, err := json.Marshal(terminalMark{State: state, Error: errMsg})
+	if err != nil {
+		return err
+	}
+	return writeAtomic(filepath.Join(st.runDir(id), "state.json"), append(data, '\n'))
+}
+
+// createSweep records an admitted sweep after its cell runs exist.
+func (st *store) createSweep(id string, rec sweepRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("serve: encoding sweep record: %w", err)
+	}
+	path := filepath.Join(st.dir, "sweeps", id+".json")
+	if err := writeAtomic(path, append(data, '\n')); err != nil {
+		return fmt.Errorf("serve: writing sweep record: %w", err)
+	}
+	return nil
+}
+
+// frameWriter opens the run's frames file for appending (resuming a
+// recovered run keeps its intact prefix; intactBytes says how long that
+// prefix is, and anything past it — a torn tail from the crash — is
+// truncated first so the file only ever holds whole, in-order frames).
+func (st *store) frameWriter(id string, intactBytes int64) (*frameFile, error) {
+	path := filepath.Join(st.runDir(id), "frames.ndjson")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening frames file: %w", err)
+	}
+	if err := f.Truncate(intactBytes); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("serve: truncating torn frames: %w", err)
+	}
+	if _, err := f.Seek(intactBytes, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("serve: seeking frames file: %w", err)
+	}
+	return &frameFile{f: f}, nil
+}
+
+// frameFile appends NDJSON frames durably: every Write (the stream encoder
+// hands one whole frame per call, so a Write is a frame batch of one or
+// more complete lines) is followed by an fsync before it is acknowledged —
+// a frame the in-memory buffer has broadcast is a frame the store can
+// replay.
+type frameFile struct {
+	f *os.File
+}
+
+// Write appends the frame bytes and fsyncs before acknowledging.
+func (w *frameFile) Write(p []byte) (int, error) {
+	n, err := w.f.Write(p)
+	if err != nil {
+		return n, fmt.Errorf("serve: appending frame: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return n, fmt.Errorf("serve: syncing frames: %w", err)
+	}
+	return n, nil
+}
+
+// Close closes the underlying frames file.
+func (w *frameFile) Close() error { return w.f.Close() }
+
+// recoverFrames scans stored frame bytes and keeps the longest intact
+// prefix: whole '\n'-terminated lines that decode as StreamedRun records
+// numbered 0, 1, 2, ... with no gap or duplicate. Everything a crash can
+// leave behind — an empty file, a torn last line, partial JSON, a
+// duplicated or reordered frame — reduces to "the prefix before the first
+// violation", reported with a diagnostic naming what ended it. intact is
+// always a byte prefix of data, so truncating the file to len(intact)
+// re-establishes the append-only invariant.
+func recoverFrames(data []byte) (intact []byte, complete int, diag string) {
+	off := 0
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			return data[:off], complete, fmt.Sprintf("torn frame after replication %d (no newline)", complete-1)
+		}
+		line := data[off : off+nl]
+		var rec pcs.StreamedRun
+		dec := json.NewDecoder(bytes.NewReader(line))
+		if err := dec.Decode(&rec); err != nil {
+			return data[:off], complete, fmt.Sprintf("frame %d does not parse: %v", complete, err)
+		}
+		// Anything after the value (dec.More is not enough: it reports false
+		// for a stray '}' or ']') is trailing data the stream decoder would
+		// choke on, so the line cannot join the intact prefix.
+		if rest, _ := io.ReadAll(dec.Buffered()); len(bytes.TrimSpace(rest)) > 0 {
+			return data[:off], complete, fmt.Sprintf("frame %d has trailing data", complete)
+		}
+		if rec.Rep != complete {
+			return data[:off], complete, fmt.Sprintf("frame %d carries replication %d", complete, rec.Rep)
+		}
+		complete++
+		off += nl + 1
+	}
+	return data[:off], complete, ""
+}
+
+// storedRun is one run as the replay pass reconstructs it.
+type storedRun struct {
+	id        string
+	seq       int
+	spec      pcs.RunSpec
+	specErr   error // spec.json unreadable/unparseable
+	terminal  *terminalMark
+	intact    []byte // longest valid frame prefix
+	complete  int    // frames in the intact prefix
+	frameDiag string
+}
+
+// loadRuns reads every run record under the state dir, in run-id order.
+func (st *store) loadRuns() ([]storedRun, error) {
+	entries, err := os.ReadDir(filepath.Join(st.dir, "runs"))
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading run records: %w", err)
+	}
+	var runs []storedRun
+	for _, e := range entries {
+		seq, ok := runSeqOf(e.Name())
+		if !ok || !e.IsDir() {
+			continue // not a run record; leave foreign files alone
+		}
+		r := storedRun{id: e.Name(), seq: seq}
+		dir := st.runDir(r.id)
+
+		specData, err := os.ReadFile(filepath.Join(dir, "spec.json"))
+		if err != nil {
+			r.specErr = fmt.Errorf("reading spec: %w", err)
+		} else if r.spec, err = pcs.ParseRunSpec(specData); err != nil {
+			r.specErr = err
+		}
+
+		if markData, err := os.ReadFile(filepath.Join(dir, "state.json")); err == nil {
+			var mark terminalMark
+			if json.Unmarshal(markData, &mark) == nil && mark.State != "" {
+				r.terminal = &mark
+			}
+		}
+
+		frames, err := os.ReadFile(filepath.Join(dir, "frames.ndjson"))
+		if err != nil && !os.IsNotExist(err) {
+			return nil, fmt.Errorf("serve: reading frames for %s: %w", r.id, err)
+		}
+		r.intact, r.complete, r.frameDiag = recoverFrames(frames)
+		runs = append(runs, r)
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].seq < runs[j].seq })
+	return runs, nil
+}
+
+// loadSweeps reads every sweep record, in sweep-id order.
+func (st *store) loadSweeps() (ids []string, recs []sweepRecord, err error) {
+	entries, err := os.ReadDir(filepath.Join(st.dir, "sweeps"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: reading sweep records: %w", err)
+	}
+	type loaded struct {
+		id  string
+		seq int
+		rec sweepRecord
+	}
+	var all []loaded
+	for _, e := range entries {
+		name := strings.TrimSuffix(e.Name(), ".json")
+		seq, ok := sweepSeqOf(name)
+		if !ok || name == e.Name() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(st.dir, "sweeps", e.Name()))
+		if err != nil {
+			return nil, nil, fmt.Errorf("serve: reading sweep record %s: %w", e.Name(), err)
+		}
+		var rec sweepRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			continue // torn sweep record: its cells survive as plain runs
+		}
+		all = append(all, loaded{id: name, seq: seq, rec: rec})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	for _, l := range all {
+		ids = append(ids, l.id)
+		recs = append(recs, l.rec)
+	}
+	return ids, recs, nil
+}
+
+// runSeqOf parses the N of "run-N".
+func runSeqOf(id string) (int, bool) { return seqOf(id, "run-") }
+
+// sweepSeqOf parses the N of "sweep-N".
+func sweepSeqOf(id string) (int, bool) { return seqOf(id, "sweep-") }
+
+func seqOf(id, prefix string) (int, bool) {
+	if !strings.HasPrefix(id, prefix) {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(id, prefix))
+	if err != nil || n < 1 {
+		return 0, false
+	}
+	return n, true
+}

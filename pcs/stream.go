@@ -1,6 +1,7 @@
 package pcs
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -98,6 +99,56 @@ func RunManyStream(opts Options, n, workers int, sink io.Writer) (Aggregate, err
 		return Aggregate{}, err
 	}
 	return a.aggregate(pool.EffectiveWorkers(n)), nil
+}
+
+// RunManyStreamFrom is the cancellable, resumable form of RunManyStream:
+// it executes replications [from, n) of the spec'd set and writes each
+// one's NDJSON record to sink in replication order. The frames are
+// byte-identical to the corresponding lines RunManyStream writes for the
+// full set — replication i always runs with seed
+// xrand.StreamSeed(opts.Seed, i) regardless of where the call starts — so
+// appending this call's output to an intact prefix of a previous run's
+// stream reconstructs the full stream exactly. That is the daemon's
+// crash-recovery contract: resume from the completed-replication frontier
+// and the stored bytes end up indistinguishable from an uninterrupted run.
+//
+// ctx is checked at every replication boundary: once it is done, no new
+// replication starts (in-flight ones finish and are discarded) and the
+// call returns ctx's error. Cancellation never truncates a frame — sink
+// only ever receives whole records that completed in order.
+//
+// No Aggregate is returned: a resumed caller owns bytes this call never
+// saw, so folding the full stream (MergeStream) is its job.
+func RunManyStreamFrom(ctx context.Context, opts Options, n, workers, from int, sink io.Writer) error {
+	if sink == nil {
+		return fmt.Errorf("pcs: RunManyStreamFrom needs a sink (use RunMany to aggregate in memory)")
+	}
+	if from < 0 || from > n {
+		return fmt.Errorf("pcs: RunManyStreamFrom resume point %d outside [0, %d]", from, n)
+	}
+	if from == n {
+		return nil // nothing left to run; the stored prefix is the stream
+	}
+	pool := runner.Options{Workers: replicationWorkers(opts, workers)}
+	enc := newStreamEncoder(sink, opts.Seed)
+	// runner.Stream numbers this call's replications 0..n-from-1; the job
+	// and the emit both shift by from so seeds and frame indexes are those
+	// of the full set.
+	return runner.Stream(opts.Seed, n-from, pool,
+		func(rep int, _ int64) (Result, error) {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+			o := opts
+			o.Seed = xrand.StreamSeed(opts.Seed, from+rep)
+			return Run(o)
+		},
+		func(rep int, r Result) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			return enc.write(from+rep, r)
+		})
 }
 
 // MergeStream folds an NDJSON replication stream (as written by

@@ -2,6 +2,8 @@ package pcs
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -151,3 +153,93 @@ func TestRunManyStreamNeedsSink(t *testing.T) {
 		t.Fatal("nil sink accepted")
 	}
 }
+
+// TestRunManyStreamFromReconstructsFullStream is the resume contract: the
+// frames RunManyStreamFrom writes for [from, n) are byte-identical to the
+// tail of a full RunManyStream, for every split point — so an interrupted
+// stream plus a resumed tail is indistinguishable from an uninterrupted
+// run.
+func TestRunManyStreamFromReconstructsFullStream(t *testing.T) {
+	const n = 6
+	opts := streamOpts(51)
+	var full bytes.Buffer
+	if _, err := RunManyStream(opts, n, 2, &full); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(full.String(), "\n")
+	for from := 0; from <= n; from++ {
+		var resumed bytes.Buffer
+		resumed.WriteString(strings.Join(lines[:from], ""))
+		if err := RunManyStreamFrom(context.Background(), opts, n, 2, from, &resumed); err != nil {
+			t.Fatalf("resume from %d: %v", from, err)
+		}
+		if resumed.String() != full.String() {
+			t.Fatalf("resume from %d diverged\n got %s\nwant %s", from, resumed.String(), full.String())
+		}
+	}
+	if err := RunManyStreamFrom(context.Background(), opts, n, 1, n+1, &bytes.Buffer{}); err == nil {
+		t.Fatal("resume point past n accepted")
+	}
+	if err := RunManyStreamFrom(context.Background(), opts, n, 1, -1, &bytes.Buffer{}); err == nil {
+		t.Fatal("negative resume point accepted")
+	}
+	if err := RunManyStreamFrom(context.Background(), opts, n, 1, 0, nil); err == nil {
+		t.Fatal("nil sink accepted")
+	}
+}
+
+// TestRunManyStreamFromCancellation: a canceled context stops the run at a
+// replication boundary — the sink holds only whole, in-order frames and
+// the call reports context.Canceled.
+func TestRunManyStreamFromCancellation(t *testing.T) {
+	opts := streamOpts(53)
+
+	// Already-canceled context: no frames at all.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	err := RunManyStreamFrom(ctx, opts, 4, 2, 0, &buf)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled run returned %v, want context.Canceled", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("pre-canceled run wrote %d bytes", buf.Len())
+	}
+
+	// Cancel mid-run, from the emit path: the sink must still be a valid
+	// in-order prefix of the full stream.
+	ctx, cancel = context.WithCancel(context.Background())
+	defer cancel()
+	buf.Reset()
+	frames := 0
+	sink := writerFunc(func(p []byte) (int, error) {
+		frames++
+		if frames == 2 {
+			cancel()
+		}
+		return buf.Write(p)
+	})
+	err = RunManyStreamFrom(ctx, opts, 50, 2, 0, sink)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancel returned %v, want context.Canceled", err)
+	}
+	recs, err := ReadStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("canceled run left a corrupt stream: %v", err)
+	}
+	if len(recs) == 0 || len(recs) >= 50 {
+		t.Fatalf("canceled run emitted %d frames, want a strict prefix", len(recs))
+	}
+	var full bytes.Buffer
+	if _, err := RunManyStream(opts, 50, 2, &full); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(full.String(), buf.String()) {
+		t.Fatal("canceled run's frames are not a prefix of the full stream")
+	}
+}
+
+// writerFunc adapts a function to io.Writer for sink instrumentation.
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
